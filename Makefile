@@ -1,0 +1,46 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+GO ?= go
+
+.PHONY: all build vet test test-race test-short bench fuzz tables security examples check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Short exploratory fuzz passes over the core invariants.
+fuzz:
+	$(GO) test ./internal/graphene -fuzz=FuzzTableInvariants -fuzztime=30s -run xxx
+	$(GO) test ./internal/graphene -fuzz=FuzzBankNeverMissesTheorem -fuzztime=30s -run xxx
+
+tables:
+	$(GO) run ./cmd/rhtables -all
+
+security:
+	$(GO) run ./cmd/rhsecurity
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/attack
+	$(GO) run ./examples/scaling
+	$(GO) run ./examples/nonadjacent
+	$(GO) run ./examples/pagepolicy
+	$(GO) run ./examples/observability
+
+check: build vet test

@@ -1,0 +1,137 @@
+// Command rhsim runs one workload × scheme × threshold simulation and
+// prints the paper's overhead and security metrics for it.
+//
+// Usage:
+//
+//	rhsim -workload mcf -scheme graphene
+//	rhsim -workload S3 -scheme cbt -trh 25000
+//	rhsim -workload prohit-pattern -scheme prohit -windows 1
+//	rhsim -workload mix-high -scheme none          # unprotected + oracle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"graphene/internal/dram"
+	"graphene/internal/energy"
+	"graphene/internal/memctrl"
+	"graphene/internal/mitigation"
+	"graphene/internal/sim"
+	"graphene/internal/stats"
+)
+
+// options carries one simulation request.
+type options struct {
+	workload string
+	scheme   string
+	trh      int64
+	k        int
+	distance int
+	acts     int64
+	windows  float64
+	seed     int64
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.workload, "workload", "mcf", "workload: a profile name (mcf, milc, …), S1-10, S1-20, S2, S3, S4, prohit-pattern, mrloc-pattern, or worst")
+	flag.StringVar(&o.scheme, "scheme", "graphene", "scheme: graphene, twice, cbt, para, prohit, mrloc, cra, perrow, none")
+	flag.Int64Var(&o.trh, "trh", 50000, "Row Hammer threshold")
+	flag.IntVar(&o.k, "k", 2, "Graphene reset-window divisor")
+	flag.IntVar(&o.distance, "distance", 1, "protected Row Hammer distance (±n)")
+	flag.Int64Var(&o.acts, "acts", 500_000, "trace length for profile workloads")
+	flag.Float64Var(&o.windows, "windows", 0.5, "refresh windows sustained by attack patterns")
+	flag.Int64Var(&o.seed, "seed", 1, "generator seed")
+	flag.Parse()
+
+	flipped, err := run(os.Stdout, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhsim:", err)
+		os.Exit(2)
+	}
+	if flipped {
+		os.Exit(1)
+	}
+}
+
+// run executes the requested simulation, prints the report to w, and
+// reports whether the scheme suffered bit flips.
+func run(w io.Writer, o options) (flipped bool, err error) {
+	sc := sim.Quick()
+	sc.Seed = o.seed
+	sc.WorkloadAccesses = o.acts
+	sc.AdversarialWindows = o.windows
+
+	gen, attack, err := sim.BuildWorkload(o.workload, sc, o.trh)
+	if err != nil {
+		return false, err
+	}
+	geo := sc.Geometry
+	if attack {
+		geo = dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 1, RowsPerBank: sc.Geometry.RowsPerBank}
+	}
+	factory, name, err := sim.BuildScheme(o.scheme, o.trh, o.k, o.distance, geo.RowsPerBank, sc)
+	if err != nil {
+		return false, err
+	}
+
+	// Baseline first (slowdown reference), then the protected run.
+	baseGen, _, _ := sim.BuildWorkload(o.workload, sc, o.trh)
+	base, err := memctrl.Run(memctrl.Config{Geometry: geo, Timing: sc.Timing}, baseGen)
+	if err != nil {
+		return false, fmt.Errorf("baseline: %w", err)
+	}
+	res, err := memctrl.Run(memctrl.Config{
+		Geometry: geo, Timing: sc.Timing,
+		Factory: factory, TRH: o.trh, OracleDistance: o.distance,
+	}, gen)
+	if err != nil {
+		return false, err
+	}
+
+	fmt.Fprintf(w, "workload           %s\n", res.Workload)
+	fmt.Fprintf(w, "scheme             %s\n", name)
+	fmt.Fprintf(w, "TRH                %d (±%d)\n", o.trh, o.distance)
+	fmt.Fprintf(w, "ACTs               %d over %v\n", res.ACTs, res.EndTime)
+	fmt.Fprintf(w, "auto-refresh rows  %d (%d REF commands)\n", res.RowsAuto, res.REFCommands)
+	fmt.Fprintf(w, "victim refreshes   %d commands, %d rows\n", res.NRRCommands, res.RowsVictim)
+	fmt.Fprintf(w, "refresh overhead   %s\n", stats.Pct(res.RefreshOverhead()))
+	fmt.Fprintf(w, "performance loss   %s\n", stats.Pct(stats.WeightedSpeedupLoss(res.SlowdownVs(base))))
+	acct := energy.Accounting{
+		RowsAutoRefreshed: res.RowsAuto, RowsVictim: res.RowsVictim,
+		ACTs: res.ACTs, RowsPerBank: geo.RowsPerBank,
+		Windows: float64(res.EndTime) / float64(sc.Timing.TREFW),
+	}
+	fmt.Fprintf(w, "refresh energy     %.3e nJ\n", acct.RefreshEnergy())
+	if strings.HasPrefix(name, "graphene") {
+		fmt.Fprintf(w, "table energy       %.3e nJ (Table V model)\n", acct.GrapheneTableEnergy())
+	}
+	if res.CostPerBank != (mitigation.HardwareCost{}) {
+		fmt.Fprintf(w, "table cost/bank    %d entries, %d CAM + %d SRAM bits\n",
+			res.CostPerBank.Entries, res.CostPerBank.CAMBits, res.CostPerBank.SRAMBits)
+	}
+	if res.ExtraDRAMAccesses > 0 {
+		fmt.Fprintf(w, "extra DRAM traffic %d counter accesses\n", res.ExtraDRAMAccesses)
+	}
+	fmt.Fprintf(w, "max disturbance    %.0f / %d\n", res.MaxDisturbance, o.trh)
+	for i, v := range res.TopVictims {
+		fmt.Fprintf(w, "  residual victim %d: bank %d row %d (disturbance %.0f)\n", i+1, v.Bank, v.Row, v.Disturbance)
+	}
+	if len(res.Flips) == 0 {
+		fmt.Fprintln(w, "bit flips          none")
+		return false, nil
+	}
+	fmt.Fprintf(w, "bit flips          %d  <-- PROTECTION FAILED\n", len(res.Flips))
+	for i, f := range res.Flips {
+		if i == 5 {
+			fmt.Fprintf(w, "  … %d more\n", len(res.Flips)-5)
+			break
+		}
+		fmt.Fprintf(w, "  bank %d %v\n", f.Bank, f.Flip)
+	}
+	return true, nil
+}

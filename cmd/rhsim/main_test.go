@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunProtectedAttack(t *testing.T) {
+	var sb strings.Builder
+	flipped, err := run(&sb, options{
+		workload: "S3", scheme: "graphene", trh: 50000,
+		k: 2, distance: 1, acts: 10_000, windows: 0.05, seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flipped {
+		t.Error("Graphene flipped under S3")
+	}
+	out := sb.String()
+	for _, want := range []string{"graphene-k2", "bit flips          none", "2511 CAM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnprotectedAttackFlips(t *testing.T) {
+	var sb strings.Builder
+	flipped, err := run(&sb, options{
+		workload: "S3", scheme: "none", trh: 50000,
+		k: 2, distance: 1, acts: 10_000, windows: 0.2, seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flipped {
+		t.Error("unprotected full hammer did not flip")
+	}
+	if !strings.Contains(sb.String(), "PROTECTION FAILED") {
+		t.Error("flip report missing")
+	}
+}
+
+func TestRunProfileWorkload(t *testing.T) {
+	var sb strings.Builder
+	flipped, err := run(&sb, options{
+		workload: "mix-blend", scheme: "twice", trh: 50000,
+		k: 2, distance: 1, acts: 20_000, windows: 0.1, seed: 1,
+	})
+	if err != nil || flipped {
+		t.Fatalf("flipped=%v err=%v", flipped, err)
+	}
+	if !strings.Contains(sb.String(), "victim refreshes   0 commands") {
+		t.Errorf("TWiCe refreshed on a normal workload:\n%s", sb.String())
+	}
+}
+
+func TestRunRejectsUnknownInputs(t *testing.T) {
+	var sb strings.Builder
+	if _, err := run(&sb, options{workload: "nope", scheme: "graphene", trh: 50000, k: 2, distance: 1, acts: 10, windows: 0.01, seed: 1}); err == nil {
+		t.Error("accepted unknown workload")
+	}
+	if _, err := run(&sb, options{workload: "S3", scheme: "nope", trh: 50000, k: 2, distance: 1, acts: 10, windows: 0.01, seed: 1}); err == nil {
+		t.Error("accepted unknown scheme")
+	}
+}
+
+func TestRunCRAReportsExtraTraffic(t *testing.T) {
+	var sb strings.Builder
+	if _, err := run(&sb, options{
+		workload: "S1-20", scheme: "cra", trh: 50000,
+		k: 2, distance: 1, acts: 10_000, windows: 0.02, seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "extra DRAM traffic") {
+		t.Errorf("CRA extra traffic not reported:\n%s", sb.String())
+	}
+}

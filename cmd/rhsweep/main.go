@@ -1,0 +1,227 @@
+// Command rhsweep emits CSV parameter sweeps for the design-space studies
+// behind the paper's figures — handy for plotting or spreadsheet analysis.
+//
+// Usage:
+//
+//	rhsweep -sweep k          # reset-window divisor study (Fig. 6)
+//	rhsweep -sweep trh        # threshold scaling study (Fig. 9(a) + §V-A)
+//	rhsweep -sweep distance   # non-adjacent ±n study (§III-D)
+//	rhsweep -sweep cbt        # CBT pool-size study (§II-C / §V-C)
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"graphene/internal/area"
+	"graphene/internal/cbt"
+	"graphene/internal/dram"
+	"graphene/internal/graphene"
+	"graphene/internal/model"
+	"graphene/internal/security"
+	"graphene/internal/sim"
+)
+
+func main() {
+	var (
+		sweep  = flag.String("sweep", "k", "sweep: k, trh, distance, cbt")
+		trh    = flag.Int64("trh", 50000, "Row Hammer threshold")
+		format = flag.String("format", "csv", "output format: csv or json")
+	)
+	flag.Parse()
+
+	var run func(*csv.Writer) error
+	switch *sweep {
+	case "k":
+		run = func(w *csv.Writer) error { return sweepK(w, *trh) }
+	case "trh":
+		run = sweepTRH
+	case "distance":
+		run = func(w *csv.Writer) error { return sweepDistance(w, *trh) }
+	case "cbt":
+		run = func(w *csv.Writer) error { return sweepCBT(w, *trh) }
+	default:
+		fmt.Fprintf(os.Stderr, "rhsweep: unknown sweep %q (k|trh|distance|cbt)\n", *sweep)
+		os.Exit(2)
+	}
+
+	var err error
+	switch *format {
+	case "csv":
+		w := csv.NewWriter(os.Stdout)
+		err = run(w)
+		w.Flush()
+	case "json":
+		err = emitJSON(os.Stdout, run)
+	default:
+		fmt.Fprintf(os.Stderr, "rhsweep: unknown format %q (csv|json)\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhsweep:", err)
+		os.Exit(1)
+	}
+}
+
+// emitJSON runs the sweep into an in-memory CSV and re-encodes it as an
+// array of {header: value} objects, so every sweep gets JSON for free.
+func emitJSON(out *os.File, run func(*csv.Writer) error) error {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	if err := run(w); err != nil {
+		return err
+	}
+	w.Flush()
+	records, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("empty sweep")
+	}
+	header := records[0]
+	rows := make([]map[string]string, 0, len(records)-1)
+	for _, rec := range records[1:] {
+		m := make(map[string]string, len(header))
+		for i, h := range header {
+			m[h] = rec[i]
+		}
+		rows = append(rows, m)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+func sweepK(w *csv.Writer, trh int64) error {
+	if err := w.Write([]string{"k", "T", "nentry", "table_bits", "worst_extra_refresh_pct", "guarantee_margin_acts"}); err != nil {
+		return err
+	}
+	rows, err := sim.Fig6(trh, 64*1024, dram.DDR4(), 1, 10)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		p, err := graphene.Config{TRH: trh, K: r.K}.Derive()
+		if err != nil {
+			return err
+		}
+		if err := w.Write([]string{
+			strconv.Itoa(r.K),
+			strconv.FormatInt(r.T, 10),
+			strconv.Itoa(r.NEntry),
+			strconv.Itoa(p.TableBits),
+			fmt.Sprintf("%.4f", 100*r.WorstCaseRefreshRatio),
+			fmt.Sprintf("%.0f", model.GrapheneGuaranteeMargin(trh, p, r.K)),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sweepTRH(w *csv.Writer) error {
+	if err := w.Write([]string{"trh", "graphene_bits_per_rank", "twice_bits_per_rank", "cbt_bits_per_rank", "para_p"}); err != nil {
+		return err
+	}
+	sweep, err := area.Sweep(dram.Default(), dram.DDR4())
+	if err != nil {
+		return err
+	}
+	sys := security.DefaultSystem()
+	for _, trh := range area.ScalingThresholds() {
+		bits := map[string]int{}
+		for _, e := range sweep[trh] {
+			bits[e.Scheme[:3]] = e.PerRank.TotalBits()
+		}
+		p, err := security.MinimalParaP(trh, sys, 0.01)
+		if err != nil {
+			return err
+		}
+		if err := w.Write([]string{
+			strconv.FormatInt(trh, 10),
+			strconv.Itoa(bits["gra"]),
+			strconv.Itoa(bits["twi"]),
+			strconv.Itoa(bits["cbt"]),
+			fmt.Sprintf("%.5f", p),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sweepDistance(w *csv.Writer, trh int64) error {
+	if err := w.Write([]string{"n", "mu_model", "amp_factor", "T", "nentry", "table_bits"}); err != nil {
+		return err
+	}
+	models := []struct {
+		name string
+		fn   graphene.MuModel
+	}{{"uniform", graphene.UniformMu}, {"inverse-square", graphene.InverseSquareMu}}
+	for _, m := range models {
+		for n := 1; n <= 8; n++ {
+			p, err := graphene.Config{TRH: trh, K: 2, Distance: n, Mu: m.fn}.Derive()
+			if err != nil {
+				return err
+			}
+			if err := w.Write([]string{
+				strconv.Itoa(n), m.name,
+				fmt.Sprintf("%.4f", p.AmpFactor),
+				strconv.FormatInt(p.T, 10),
+				strconv.Itoa(p.NEntry),
+				strconv.Itoa(p.TableBits),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sweepCBT(w *csv.Writer, trh int64) error {
+	if err := w.Write([]string{"counters", "levels", "sram_bits", "min_region_rows", "trigger_rows_contiguous", "trigger_rows_remapped"}); err != nil {
+		return err
+	}
+	for counters := 64; counters <= 4096; counters *= 2 {
+		levels := 0 // derive default
+		c, err := cbt.New(cbt.Config{TRH: trh, Counters: counters, Levels: levels})
+		if err != nil {
+			return err
+		}
+		lv := cbtLevels(counters)
+		contig, err := model.CBTTriggerRows(64*1024, lv-1, 1, false)
+		if err != nil {
+			return err
+		}
+		remapped, err := model.CBTTriggerRows(64*1024, lv-1, 1, true)
+		if err != nil {
+			return err
+		}
+		if err := w.Write([]string{
+			strconv.Itoa(counters),
+			strconv.Itoa(lv),
+			strconv.Itoa(c.Cost().SRAMBits),
+			strconv.Itoa(64 * 1024 >> uint(lv-1)),
+			strconv.Itoa(contig),
+			strconv.Itoa(remapped),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cbtLevels mirrors the default level derivation (log2(counters) + 3).
+func cbtLevels(counters int) int {
+	bits := 0
+	for v := counters - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits + 3
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func runSweep(t *testing.T, f func(*csv.Writer) error) [][]string {
+	t.Helper()
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	if err := f(w); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	r := csv.NewReader(strings.NewReader(sb.String()))
+	rows, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestSweepK(t *testing.T) {
+	rows := runSweep(t, func(w *csv.Writer) error { return sweepK(w, 50000) })
+	if len(rows) != 11 { // header + k=1..10
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0][0] != "k" || rows[1][1] != "12500" || rows[2][2] != "81" {
+		t.Errorf("unexpected rows: %v %v", rows[1], rows[2])
+	}
+}
+
+func TestSweepTRH(t *testing.T) {
+	rows := runSweep(t, sweepTRH)
+	if len(rows) != 7 { // header + 6 thresholds
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[1][0] != "50000" || rows[1][4] != "0.00145" {
+		t.Errorf("50K row: %v", rows[1])
+	}
+}
+
+func TestSweepDistance(t *testing.T) {
+	rows := runSweep(t, func(w *csv.Writer) error { return sweepDistance(w, 50000) })
+	if len(rows) != 17 { // header + 2 models × 8 distances
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Uniform model at n=2 doubles the amp factor.
+	if rows[2][1] != "uniform" || rows[2][2] != "2.0000" {
+		t.Errorf("uniform n=2 row: %v", rows[2])
+	}
+}
+
+func TestSweepCBT(t *testing.T) {
+	rows := runSweep(t, func(w *csv.Writer) error { return sweepCBT(w, 50000) })
+	if len(rows) != 8 { // header + 64..4096
+		t.Fatalf("%d rows", len(rows))
+	}
+	// CBT-128: 10 levels, burst 130 contiguous / 256 remapped.
+	if rows[2][0] != "128" || rows[2][1] != "10" || rows[2][4] != "130" || rows[2][5] != "256" {
+		t.Errorf("CBT-128 row: %v", rows[2])
+	}
+}
+
+func TestCBTLevelsMirrorsDefault(t *testing.T) {
+	for counters, want := range map[int]int{64: 9, 128: 10, 256: 11, 4096: 15} {
+		if got := cbtLevels(counters); got != want {
+			t.Errorf("cbtLevels(%d) = %d, want %d", counters, got, want)
+		}
+	}
+}

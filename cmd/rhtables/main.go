@@ -1,0 +1,103 @@
+// Command rhtables regenerates the tables and figures of "Graphene: Strong
+// yet Lightweight Row Hammer Protection" (MICRO 2020) from this
+// repository's implementation.
+//
+// Usage:
+//
+//	rhtables -all                     # everything (slow at -scale full)
+//	rhtables -table 4                 # one table (1-5)
+//	rhtables -fig 8                   # one figure (6, 7, 8, 9)
+//	rhtables -sec                     # §V-A security analysis
+//	rhtables -fig 8 -scale quick      # reduced simulation scale
+//	rhtables -trh 25000 -table 4      # alternate Row Hammer threshold
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"graphene/internal/area"
+	"graphene/internal/report"
+	"graphene/internal/sim"
+)
+
+// selection names the exhibits to render.
+type selection struct {
+	table, fig               int
+	sec, vd, vi, future, all bool
+	trh                      int64
+}
+
+func main() {
+	var (
+		sel   selection
+		scale = flag.String("scale", "quick", "simulation scale: quick or full")
+	)
+	flag.IntVar(&sel.table, "table", 0, "print one table (1-5)")
+	flag.IntVar(&sel.fig, "fig", 0, "print one figure (6-9)")
+	flag.BoolVar(&sel.sec, "sec", false, "print the §V-A security analysis")
+	flag.BoolVar(&sel.vd, "vd", false, "print the §V-D non-adjacent cost comparison")
+	flag.BoolVar(&sel.vi, "vi", false, "print the §VI frequent-elements comparison")
+	flag.BoolVar(&sel.future, "future", false, "print the DDR4-vs-DDR5 projection")
+	flag.BoolVar(&sel.all, "all", false, "print every table and figure")
+	flag.Int64Var(&sel.trh, "trh", 50000, "Row Hammer threshold")
+	flag.Parse()
+
+	var sc sim.Scale
+	switch *scale {
+	case "quick":
+		sc = sim.Quick()
+	case "full":
+		sc = sim.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "rhtables: unknown scale %q (quick|full)\n", *scale)
+		os.Exit(2)
+	}
+
+	printed, err := run(os.Stdout, sel, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhtables:", err)
+		os.Exit(1)
+	}
+	if !printed {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// run renders the selected exhibits to w and reports whether anything was
+// printed.
+func run(w io.Writer, sel selection, sc sim.Scale) (printed bool, err error) {
+	exhibits := []struct {
+		selected bool
+		name     string
+		render   func() error
+	}{
+		{sel.table == 1, "table 1", func() error { return report.Table1(w) }},
+		{sel.table == 2, "table 2", func() error { return report.Table2(w, sel.trh) }},
+		{sel.table == 3, "table 3", func() error { return report.Table3(w) }},
+		{sel.table == 4, "table 4", func() error { return report.Table4(w, sel.trh) }},
+		{sel.table == 5, "table 5", func() error { return report.Table5(w) }},
+		{sel.fig == 6, "fig 6", func() error { return report.Fig6(w, sel.trh) }},
+		{sel.fig == 7, "fig 7", func() error { return report.Fig7(w) }},
+		{sel.fig == 8, "fig 8", func() error { return report.Fig8(w, sc, sel.trh) }},
+		{sel.fig == 9, "fig 9", func() error { return report.Fig9(w, sc, area.ScalingThresholds()) }},
+		{sel.sec, "security", func() error { return report.SecurityVA(w) }},
+		{sel.vd, "non-adjacent", func() error { return report.SectionVD(w, sel.trh) }},
+		{sel.vi, "related-work", func() error { return report.SectionVI(w, sel.trh) }},
+		{sel.future, "future", func() error { return report.Future(w) }},
+	}
+	for _, e := range exhibits {
+		if !sel.all && !e.selected {
+			continue
+		}
+		if err := e.render(); err != nil {
+			return printed, fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Fprintln(w)
+		printed = true
+	}
+	return printed, nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"graphene/internal/sim"
+)
+
+func fastScale() sim.Scale {
+	sc := sim.Quick()
+	sc.WorkloadAccesses = 5_000
+	sc.AdversarialWindows = 0.01
+	return sc
+}
+
+func TestRunSingleExhibits(t *testing.T) {
+	cases := []struct {
+		sel  selection
+		want string
+	}{
+		{selection{table: 1, trh: 50000}, "Table I"},
+		{selection{table: 2, trh: 50000}, "Nentry"},
+		{selection{table: 4, trh: 50000}, "graphene-k2"},
+		{selection{fig: 6, trh: 50000}, "Fig. 6"},
+		{selection{fig: 7, trh: 50000}, "Fig. 7"},
+		{selection{vd: true, trh: 50000}, "§V-D"},
+		{selection{vi: true, trh: 50000}, "§VI"},
+	}
+	for _, tc := range cases {
+		var sb strings.Builder
+		printed, err := run(&sb, tc.sel, fastScale())
+		if err != nil {
+			t.Fatalf("%+v: %v", tc.sel, err)
+		}
+		if !printed {
+			t.Errorf("%+v printed nothing", tc.sel)
+		}
+		if !strings.Contains(sb.String(), tc.want) {
+			t.Errorf("%+v output missing %q", tc.sel, tc.want)
+		}
+	}
+}
+
+func TestRunNothingSelected(t *testing.T) {
+	var sb strings.Builder
+	printed, err := run(&sb, selection{trh: 50000}, fastScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if printed {
+		t.Error("empty selection printed exhibits")
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	var sb strings.Builder
+	if _, err := run(&sb, selection{table: 2, trh: -1}, fastScale()); err == nil {
+		t.Error("bad TRH not propagated")
+	}
+}
+
+func TestRunFutureExhibit(t *testing.T) {
+	var sb strings.Builder
+	printed, err := run(&sb, selection{future: true, trh: 50000}, fastScale())
+	if err != nil || !printed {
+		t.Fatalf("printed=%v err=%v", printed, err)
+	}
+	if !strings.Contains(sb.String(), "DDR5") {
+		t.Error("future section missing DDR5")
+	}
+}

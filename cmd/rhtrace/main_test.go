@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRecordAndReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s3.trace")
+	if err := doRecord("S3", path, 50000, 0, 0.01, 1); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# trace S3\n") {
+		t.Errorf("missing header: %q", string(data[:32]))
+	}
+	if err := doReplay(path, "graphene", 50000, 0, 1); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+func TestRecordProfileWorkload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mcf.trace")
+	if err := doRecord("mcf", path, 50000, 5000, 0, 1); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if err := doReplay(path, "twice", 50000, 0, 1); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+func TestRecordUnknownWorkload(t *testing.T) {
+	if err := doRecord("nope", "", 50000, 10, 0.1, 1); err == nil {
+		t.Error("accepted unknown workload")
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	if err := doReplay(filepath.Join(t.TempDir(), "absent.trace"), "graphene", 50000, 0, 1); err == nil {
+		t.Error("accepted missing file")
+	}
+}
+
+func TestReplayDetectsUnprotectedFlips(t *testing.T) {
+	// A full-window single-row hammer replayed against "none" must report
+	// the protection failure as an error.
+	path := filepath.Join(t.TempDir(), "hot.trace")
+	if err := doRecord("S3", path, 50000, 0, 0.2, 1); err != nil {
+		t.Fatal(err)
+	}
+	// 0.2 windows ≈ 271K ACTs > TRH 50K: flips guaranteed unprotected.
+	if err := doReplay(path, "none", 50000, 0, 1); err == nil {
+		t.Error("unprotected replay with flips did not error")
+	}
+}

@@ -1,0 +1,16 @@
+// Package graphene is a from-scratch Go reproduction of "Graphene: Strong
+// yet Lightweight Row Hammer Protection" (Park, Kwon, Lee, Ham, Ahn, Lee —
+// MICRO 2020).
+//
+// The repository contains the Graphene Misra-Gries aggressor tracker
+// (internal/graphene), every baseline the paper compares against (PARA,
+// PRoHIT, MRLoc, CBT, TWiCe, CRA), the DRAM-system substrate they run on
+// (internal/dram, internal/memctrl, internal/energy), a ground-truth Row
+// Hammer disturbance oracle (internal/hammer), workload and attack
+// generators (internal/workload), the §V-A security analysis
+// (internal/security), and the area models (internal/area).
+//
+// bench_test.go in this directory holds one benchmark per table and figure
+// of the paper; cmd/rhtables regenerates them as text. See README.md,
+// DESIGN.md and EXPERIMENTS.md.
+package graphene

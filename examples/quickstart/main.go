@@ -1,0 +1,62 @@
+// Quickstart: protect one DRAM bank with Graphene.
+//
+// This example builds a Graphene engine with the paper's parameters
+// (TRH = 50K, reset window tREFW/2), streams activations at it — a benign
+// phase, then a single-row Row Hammer attack — and shows when victim row
+// refreshes fire.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphene/internal/dram"
+	"graphene/internal/graphene"
+)
+
+func main() {
+	eng, err := graphene.New(graphene.Config{
+		TRH: 50_000, // Row Hammer threshold of recent DDR4 (TRRespass)
+		K:   2,      // reset window = tREFW/2, the paper's configuration
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := eng.Params()
+	fmt.Printf("Graphene per-bank configuration (paper Table II / §IV-C):\n")
+	fmt.Printf("  tracking threshold T   %d ACTs\n", p.T)
+	fmt.Printf("  reset window           %v (W = %d ACTs)\n", p.Window, p.W)
+	fmt.Printf("  counter table          %d entries × %d bits = %d bits\n\n",
+		p.NEntry, p.EntryBits, p.TableBits)
+
+	timing := dram.DDR4()
+	now := dram.Time(0)
+
+	// Phase 1: a benign workload touching many rows round-robin.
+	fmt.Println("phase 1: benign workload (4096 rows, 400K ACTs)")
+	for i := 0; i < 400_000; i++ {
+		now += timing.TRC
+		if vrs := eng.OnActivate(i%4096, now); len(vrs) != 0 {
+			fmt.Printf("  unexpected victim refresh: %+v\n", vrs)
+		}
+	}
+	fmt.Printf("  victim refreshes: %d (no row came near T)\n\n", eng.VictimRefreshes())
+
+	// Phase 2: a single-row hammer. Every T activations of row 1000,
+	// Graphene refreshes rows 999 and 1001 — long before the accumulated
+	// count can reach TRH.
+	fmt.Println("phase 2: Row Hammer attack on row 1000")
+	hammered := 0
+	for i := 0; i < 30_000; i++ {
+		now += timing.TRC
+		hammered++
+		for _, vr := range eng.OnActivate(1000, now) {
+			fmt.Printf("  after %5d ACTs: refresh rows %d and %d (aggressor %d ± %d)\n",
+				hammered, vr.Aggressor-1, vr.Aggressor+1, vr.Aggressor, vr.Distance)
+		}
+	}
+	fmt.Printf("\ntotal victim refreshes: %d; hardware cost: %d CAM bits/bank\n",
+		eng.VictimRefreshes(), eng.Cost().CAMBits)
+}

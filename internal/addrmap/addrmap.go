@@ -1,0 +1,97 @@
+// Package addrmap translates flat physical addresses into DRAM coordinates
+// (channel, rank, bank, row). The trace replayer and examples use it to
+// turn linear access streams into per-bank ACT streams; the interleaving
+// choice decides how much bank parallelism a workload sees.
+package addrmap
+
+import (
+	"fmt"
+
+	"graphene/internal/dram"
+)
+
+// Interleave selects how consecutive row-sized blocks spread over the
+// system.
+type Interleave int
+
+const (
+	// RowMajor keeps consecutive blocks in the same bank (rows fill a bank
+	// before moving on): minimal bank parallelism, maximal row locality.
+	RowMajor Interleave = iota
+	// BankMajor stripes consecutive blocks across banks, then channels —
+	// the high-parallelism layout the paper's minimalist-open policy
+	// pairs with.
+	BankMajor
+)
+
+func (i Interleave) String() string {
+	switch i {
+	case RowMajor:
+		return "row-major"
+	case BankMajor:
+		return "bank-major"
+	default:
+		return fmt.Sprintf("interleave(%d)", int(i))
+	}
+}
+
+// Mapper maps flat row-granular addresses onto the geometry.
+type Mapper struct {
+	geo dram.Geometry
+	il  Interleave
+}
+
+// New builds a Mapper. The address space is g.Banks()·g.RowsPerBank
+// row-sized blocks.
+func New(g dram.Geometry, il Interleave) (*Mapper, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if il != RowMajor && il != BankMajor {
+		return nil, fmt.Errorf("addrmap: unknown interleave %d", int(il))
+	}
+	return &Mapper{geo: g, il: il}, nil
+}
+
+// Blocks returns the number of mappable row-sized blocks.
+func (m *Mapper) Blocks() int64 {
+	return int64(m.geo.Banks()) * int64(m.geo.RowsPerBank)
+}
+
+// Geometry returns the mapped geometry.
+func (m *Mapper) Geometry() dram.Geometry { return m.geo }
+
+// Map converts a flat block address into a bank and row.
+func (m *Mapper) Map(addr int64) (bank dram.BankID, row int, err error) {
+	if addr < 0 || addr >= m.Blocks() {
+		return dram.BankID{}, 0, fmt.Errorf("addrmap: address %d out of range [0,%d)", addr, m.Blocks())
+	}
+	banks := int64(m.geo.Banks())
+	switch m.il {
+	case RowMajor:
+		bankIdx := int(addr / int64(m.geo.RowsPerBank))
+		row = int(addr % int64(m.geo.RowsPerBank))
+		return dram.BankFromFlat(m.geo, bankIdx), row, nil
+	default: // BankMajor
+		bankIdx := int(addr % banks)
+		row = int(addr / banks)
+		return dram.BankFromFlat(m.geo, bankIdx), row, nil
+	}
+}
+
+// Unmap is the inverse of Map.
+func (m *Mapper) Unmap(bank dram.BankID, row int) (int64, error) {
+	if row < 0 || row >= m.geo.RowsPerBank {
+		return 0, fmt.Errorf("addrmap: row %d out of range [0,%d)", row, m.geo.RowsPerBank)
+	}
+	flat := int64(bank.Flat(m.geo))
+	if flat < 0 || flat >= int64(m.geo.Banks()) {
+		return 0, fmt.Errorf("addrmap: bank %+v out of range", bank)
+	}
+	switch m.il {
+	case RowMajor:
+		return flat*int64(m.geo.RowsPerBank) + int64(row), nil
+	default:
+		return int64(row)*int64(m.geo.Banks()) + flat, nil
+	}
+}

@@ -1,0 +1,135 @@
+package addrmap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graphene/internal/dram"
+)
+
+func TestMapRejectsBadInputs(t *testing.T) {
+	if _, err := New(dram.Geometry{}, RowMajor); err == nil {
+		t.Error("New accepted invalid geometry")
+	}
+	if _, err := New(dram.Default(), Interleave(99)); err == nil {
+		t.Error("New accepted unknown interleave")
+	}
+	m, err := New(dram.Default(), RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Map(-1); err == nil {
+		t.Error("Map accepted negative address")
+	}
+	if _, _, err := m.Map(m.Blocks()); err == nil {
+		t.Error("Map accepted out-of-range address")
+	}
+}
+
+func TestRowMajorKeepsBankLocality(t *testing.T) {
+	m, err := New(dram.Default(), RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0, r0, err := m.Map(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, r1, err := m.Map(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b0 != b1 {
+		t.Errorf("consecutive row-major blocks in different banks: %+v vs %+v", b0, b1)
+	}
+	if r1 != r0+1 {
+		t.Errorf("rows %d, %d not consecutive", r0, r1)
+	}
+}
+
+func TestBankMajorStripesAcrossBanks(t *testing.T) {
+	g := dram.Default()
+	m, err := New(g, BankMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for a := int64(0); a < int64(g.Banks()); a++ {
+		b, row, err := m.Map(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row != 0 {
+			t.Errorf("addr %d: row %d, want 0", a, row)
+		}
+		seen[b.Flat(g)] = true
+	}
+	if len(seen) != g.Banks() {
+		t.Errorf("first %d blocks hit %d banks, want all", g.Banks(), len(seen))
+	}
+}
+
+func TestRoundTripBothInterleaves(t *testing.T) {
+	g := dram.Geometry{Channels: 2, RanksPerChan: 2, BanksPerRank: 4, RowsPerBank: 128}
+	for _, il := range []Interleave{RowMajor, BankMajor} {
+		m, err := New(g, il)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := int64(0); a < m.Blocks(); a++ {
+			b, row, err := m.Map(a)
+			if err != nil {
+				t.Fatalf("%v Map(%d): %v", il, a, err)
+			}
+			back, err := m.Unmap(b, row)
+			if err != nil {
+				t.Fatalf("%v Unmap: %v", il, err)
+			}
+			if back != a {
+				t.Fatalf("%v: %d -> (%+v, %d) -> %d", il, a, b, row, back)
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	g := dram.Default()
+	mRow, _ := New(g, RowMajor)
+	mBank, _ := New(g, BankMajor)
+	f := func(v uint32) bool {
+		a := int64(v) % mRow.Blocks()
+		for _, m := range []*Mapper{mRow, mBank} {
+			b, row, err := m.Map(a)
+			if err != nil {
+				return false
+			}
+			back, err := m.Unmap(b, row)
+			if err != nil || back != a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleaveString(t *testing.T) {
+	if RowMajor.String() != "row-major" || BankMajor.String() != "bank-major" {
+		t.Errorf("String() = %q, %q", RowMajor.String(), BankMajor.String())
+	}
+	if Interleave(7).String() == "" {
+		t.Error("unknown interleave has empty String()")
+	}
+}
+
+func TestUnmapRejectsBadCoords(t *testing.T) {
+	m, _ := New(dram.Default(), RowMajor)
+	if _, err := m.Unmap(dram.BankID{}, -1); err == nil {
+		t.Error("Unmap accepted negative row")
+	}
+	if _, err := m.Unmap(dram.BankID{Channel: 99}, 0); err == nil {
+		t.Error("Unmap accepted out-of-range bank")
+	}
+}

@@ -1,0 +1,94 @@
+// Package area reproduces the paper's hardware-cost comparisons: Table IV
+// (table size per bank at TRH = 50K) and Fig. 9(a) (table size per rank
+// across Row Hammer thresholds). Costs come from each scheme's own Cost()
+// accounting so that the numbers always match the implemented structures.
+package area
+
+import (
+	"fmt"
+
+	"graphene/internal/cbt"
+	"graphene/internal/dram"
+	"graphene/internal/graphene"
+	"graphene/internal/mitigation"
+	"graphene/internal/twice"
+)
+
+// Entry is one scheme's cost at one Row Hammer threshold.
+type Entry struct {
+	Scheme  string
+	TRH     int64
+	PerBank mitigation.HardwareCost
+	PerRank mitigation.HardwareCost // 16 banks (Table IV / Fig. 9(a) unit)
+}
+
+// PaperTable4 records the per-bank bit counts the paper reports at TRH =
+// 50K (Table IV), for paper-vs-measured comparison.
+var PaperTable4 = map[string]struct{ CAMBits, SRAMBits int }{
+	"cbt-128":     {CAMBits: 0, SRAMBits: 3824},
+	"twice":       {CAMBits: 20484, SRAMBits: 15932},
+	"graphene-k2": {CAMBits: 2511, SRAMBits: 0},
+}
+
+// CBTCountersFor returns the CBT configuration the paper pairs with a
+// threshold: 128 counters / 10 levels at 50K, doubling the counters and
+// adding a level each time the threshold halves (§V-C).
+func CBTCountersFor(trh int64) (counters, levels int) {
+	counters, levels = 128, 10
+	for t := int64(50000); t > trh && counters < 1<<20; t /= 2 {
+		counters *= 2
+		levels++
+	}
+	return counters, levels
+}
+
+// Schemes returns the cost entries for the three counter-based schemes at
+// one threshold (PARA is table-free and omitted).
+func Schemes(trh int64, geo dram.Geometry, timing dram.Timing) ([]Entry, error) {
+	banksPerRank := geo.BanksPerRank
+
+	g, err := graphene.New(graphene.Config{TRH: trh, K: 2, Rows: geo.RowsPerBank, Timing: timing})
+	if err != nil {
+		return nil, fmt.Errorf("area: graphene at TRH %d: %w", trh, err)
+	}
+	tw, err := twice.New(twice.Config{TRH: trh, Rows: geo.RowsPerBank, Timing: timing})
+	if err != nil {
+		return nil, fmt.Errorf("area: twice at TRH %d: %w", trh, err)
+	}
+	counters, levels := CBTCountersFor(trh)
+	cb, err := cbt.New(cbt.Config{TRH: trh, Counters: counters, Levels: levels, Rows: geo.RowsPerBank, Timing: timing})
+	if err != nil {
+		return nil, fmt.Errorf("area: cbt at TRH %d: %w", trh, err)
+	}
+
+	mits := []mitigation.Mitigator{cb, tw, g}
+	out := make([]Entry, 0, len(mits))
+	for _, m := range mits {
+		per := m.Cost()
+		rank := mitigation.HardwareCost{
+			Entries:  per.Entries * banksPerRank,
+			CAMBits:  per.CAMBits * banksPerRank,
+			SRAMBits: per.SRAMBits * banksPerRank,
+		}
+		out = append(out, Entry{Scheme: m.Name(), TRH: trh, PerBank: per, PerRank: rank})
+	}
+	return out, nil
+}
+
+// ScalingThresholds returns the Fig. 9 sweep: 50K halved down to ~1.56K.
+func ScalingThresholds() []int64 {
+	return []int64{50000, 25000, 12500, 6250, 3125, 1562}
+}
+
+// Sweep evaluates Schemes over the scaling thresholds (Fig. 9(a)).
+func Sweep(geo dram.Geometry, timing dram.Timing) (map[int64][]Entry, error) {
+	out := make(map[int64][]Entry)
+	for _, trh := range ScalingThresholds() {
+		e, err := Schemes(trh, geo, timing)
+		if err != nil {
+			return nil, err
+		}
+		out[trh] = e
+	}
+	return out, nil
+}

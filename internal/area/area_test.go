@@ -1,0 +1,153 @@
+package area
+
+import (
+	"testing"
+
+	"graphene/internal/dram"
+)
+
+func find(entries []Entry, scheme string) (Entry, bool) {
+	for _, e := range entries {
+		if e.Scheme == scheme {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+func TestTable4Reproduction(t *testing.T) {
+	entries, err := Schemes(50000, dram.Default(), dram.DDR4())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, ok := find(entries, "graphene-k2")
+	if !ok {
+		t.Fatal("graphene entry missing")
+	}
+	// Exact: 81 entries × 31 bits = 2,511 CAM bits (Table IV).
+	if g.PerBank.CAMBits != 2511 || g.PerBank.SRAMBits != 0 {
+		t.Errorf("Graphene = %+v, want 2,511 CAM bits", g.PerBank)
+	}
+
+	c, ok := find(entries, "cbt-128")
+	if !ok {
+		t.Fatal("cbt entry missing")
+	}
+	// Paper: 3,824 SRAM bits; our layout gives 3,840 (±1%).
+	if c.PerBank.SRAMBits < 3600 || c.PerBank.SRAMBits > 4100 {
+		t.Errorf("CBT-128 = %+v, want ≈ 3,824 SRAM bits", c.PerBank)
+	}
+
+	w, ok := find(entries, "twice")
+	if !ok {
+		t.Fatal("twice entry missing")
+	}
+	// Paper: 20,484 CAM + 15,932 SRAM. Our reconstruction must land in
+	// the same ballpark and, critically, an order of magnitude above
+	// Graphene.
+	if w.PerBank.CAMBits < 10_000 || w.PerBank.CAMBits > 40_000 {
+		t.Errorf("TWiCe CAM bits = %d, want ≈ 20K", w.PerBank.CAMBits)
+	}
+	if ratio := float64(w.PerBank.TotalBits()) / float64(g.PerBank.TotalBits()); ratio < 8 {
+		t.Errorf("TWiCe/Graphene = %.1f×, want >= 8× (\"order of magnitude\", §V-B1)", ratio)
+	}
+}
+
+func TestPerRankIsSixteenBanks(t *testing.T) {
+	entries, err := Schemes(50000, dram.Default(), dram.DDR4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.PerRank.CAMBits != 16*e.PerBank.CAMBits || e.PerRank.SRAMBits != 16*e.PerBank.SRAMBits {
+			t.Errorf("%s: per-rank %+v != 16 × per-bank %+v", e.Scheme, e.PerRank, e.PerBank)
+		}
+	}
+}
+
+func TestCBTCountersFor(t *testing.T) {
+	cases := []struct {
+		trh            int64
+		counters, lvls int
+	}{
+		{50000, 128, 10},
+		{25000, 256, 11},
+		{12500, 512, 12},
+		{6250, 1024, 13},
+		{3125, 2048, 14},
+		{1562, 4096, 15},
+	}
+	for _, tc := range cases {
+		c, l := CBTCountersFor(tc.trh)
+		if c != tc.counters || l != tc.lvls {
+			t.Errorf("CBTCountersFor(%d) = %d/%d, want %d/%d (§V-C)", tc.trh, c, l, tc.counters, tc.lvls)
+		}
+	}
+}
+
+func TestSweepScalesLinearly(t *testing.T) {
+	sweep, err := Sweep(dram.Default(), dram.DDR4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 6 {
+		t.Fatalf("sweep has %d thresholds, want 6", len(sweep))
+	}
+	// Fig. 9(a): every scheme's table grows as TRH falls; TWiCe stays the
+	// largest and Graphene stays far below TWiCe everywhere.
+	var prev map[string]int
+	for _, trh := range ScalingThresholds() {
+		entries := sweep[trh]
+		cur := map[string]int{}
+		for _, e := range entries {
+			cur[e.Scheme[:3]] = e.PerRank.TotalBits()
+		}
+		if prev != nil {
+			for k, bits := range cur {
+				if bits < prev[k] {
+					t.Errorf("TRH %d: %s table shrank (%d -> %d bits) as threshold fell", trh, k, prev[k], bits)
+				}
+			}
+		}
+		tw := cur["twi"]
+		gr := cur["gra"]
+		if tw < 5*gr {
+			t.Errorf("TRH %d: TWiCe %d bits not ≫ Graphene %d bits", trh, tw, gr)
+		}
+		prev = cur
+	}
+	// Paper's 1.56K headline: TWiCe ≈ 1.19 MB per rank, Graphene an order
+	// of magnitude smaller (§V-C).
+	low := sweep[1562]
+	tw, _ := find(low, "twice")
+	gr, _ := find(low, "graphene-k2")
+	twMB := float64(tw.PerRank.TotalBits()) / 8 / 1024 / 1024
+	grMB := float64(gr.PerRank.TotalBits()) / 8 / 1024 / 1024
+	// Our analytic TWiCe sizing overshoots the paper's at the lowest
+	// threshold (≈ 2.7 vs 1.19 MB; see EXPERIMENTS.md) — same order.
+	if twMB < 0.5 || twMB > 3.0 {
+		t.Errorf("TWiCe at 1.56K = %.2f MB/rank, paper ≈ 1.19 MB", twMB)
+	}
+	if grMB > 0.25 {
+		t.Errorf("Graphene at 1.56K = %.2f MB/rank, paper ≈ 0.13 MB", grMB)
+	}
+}
+
+func TestPaperTable4Constants(t *testing.T) {
+	if PaperTable4["graphene-k2"].CAMBits != 2511 {
+		t.Error("paper Graphene constant wrong")
+	}
+	if PaperTable4["twice"].CAMBits != 20484 || PaperTable4["twice"].SRAMBits != 15932 {
+		t.Error("paper TWiCe constants wrong")
+	}
+	if PaperTable4["cbt-128"].SRAMBits != 3824 {
+		t.Error("paper CBT constant wrong")
+	}
+}
+
+func TestSchemesRejectsBadThreshold(t *testing.T) {
+	if _, err := Schemes(0, dram.Default(), dram.DDR4()); err == nil {
+		t.Error("accepted TRH 0")
+	}
+}

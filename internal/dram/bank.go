@@ -1,0 +1,172 @@
+package dram
+
+import "fmt"
+
+// Bank models a single DRAM bank: its row array, the rolling auto-refresh
+// pointer, per-row last-refresh times, and occupancy. The memory controller
+// (internal/memctrl) owns command scheduling; Bank only enforces device-side
+// state transitions and bookkeeping.
+type Bank struct {
+	timing Timing
+	rows   int
+
+	// rowsPerREF rows are refreshed, in address order, by each REF command
+	// so that the whole bank is covered once per tREFW (§II-A).
+	rowsPerREF int
+	refPtr     int // next row to be auto-refreshed
+
+	lastRefresh []Time // completion time of each row's most recent refresh
+	busyUntil   Time   // device busy (REF/NRR/ACT occupancy)
+
+	stats BankStats
+}
+
+// BankStats counts the device-side events needed for the paper's energy and
+// performance accounting.
+type BankStats struct {
+	ACTs            int64 // activations served
+	REFCommands     int64 // auto-refresh commands
+	RowsAutoRefresh int64 // rows refreshed by auto-refresh
+	NRRCommands     int64 // Nearby Row Refresh commands (victim refreshes)
+	RowsNRR         int64 // rows refreshed by NRR commands
+	BusyTime        Time  // total time the bank was occupied
+}
+
+// NewBank returns a bank with every row considered refreshed at time 0.
+func NewBank(t Timing, rows int) (*Bank, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if rows <= 0 {
+		return nil, fmt.Errorf("dram: bank needs at least one row, got %d", rows)
+	}
+	// Round up so one window of REF commands always covers every row —
+	// the tREFW retention guarantee of §II-A.
+	refs := t.RefreshCommandsPerWindow()
+	per := int((int64(rows) + refs - 1) / refs)
+	if per < 1 {
+		per = 1
+	}
+	return &Bank{
+		timing:      t,
+		rows:        rows,
+		rowsPerREF:  per,
+		lastRefresh: make([]Time, rows),
+	}, nil
+}
+
+// Rows returns the number of rows in the bank.
+func (b *Bank) Rows() int { return b.rows }
+
+// Timing returns the bank's timing parameters.
+func (b *Bank) Timing() Timing { return b.timing }
+
+// Stats returns a copy of the accumulated counters.
+func (b *Bank) Stats() BankStats { return b.stats }
+
+// BusyUntil reports the time at which the bank becomes free.
+func (b *Bank) BusyUntil() Time { return b.busyUntil }
+
+// LastRefresh returns the completion time of row's most recent refresh
+// (auto-refresh or NRR).
+func (b *Bank) LastRefresh(row int) Time { return b.lastRefresh[row] }
+
+func (b *Bank) occupy(from, dur Time) (start, end Time) {
+	start = from
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	end = start + dur
+	b.busyUntil = end
+	b.stats.BusyTime += dur
+	return start, end
+}
+
+// Activate opens row at the earliest device-legal time at or after now and
+// returns when the row cycle completes. The bank is occupied for tRC (the
+// paper's per-ACT bank occupancy unit).
+func (b *Bank) Activate(row int, now Time) (done Time, err error) {
+	if row < 0 || row >= b.rows {
+		return 0, fmt.Errorf("dram: activate row %d out of range [0,%d)", row, b.rows)
+	}
+	_, end := b.occupy(now, b.timing.TRC)
+	b.stats.ACTs++
+	return end, nil
+}
+
+// AutoRefresh performs one REF command at or after now, refreshing the next
+// rowsPerREF rows in sequence. It returns the completion time and the rows
+// covered (so callers can restore their charge model).
+func (b *Bank) AutoRefresh(now Time) (done Time, rows []int) {
+	_, end := b.occupy(now, b.timing.TRFC)
+	rows = make([]int, b.rowsPerREF)
+	for i := 0; i < b.rowsPerREF; i++ {
+		rows[i] = b.refPtr
+		b.lastRefresh[b.refPtr] = end
+		b.refPtr = (b.refPtr + 1) % b.rows
+	}
+	b.stats.REFCommands++
+	b.stats.RowsAutoRefresh += int64(b.rowsPerREF)
+	return end, rows
+}
+
+// NearbyRowRefresh executes an NRR command for aggressor row: all rows
+// within distance [1, n] on both sides are refreshed. The bank is occupied
+// for tRC per refreshed row plus one tRP (the accounting of §V-B: "tRC ×
+// the number of victim rows to refresh ... in addition to tRP"). It returns
+// the completion time and the refreshed rows.
+func (b *Bank) NearbyRowRefresh(aggressor, n int, now Time) (done Time, refreshed []int, err error) {
+	if aggressor < 0 || aggressor >= b.rows {
+		return 0, nil, fmt.Errorf("dram: NRR aggressor row %d out of range [0,%d)", aggressor, b.rows)
+	}
+	if n < 1 {
+		return 0, nil, fmt.Errorf("dram: NRR distance must be >= 1, got %d", n)
+	}
+	for d := 1; d <= n; d++ {
+		if r := aggressor - d; r >= 0 {
+			refreshed = append(refreshed, r)
+		}
+		if r := aggressor + d; r < b.rows {
+			refreshed = append(refreshed, r)
+		}
+	}
+	dur := Time(len(refreshed))*b.timing.TRC + b.timing.TRP
+	_, end := b.occupy(now, dur)
+	for _, r := range refreshed {
+		b.lastRefresh[r] = end
+	}
+	b.stats.NRRCommands++
+	b.stats.RowsNRR += int64(len(refreshed))
+	return end, refreshed, nil
+}
+
+// Stall occupies the bank for dur starting at or after now without any
+// refresh side effects. The memory controller uses it to charge protection
+// schemes' extra DRAM traffic (e.g. CRA's counter reads and writebacks) to
+// the bank timeline.
+func (b *Bank) Stall(now, dur Time) (done Time, err error) {
+	if dur < 0 {
+		return 0, fmt.Errorf("dram: negative stall %v", dur)
+	}
+	_, end := b.occupy(now, dur)
+	return end, nil
+}
+
+// RefreshRows marks an arbitrary set of rows refreshed at or after now,
+// occupying the bank for tRC per row. CBT uses this to refresh whole
+// counter regions at once (§II-C).
+func (b *Bank) RefreshRows(rows []int, now Time) (done Time, err error) {
+	for _, r := range rows {
+		if r < 0 || r >= b.rows {
+			return 0, fmt.Errorf("dram: refresh row %d out of range [0,%d)", r, b.rows)
+		}
+	}
+	dur := Time(len(rows))*b.timing.TRC + b.timing.TRP
+	_, end := b.occupy(now, dur)
+	for _, r := range rows {
+		b.lastRefresh[r] = end
+	}
+	b.stats.NRRCommands++
+	b.stats.RowsNRR += int64(len(rows))
+	return end, nil
+}

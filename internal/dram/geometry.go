@@ -1,0 +1,65 @@
+package dram
+
+import "fmt"
+
+// Geometry describes the memory-system organization (Table III: 4 channels,
+// 1 rank per channel, 16 banks per rank, 64K rows per bank).
+type Geometry struct {
+	Channels     int
+	RanksPerChan int
+	BanksPerRank int
+	RowsPerBank  int
+}
+
+// Default returns the paper's simulated configuration (Table III).
+func Default() Geometry {
+	return Geometry{Channels: 4, RanksPerChan: 1, BanksPerRank: 16, RowsPerBank: 64 * 1024}
+}
+
+// Validate reports an error for non-positive dimensions.
+func (g Geometry) Validate() error {
+	if g.Channels <= 0 || g.RanksPerChan <= 0 || g.BanksPerRank <= 0 || g.RowsPerBank <= 0 {
+		return fmt.Errorf("dram: invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// Banks returns the total number of banks in the system.
+func (g Geometry) Banks() int { return g.Channels * g.RanksPerChan * g.BanksPerRank }
+
+// Ranks returns the total number of ranks in the system.
+func (g Geometry) Ranks() int { return g.Channels * g.RanksPerChan }
+
+// RowAddrBits returns the number of bits needed to name a row within a bank
+// (16 for the default 64K-row bank; §IV-B "Reducing Table Bit-width").
+func (g Geometry) RowAddrBits() int {
+	bits := 0
+	for n := g.RowsPerBank - 1; n > 0; n >>= 1 {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	return bits
+}
+
+// BankID names one bank in the system.
+type BankID struct {
+	Channel int
+	Rank    int
+	Bank    int
+}
+
+// Flat returns a dense index for the bank in [0, g.Banks()).
+func (b BankID) Flat(g Geometry) int {
+	return (b.Channel*g.RanksPerChan+b.Rank)*g.BanksPerRank + b.Bank
+}
+
+// BankFromFlat is the inverse of BankID.Flat.
+func BankFromFlat(g Geometry, flat int) BankID {
+	bank := flat % g.BanksPerRank
+	flat /= g.BanksPerRank
+	rank := flat % g.RanksPerChan
+	chann := flat / g.RanksPerChan
+	return BankID{Channel: chann, Rank: rank, Bank: bank}
+}

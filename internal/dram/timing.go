@@ -1,0 +1,146 @@
+// Package dram models the DDR4 DRAM device that the Row Hammer protection
+// schemes defend: geometry (channels, ranks, banks, rows), the JEDEC timing
+// parameters that bound activation rates, the periodic auto-refresh routine,
+// and the Nearby Row Refresh (NRR) command extension that Graphene assumes
+// (paper §IV-A).
+//
+// All times are expressed in picoseconds so that every JEDEC parameter used
+// by the paper is exactly representable as an integer.
+package dram
+
+import "fmt"
+
+// Time is a duration or instant in picoseconds. DDR timing parameters are
+// sub-nanosecond multiples, so integer picoseconds keep all derived values
+// exact and avoid float drift over a 64 ms refresh window.
+type Time int64
+
+// Convenient duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+)
+
+// Nanoseconds reports t as a float count of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Milliseconds reports t as a float count of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", t.Nanoseconds())
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Timing collects the DRAM timing parameters the paper uses (Tables I and
+// III). Only parameters that influence Row Hammer protection and its
+// overhead accounting are modeled.
+type Timing struct {
+	TREFI Time // refresh interval: one REF command per bank group every tREFI
+	TRFC  Time // refresh command time: bank busy per REF
+	TRC   Time // ACT-to-ACT interval to the same bank (row cycle)
+	TRCD  Time // ACT to column command
+	TRP   Time // precharge time
+	TCL   Time // CAS latency
+	TREFW Time // refresh window: every row refreshed at least once per tREFW
+}
+
+// DDR4 returns the DDR4-2400 timing used throughout the paper
+// (Table I: tREFI 7.8 us, tRFC 350 ns, tRC 45 ns; Table III: tRCD/tRP/tCL
+// 13.3 ns each; tREFW 64 ms assumed in §II-A).
+func DDR4() Timing {
+	return Timing{
+		TREFI: 7800 * Nanosecond,
+		TRFC:  350 * Nanosecond,
+		TRC:   45 * Nanosecond,
+		TRCD:  13300, // 13.3 ns
+		TRP:   13300,
+		TCL:   13300,
+		TREFW: 64 * Millisecond,
+	}
+}
+
+// Validate reports an error when the timing parameters are inconsistent
+// (non-positive, or a refresh that never leaves time for activations).
+func (t Timing) Validate() error {
+	switch {
+	case t.TREFI <= 0 || t.TRFC <= 0 || t.TRC <= 0 || t.TREFW <= 0:
+		return fmt.Errorf("dram: non-positive timing parameter: %+v", t)
+	case t.TRFC >= t.TREFI:
+		return fmt.Errorf("dram: tRFC %v >= tREFI %v leaves no time for activations", t.TRFC, t.TREFI)
+	case t.TREFW < t.TREFI:
+		return fmt.Errorf("dram: tREFW %v < tREFI %v", t.TREFW, t.TREFI)
+	}
+	return nil
+}
+
+// MaxACTs returns the maximum number of ACT commands a single bank can
+// receive within the given window, accounting for the fraction of time the
+// bank is blocked by auto-refresh:
+//
+//	W = window·(1 − tRFC/tREFI)/tRC
+//
+// This is the W of the paper's Inequality 1 (§III-B): 1,360K for the DDR4
+// parameters and a 64 ms window.
+func (t Timing) MaxACTs(window Time) int64 {
+	if window <= 0 {
+		return 0
+	}
+	avail := float64(window) * (1 - float64(t.TRFC)/float64(t.TREFI))
+	return int64(avail / float64(t.TRC))
+}
+
+// RefreshCommandsPerWindow returns how many REF commands each bank receives
+// in one refresh window (tREFW/tREFI; 8,192 for the default parameters).
+func (t Timing) RefreshCommandsPerWindow() int64 {
+	return int64(t.TREFW / t.TREFI)
+}
+
+// ScaleRefreshRate returns the timing of a system whose refresh rate is
+// multiplied by m — the BIOS/UEFI Row Hammer patches of §II-B double (or
+// quadruple) the refresh rate by issuing REF commands m times as often, so
+// every row is refreshed m times per retention window. Modeled by dividing
+// both tREFI (command cadence) and tREFW (coverage period) by m; the
+// retention guarantee only tightens. Refresh energy and bank-blocked time
+// scale up by m, which is why the paper calls this mitigation's overhead
+// "high ... even when there is no Row Hammer attack".
+func (t Timing) ScaleRefreshRate(m int) (Timing, error) {
+	if m < 1 {
+		return Timing{}, fmt.Errorf("dram: refresh-rate multiplier must be >= 1, got %d", m)
+	}
+	out := t
+	out.TREFI = t.TREFI / Time(m)
+	out.TREFW = t.TREFW / Time(m)
+	if err := out.Validate(); err != nil {
+		return Timing{}, fmt.Errorf("dram: refresh rate ×%d infeasible: %w", m, err)
+	}
+	return out, nil
+}
+
+// DDR5 returns representative DDR5-4800 timing — the "memory systems of
+// the future" the paper's scalability story targets. Values follow the
+// JEDEC DDR5 direction: halved refresh interval (tREFI 3.9 us), shorter
+// per-command refresh (tRFC 295 ns), a similar row cycle (tRC 48 ns), and
+// a 32 ms retention window. Exact values are vendor-specific; these are
+// documented projections, not standard constants like DDR4's.
+func DDR5() Timing {
+	return Timing{
+		TREFI: 3900 * Nanosecond,
+		TRFC:  295 * Nanosecond,
+		TRC:   48 * Nanosecond,
+		TRCD:  13300,
+		TRP:   13300,
+		TCL:   13300,
+		TREFW: 32 * Millisecond,
+	}
+}

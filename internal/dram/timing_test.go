@@ -1,0 +1,152 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDDR4MatchesTableI(t *testing.T) {
+	tm := DDR4()
+	if got, want := tm.TREFI, 7800*Nanosecond; got != want {
+		t.Errorf("tREFI = %v, want %v", got, want)
+	}
+	if got, want := tm.TRFC, 350*Nanosecond; got != want {
+		t.Errorf("tRFC = %v, want %v", got, want)
+	}
+	if got, want := tm.TRC, 45*Nanosecond; got != want {
+		t.Errorf("tRC = %v, want %v", got, want)
+	}
+	if got, want := tm.TREFW, 64*Millisecond; got != want {
+		t.Errorf("tREFW = %v, want %v", got, want)
+	}
+	if err := tm.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestMaxACTsMatchesPaperW(t *testing.T) {
+	tm := DDR4()
+	// §III-B: W = tREFW(1 − tRFC/tREFI)/tRC ≈ 1,360K.
+	w := tm.MaxACTs(tm.TREFW)
+	if w < 1_350_000 || w > 1_370_000 {
+		t.Errorf("W = %d, want ≈ 1,360K", w)
+	}
+	// Halving the window halves W (±1 for rounding).
+	half := tm.MaxACTs(tm.TREFW / 2)
+	if diff := w - 2*half; diff < 0 || diff > 2 {
+		t.Errorf("W(tREFW) = %d but 2·W(tREFW/2) = %d", w, 2*half)
+	}
+	if got := tm.MaxACTs(0); got != 0 {
+		t.Errorf("MaxACTs(0) = %d, want 0", got)
+	}
+	if got := tm.MaxACTs(-Millisecond); got != 0 {
+		t.Errorf("MaxACTs(<0) = %d, want 0", got)
+	}
+}
+
+func TestRefreshCommandsPerWindow(t *testing.T) {
+	tm := DDR4()
+	if got, want := tm.RefreshCommandsPerWindow(), int64(8205); got != want {
+		// 64 ms / 7.8 us = 8205.1 REFs; integer division truncates.
+		t.Errorf("REFs per window = %d, want %d", got, want)
+	}
+}
+
+func TestTimingValidateRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Timing)
+	}{
+		{"zero tREFI", func(tm *Timing) { tm.TREFI = 0 }},
+		{"zero tRFC", func(tm *Timing) { tm.TRFC = 0 }},
+		{"zero tRC", func(tm *Timing) { tm.TRC = 0 }},
+		{"zero tREFW", func(tm *Timing) { tm.TREFW = 0 }},
+		{"tRFC >= tREFI", func(tm *Timing) { tm.TRFC = tm.TREFI }},
+		{"tREFW < tREFI", func(tm *Timing) { tm.TREFW = tm.TREFI - 1 }},
+	}
+	for _, tc := range cases {
+		tm := DDR4()
+		tc.mut(&tm)
+		if err := tm.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tm)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{64 * Millisecond, "64.000ms"},
+		{7800 * Nanosecond, "7.800us"},
+		{45 * Nanosecond, "45.000ns"},
+		{Time(500), "500ps"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(tc.in), got, tc.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (45 * Nanosecond).Nanoseconds(); got != 45 {
+		t.Errorf("Nanoseconds = %g, want 45", got)
+	}
+	if got := (64 * Millisecond).Milliseconds(); got != 64 {
+		t.Errorf("Milliseconds = %g, want 64", got)
+	}
+}
+
+func TestMaxACTsMonotoneInWindow(t *testing.T) {
+	tm := DDR4()
+	f := func(a, b uint32) bool {
+		wa, wb := Time(a)*Microsecond, Time(b)*Microsecond
+		if wa > wb {
+			wa, wb = wb, wa
+		}
+		return tm.MaxACTs(wa) <= tm.MaxACTs(wb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleRefreshRate(t *testing.T) {
+	base := DDR4()
+	d, err := base.ScaleRefreshRate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TREFI != base.TREFI/2 || d.TREFW != base.TREFW/2 {
+		t.Errorf("×2 = %+v", d)
+	}
+	if d.TRC != base.TRC || d.TRFC != base.TRFC {
+		t.Error("×2 changed non-refresh parameters")
+	}
+	if _, err := base.ScaleRefreshRate(0); err == nil {
+		t.Error("accepted multiplier 0")
+	}
+	// tRFC eventually collides with tREFI: ×32 gives tREFI 243 ns < tRFC.
+	if _, err := base.ScaleRefreshRate(32); err == nil {
+		t.Error("accepted infeasible multiplier")
+	}
+}
+
+func TestDDR5Projection(t *testing.T) {
+	d := DDR5()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Halved retention window and refresh interval versus DDR4.
+	if d.TREFW != DDR4().TREFW/2 || d.TREFI != DDR4().TREFI/2 {
+		t.Errorf("DDR5 = %+v", d)
+	}
+	// W per retention window shrinks roughly with the window.
+	w4 := DDR4().MaxACTs(DDR4().TREFW)
+	w5 := d.MaxACTs(d.TREFW)
+	if w5 >= w4 || w5 < w4/3 {
+		t.Errorf("DDR5 W = %d vs DDR4 %d", w5, w4)
+	}
+}

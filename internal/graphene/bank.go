@@ -1,0 +1,112 @@
+package graphene
+
+import (
+	"fmt"
+
+	"graphene/internal/dram"
+	"graphene/internal/mitigation"
+)
+
+// Bank is the per-bank Graphene protection engine: the Misra-Gries table of
+// §III plus the periodic reset window of §III-B/§IV-C. It implements
+// mitigation.Mitigator.
+type Bank struct {
+	cfg    Config
+	params Params
+	table  *Table
+
+	windowEnd dram.Time
+	resets    int64
+	refreshes int64 // victim refreshes issued (NRR commands)
+	alerts    int64 // windows in which the spillover alert fired (Fig. 4)
+
+	history []WindowStats // recent completed windows (observability)
+}
+
+var _ mitigation.Mitigator = (*Bank)(nil)
+
+// New builds a Graphene engine for one bank from cfg.
+func New(cfg Config) (*Bank, error) {
+	cfg = cfg.withDefaults()
+	p, err := cfg.Derive()
+	if err != nil {
+		return nil, err
+	}
+	tb, err := NewTable(p.NEntry, p.T)
+	if err != nil {
+		return nil, err
+	}
+	return &Bank{cfg: cfg, params: p, table: tb, windowEnd: p.Window}, nil
+}
+
+// Name implements mitigation.Mitigator.
+func (b *Bank) Name() string { return fmt.Sprintf("graphene-k%d", b.cfg.K) }
+
+// Params returns the derived operating parameters.
+func (b *Bank) Params() Params { return b.params }
+
+// Table exposes the underlying counter table for inspection in tests.
+func (b *Bank) Table() *Table { return b.table }
+
+// Resets returns how many reset windows have elapsed.
+func (b *Bank) Resets() int64 { return b.resets }
+
+// VictimRefreshes returns the number of NRR commands issued so far.
+func (b *Bank) VictimRefreshes() int64 { return b.refreshes }
+
+// Alerts returns how many reset windows raised the spillover alert — the
+// Fig. 4 alert signal telling the controller that the observed activation
+// rate exceeded the rate the table was sized for. Always zero when the
+// configuration's Timing matches the device.
+func (b *Bank) Alerts() int64 { return b.alerts }
+
+// OnActivate implements mitigation.Mitigator: it advances the reset window
+// to cover now, feeds the activation to the Misra-Gries table, and converts
+// a threshold trigger into a ±Distance victim refresh (§III-B, §III-D).
+func (b *Bank) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
+	for now >= b.windowEnd {
+		b.snapshotWindow()
+		b.table.Reset()
+		b.windowEnd += b.params.Window
+		b.resets++
+	}
+	wasAlerting := b.table.Alert()
+	if !b.table.Observe(row) {
+		// Count the alert once per window, on its rising edge.
+		if !wasAlerting && b.table.Alert() {
+			b.alerts++
+		}
+		return nil
+	}
+	b.refreshes++
+	return []mitigation.VictimRefresh{{Aggressor: row, Distance: b.cfg.Distance}}
+}
+
+// Tick implements mitigation.Mitigator; Graphene takes no refresh-time
+// action.
+func (b *Bank) Tick(now dram.Time) []mitigation.VictimRefresh { return nil }
+
+// Reset implements mitigation.Mitigator.
+func (b *Bank) Reset() {
+	b.table.Reset()
+	b.windowEnd = b.params.Window
+	b.resets = 0
+	b.refreshes = 0
+	b.alerts = 0
+	b.history = nil
+}
+
+// Cost implements mitigation.Mitigator: the whole table is CAM (address CAM
+// + count CAM, Fig. 4), 2,511 bits per bank for the paper's K = 2
+// configuration (Table IV).
+func (b *Bank) Cost() mitigation.HardwareCost {
+	return mitigation.HardwareCost{
+		Entries: b.params.NEntry,
+		CAMBits: b.params.TableBits,
+	}
+}
+
+// Factory returns a mitigation.Factory building identical Graphene engines.
+func Factory(cfg Config) mitigation.Factory {
+	return func() (mitigation.Mitigator, error) { return New(cfg) }
+}

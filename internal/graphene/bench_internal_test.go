@@ -1,0 +1,71 @@
+package graphene
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Microbenchmarks for the per-ACT software paths: address hit, miss with
+// spillover bump, and miss with replacement (the hardware critical path).
+func BenchmarkObserveHit(b *testing.B) {
+	tb, err := NewTable(81, 1<<40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb.Observe(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Observe(7)
+	}
+}
+
+func BenchmarkObserveMissSpill(b *testing.B) {
+	tb, err := NewTable(4, 1<<40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Fill the table and push its counts above the spillover so misses
+	// mostly bump the spillover counter.
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 1000; i++ {
+			tb.Observe(r)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Observe(100 + i%1000)
+	}
+}
+
+func BenchmarkObserveChurn(b *testing.B) {
+	// All-distinct stream: alternating replacement and spillover — the
+	// adversarial software worst case.
+	tb, err := NewTable(81, 1<<40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Observe(i & 0xffff)
+	}
+}
+
+func BenchmarkBankOnActivateRealistic(b *testing.B) {
+	eng, err := New(Config{TRH: 50000, K: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rows := make([]int, 1<<14)
+	for i := range rows {
+		if rng.Float64() < 0.6 {
+			rows[i] = rng.Intn(128)
+		} else {
+			rows[i] = 128 + rng.Intn(8192)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.OnActivate(rows[i&(1<<14-1)], 0)
+	}
+}

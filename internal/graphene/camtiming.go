@@ -1,0 +1,59 @@
+package graphene
+
+import (
+	"fmt"
+
+	"graphene/internal/dram"
+)
+
+// CAMTiming models the table-update critical path of §IV-B: the worst case
+// is an address miss that finds a replacement candidate, which costs two
+// CAM searches (address CAM, then count CAM) followed by one write (both
+// CAMs written in parallel — lines 12–13 of Fig. 5):
+//
+//	critical path = 2 × SearchLatency + WriteLatency
+//
+// The paper's deployment argument ("Graphene does not affect the DRAM
+// timing since its operation latency is completely hidden within tRC",
+// §V-B) requires this path to fit within tRC; HiddenWithin verifies it.
+type CAMTiming struct {
+	SearchLatency dram.Time // one associative search over the table
+	WriteLatency  dram.Time // one entry write (address + count in parallel)
+}
+
+// DefaultCAMTiming returns latencies representative of a small (≈100-entry)
+// CAM in a mature logic process: associative search in a few ns, write in
+// one cycle. These are deliberately conservative — a state-of-the-art
+// design (Jeloka et al., JSSC 2016, the paper's reference [24]) is faster.
+func DefaultCAMTiming() CAMTiming {
+	return CAMTiming{
+		SearchLatency: 3 * dram.Nanosecond,
+		WriteLatency:  2 * dram.Nanosecond,
+	}
+}
+
+// Validate reports an error for non-positive latencies.
+func (c CAMTiming) Validate() error {
+	if c.SearchLatency <= 0 || c.WriteLatency <= 0 {
+		return fmt.Errorf("graphene: CAM latencies must be positive: %+v", c)
+	}
+	return nil
+}
+
+// CriticalPath returns the worst-case table-update latency: the entry-
+// replacement path of Fig. 5 (two sequential searches, one write).
+func (c CAMTiming) CriticalPath() dram.Time {
+	return 2*c.SearchLatency + c.WriteLatency
+}
+
+// HitPath returns the address-hit latency: one search plus the count write.
+func (c CAMTiming) HitPath() dram.Time {
+	return c.SearchLatency + c.WriteLatency
+}
+
+// HiddenWithin reports whether the critical path fits inside the budget
+// (normally tRC: consecutive ACTs to one bank cannot arrive faster, so a
+// table update that fits never delays a command).
+func (c CAMTiming) HiddenWithin(budget dram.Time) bool {
+	return c.CriticalPath() <= budget
+}

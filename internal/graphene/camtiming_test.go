@@ -1,0 +1,51 @@
+package graphene
+
+import (
+	"testing"
+
+	"graphene/internal/dram"
+)
+
+func TestCAMCriticalPathStructure(t *testing.T) {
+	c := CAMTiming{SearchLatency: 3 * dram.Nanosecond, WriteLatency: 2 * dram.Nanosecond}
+	// §IV-B: replacement path = two searches + one (parallel) write.
+	if got, want := c.CriticalPath(), 8*dram.Nanosecond; got != want {
+		t.Errorf("critical path = %v, want %v", got, want)
+	}
+	if got, want := c.HitPath(), 5*dram.Nanosecond; got != want {
+		t.Errorf("hit path = %v, want %v", got, want)
+	}
+	if c.HitPath() >= c.CriticalPath() {
+		t.Error("hit path must be shorter than the replacement path")
+	}
+}
+
+func TestDefaultCAMTimingHiddenWithinTRC(t *testing.T) {
+	// §V-B: "Graphene does not affect the DRAM timing since its operation
+	// latency is completely hidden within tRC" (45 ns).
+	c := DefaultCAMTiming()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.HiddenWithin(dram.DDR4().TRC) {
+		t.Errorf("critical path %v exceeds tRC %v", c.CriticalPath(), dram.DDR4().TRC)
+	}
+	// And with generous headroom: even a 4× slower CAM still hides.
+	slow := CAMTiming{SearchLatency: 4 * c.SearchLatency, WriteLatency: 4 * c.WriteLatency}
+	if !slow.HiddenWithin(dram.DDR4().TRC) {
+		t.Errorf("4× slower CAM path %v exceeds tRC — headroom claim too tight", slow.CriticalPath())
+	}
+}
+
+func TestCAMTimingValidate(t *testing.T) {
+	bad := []CAMTiming{
+		{SearchLatency: 0, WriteLatency: 1},
+		{SearchLatency: 1, WriteLatency: 0},
+		{SearchLatency: -1, WriteLatency: 1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", c)
+		}
+	}
+}

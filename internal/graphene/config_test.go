@@ -1,0 +1,200 @@
+package graphene
+
+import (
+	"math"
+	"testing"
+
+	"graphene/internal/dram"
+)
+
+func TestDeriveMatchesTableII(t *testing.T) {
+	// Table II: TRH 50K, ±1, K=1 -> W ≈ 1,360K, T 12.5K, Nentry 108.
+	p, err := Config{TRH: 50000, K: 1}.Derive()
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if p.T != 12500 {
+		t.Errorf("T = %d, want 12500", p.T)
+	}
+	if p.W < 1_350_000 || p.W > 1_370_000 {
+		t.Errorf("W = %d, want ≈ 1,360K", p.W)
+	}
+	if p.NEntry != 108 {
+		t.Errorf("Nentry = %d, want 108", p.NEntry)
+	}
+	if p.Window != 64*dram.Millisecond {
+		t.Errorf("window = %v, want 64ms", p.Window)
+	}
+}
+
+func TestDeriveMatchesSectionIVC(t *testing.T) {
+	// §IV-C / Table IV: K=2 -> T 8,333, Nentry 81, 31 bits/entry,
+	// 2,511 table bits per bank.
+	p, err := Config{TRH: 50000, K: 2}.Derive()
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if p.T != 8333 {
+		t.Errorf("T = %d, want 8333", p.T)
+	}
+	if p.NEntry != 81 {
+		t.Errorf("Nentry = %d, want 81", p.NEntry)
+	}
+	if p.AddrBits != 16 {
+		t.Errorf("AddrBits = %d, want 16", p.AddrBits)
+	}
+	if p.CountBits != 15 { // 14 count bits + 1 overflow bit (§IV-B)
+		t.Errorf("CountBits = %d, want 15", p.CountBits)
+	}
+	if p.EntryBits != 31 {
+		t.Errorf("EntryBits = %d, want 31", p.EntryBits)
+	}
+	if p.TableBits != 2511 {
+		t.Errorf("TableBits = %d, want 2511 (Table IV)", p.TableBits)
+	}
+}
+
+func TestOverflowBitSavesSixBits(t *testing.T) {
+	// §IV-B: the overflow bit reduces the count field from 21 bits (count
+	// to W = 1,360K) to 15 bits (14 to count to T + 1 overflow).
+	with, err := Config{TRH: 50000, K: 1}.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Config{TRH: 50000, K: 1, DisableOverflowBit: true}.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.CountBits != 21 {
+		t.Errorf("uncompressed CountBits = %d, want 21", without.CountBits)
+	}
+	if saved := without.CountBits - with.CountBits; saved != 6 {
+		t.Errorf("overflow bit saves %d bits, want 6 (§IV-B)", saved)
+	}
+}
+
+func TestDeriveSatisfiesInequality1(t *testing.T) {
+	// Nentry must satisfy Nentry > W/T − 1 for every configuration.
+	for _, trh := range []int64{50000, 25000, 12500, 6250, 3125, 1562} {
+		for k := 1; k <= 10; k++ {
+			p, err := Config{TRH: trh, K: k}.Derive()
+			if err != nil {
+				t.Fatalf("TRH %d K %d: %v", trh, k, err)
+			}
+			if float64(p.NEntry) <= float64(p.W)/float64(p.T)-1 {
+				t.Errorf("TRH %d K %d: Nentry %d violates Inequality 1 (W %d, T %d)", trh, k, p.NEntry, p.W, p.T)
+			}
+			// And T must satisfy Inequality 3: T < TRH/(2(k+1)) + 1.
+			if float64(p.T) >= float64(trh)/(2*float64(k+1))+1 {
+				t.Errorf("TRH %d K %d: T %d violates Inequality 3", trh, k, p.T)
+			}
+		}
+	}
+}
+
+func TestDeriveTableShrinksWithK(t *testing.T) {
+	// Fig. 6: table entries shrink as k grows (108 at k=1, 81 at k=2, …)
+	// and the shrinkage saturates.
+	prev := math.MaxInt
+	for k := 1; k <= 10; k++ {
+		p, err := Config{TRH: 50000, K: k}.Derive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NEntry > prev {
+			t.Errorf("Nentry grew from %d to %d at k=%d", prev, p.NEntry, k)
+		}
+		prev = p.NEntry
+	}
+}
+
+func TestNonAdjacentAmpFactor(t *testing.T) {
+	// §III-D: with μ_i = 1/i² the factor is bounded by Σ1/k² ≈ 1.64.
+	amp, err := AmpFactor(1000, InverseSquareMu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amp >= 1.6449341 || amp < 1.64 {
+		t.Errorf("amp(1000, 1/i²) = %g, want just below π²/6 ≈ 1.6449", amp)
+	}
+	amp2, err := AmpFactor(2, UniformMu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amp2 != 2 {
+		t.Errorf("amp(2, uniform) = %g, want 2", amp2)
+	}
+}
+
+func TestNonAdjacentScalesTableAndThreshold(t *testing.T) {
+	base, err := Config{TRH: 50000, K: 1}.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := Config{TRH: 50000, K: 1, Distance: 3, Mu: InverseSquareMu}.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	amp := 1 + 0.25 + 1.0/9
+	// T decreases by the amplification factor; Nentry increases by it.
+	wantT := int64(float64(base.T) / amp)
+	if diff := ext.T - wantT; diff < -1 || diff > 1 {
+		t.Errorf("±3 T = %d, want ≈ %d", ext.T, wantT)
+	}
+	ratio := float64(ext.NEntry) / float64(base.NEntry)
+	if ratio < amp*0.98 || ratio > amp*1.05 {
+		t.Errorf("±3 Nentry ratio = %g, want ≈ %g (§III-D)", ratio, amp)
+	}
+}
+
+func TestDeriveRejectsBadConfig(t *testing.T) {
+	cases := []Config{
+		{TRH: 0},
+		{TRH: -5},
+		{TRH: 50000, K: -1},
+		{TRH: 50000, Distance: -2},
+		{TRH: 4, K: 10}, // T would be < 1
+		{TRH: 50000, Distance: 2, Mu: func(i int) float64 { return 2 }},    // μ1 != 1
+		{TRH: 50000, Distance: 3, Mu: func(i int) float64 { return -0.1 }}, // μ out of range
+	}
+	for i, cfg := range cases {
+		if _, err := cfg.Derive(); err == nil {
+			t.Errorf("case %d: Derive accepted %+v", i, cfg)
+		}
+	}
+}
+
+func TestAmpFactorRejectsIncreasingMu(t *testing.T) {
+	inc := func(i int) float64 {
+		if i == 1 {
+			return 1
+		}
+		return 0.1 * float64(i) // 0.2, 0.3 ... increasing after i=2
+	}
+	if _, err := AmpFactor(5, inc); err == nil {
+		t.Error("AmpFactor accepted increasing μ")
+	}
+}
+
+func TestDeriveOnDDR5Projection(t *testing.T) {
+	// The forward-looking configuration of the paper's conclusion: DDR5
+	// timing with a TRRespass-era threshold of 20K. The table must stay
+	// small — Graphene's scalability claim.
+	p, err := Config{TRH: 20000, K: 2, Timing: dram.DDR5()}.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.T != 20000/6 {
+		t.Errorf("T = %d, want %d", p.T, 20000/6)
+	}
+	// W per 16 ms window ≈ 16ms·(1−295/3900)/48ns ≈ 308K; Nentry ≈ 92.
+	if p.W < 290_000 || p.W > 330_000 {
+		t.Errorf("W = %d, want ≈ 308K", p.W)
+	}
+	if p.NEntry < 85 || p.NEntry > 100 {
+		t.Errorf("Nentry = %d, want ≈ 92 (still double-digit — scalability)", p.NEntry)
+	}
+	if p.TableBits > 4000 {
+		t.Errorf("table = %d bits; must stay a few Kbit on DDR5", p.TableBits)
+	}
+}

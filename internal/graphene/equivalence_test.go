@@ -1,0 +1,80 @@
+package graphene
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphene/internal/dram"
+)
+
+// TestOverflowBitBankEquivalence: the §IV-B compression is an
+// implementation detail — at the bank level, the sequence of victim
+// refreshes must be identical with and without it (only the modeled bit
+// count changes). Verified over randomized streams spanning window resets.
+func TestOverflowBitBankEquivalence(t *testing.T) {
+	mk := func(disable bool) *Bank {
+		b, err := New(Config{
+			TRH: 2000, K: 2, Rows: 1 << 12, Timing: smallTiming(),
+			DisableOverflowBit: disable,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	with, without := mk(false), mk(true)
+	if with.Params().TableBits >= without.Params().TableBits {
+		t.Errorf("compression did not shrink the table: %d vs %d bits",
+			with.Params().TableBits, without.Params().TableBits)
+	}
+
+	rng := rand.New(rand.NewSource(31))
+	for i := int64(0); i < 500_000; i++ {
+		row := rng.Intn(64)
+		if rng.Float64() < 0.4 {
+			row = 64 + rng.Intn(4000)
+		}
+		now := dram.Time(i) * 47 * dram.Nanosecond
+		a := with.OnActivate(row, now)
+		b := without.OnActivate(row, now)
+		if len(a) != len(b) {
+			t.Fatalf("ACT %d: refresh count diverged (%d vs %d)", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j].Aggressor != b[j].Aggressor || a[j].Distance != b[j].Distance {
+				t.Fatalf("ACT %d: refresh %d diverged (%+v vs %+v)", i, j, a[j], b[j])
+			}
+		}
+	}
+	if with.VictimRefreshes() == 0 {
+		t.Error("stream never triggered; equivalence untested")
+	}
+}
+
+// TestKChoiceTradesTableForRefreshes: larger k yields a smaller table but
+// never a protection difference — both configurations stay flip-free while
+// the k=5 engine issues more victim refreshes under attack.
+func TestKChoiceTradesTableForRefreshes(t *testing.T) {
+	timing := smallTiming()
+	mk := func(k int) *Bank {
+		b, err := New(Config{TRH: 2000, K: k, Rows: 1 << 12, Timing: timing})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	k2, k5 := mk(2), mk(5)
+	if k5.Params().NEntry >= k2.Params().NEntry {
+		t.Errorf("k=5 table (%d) not smaller than k=2 (%d)", k5.Params().NEntry, k2.Params().NEntry)
+	}
+	// Hammer one row for several windows.
+	for i := int64(0); i < 300_000; i++ {
+		now := dram.Time(i) * timing.TRC
+		k2.OnActivate(600, now)
+		k5.OnActivate(600, now)
+	}
+	if k5.VictimRefreshes() <= k2.VictimRefreshes() {
+		t.Errorf("k=5 refreshes (%d) not above k=2 (%d) — Fig. 6 trade-off missing",
+			k5.VictimRefreshes(), k2.VictimRefreshes())
+	}
+}

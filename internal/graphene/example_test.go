@@ -1,0 +1,56 @@
+package graphene_test
+
+import (
+	"fmt"
+
+	"graphene/internal/dram"
+	"graphene/internal/graphene"
+)
+
+// Example shows the minimal protection loop: derive the paper's parameters
+// and feed every ACT of a bank to the engine.
+func Example() {
+	eng, err := graphene.New(graphene.Config{TRH: 50_000, K: 2})
+	if err != nil {
+		panic(err)
+	}
+	p := eng.Params()
+	fmt.Printf("T=%d Nentry=%d tableBits=%d\n", p.T, p.NEntry, p.TableBits)
+
+	// Hammer one row; the engine orders a victim refresh at every multiple
+	// of T — far below the Row Hammer threshold.
+	var now dram.Time
+	for i := int64(0); i < 2*p.T; i++ {
+		now += 45 * dram.Nanosecond
+		for _, vr := range eng.OnActivate(4242, now) {
+			fmt.Printf("refresh ±%d around row %d after %d ACTs\n", vr.Distance, vr.Aggressor, i+1)
+		}
+	}
+	// Output:
+	// T=8333 Nentry=81 tableBits=2511
+	// refresh ±1 around row 4242 after 8333 ACTs
+	// refresh ±1 around row 4242 after 16666 ACTs
+}
+
+// ExampleConfig_Derive reproduces Table II.
+func ExampleConfig_Derive() {
+	p, err := graphene.Config{TRH: 50_000, K: 1}.Derive()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("W=%d T=%d Nentry=%d\n", p.W, p.T, p.NEntry)
+	// Output:
+	// W=1358404 T=12500 Nentry=108
+}
+
+// ExampleAmpFactor shows the §III-D non-adjacent scaling factor for the
+// inverse-square disturbance model.
+func ExampleAmpFactor() {
+	amp, err := graphene.AmpFactor(3, graphene.InverseSquareMu)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("1 + mu2 + mu3 = %.3f\n", amp)
+	// Output:
+	// 1 + mu2 + mu3 = 1.361
+}

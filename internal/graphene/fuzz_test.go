@@ -1,0 +1,79 @@
+package graphene
+
+import (
+	"testing"
+
+	"graphene/internal/dram"
+)
+
+// FuzzTableInvariants drives a counter table with an arbitrary byte-encoded
+// activation stream and checks the structural invariants after every step.
+// Run with `go test -fuzz=FuzzTableInvariants` for exploration; the seed
+// corpus runs as a regression test in normal `go test` runs.
+func FuzzTableInvariants(f *testing.F) {
+	f.Add(uint8(3), uint8(10), []byte{0, 1, 2, 3, 0, 0, 1, 9, 9, 9, 9, 9})
+	f.Add(uint8(1), uint8(2), []byte{7, 7, 7, 7, 7, 7})
+	f.Add(uint8(8), uint8(50), []byte("the quick brown fox jumps over the lazy dog"))
+	f.Fuzz(func(t *testing.T, nentrySeed, thrSeed uint8, stream []byte) {
+		nentry := int(nentrySeed%12) + 1
+		thr := int64(thrSeed%80) + 1
+		tb, err := NewTable(nentry, thr)
+		if err != nil {
+			t.Fatalf("NewTable(%d, %d): %v", nentry, thr, err)
+		}
+		ref := newRef(nentry, thr)
+		for i, b := range stream {
+			row := int(b)
+			got := tb.Observe(row)
+			want := ref.observe(row)
+			if got != want {
+				t.Fatalf("step %d row %d: trigger %v, reference %v", i, row, got, want)
+			}
+			if err := tb.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			if tb.Spillover() != ref.spill {
+				t.Fatalf("step %d: spillover %d, reference %d", i, tb.Spillover(), ref.spill)
+			}
+		}
+	})
+}
+
+// FuzzBankNeverMissesTheorem replays arbitrary streams against a bank-level
+// engine sized by Derive, asserting the §III-C theorem: no row gains T ACTs
+// within a window without a victim refresh.
+func FuzzBankNeverMissesTheorem(f *testing.F) {
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add([]byte{5, 9, 5, 9, 5, 9, 200, 200, 200})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		cfg := Config{TRH: 600, K: 2, Rows: 256, Timing: smallTiming()}
+		b, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(stream) == 0 {
+			return
+		}
+		p := b.Params()
+		since := map[int]int64{}
+		windows := b.Resets()
+		// Cycle the fuzz stream at the maximum ACT rate for one full reset
+		// window — the budget Inequality 1 sizes the table for.
+		for i := int64(0); i < p.W; i++ {
+			row := int(stream[i%int64(len(stream))]) % cfg.Rows
+			now := dram.Time(i) * cfg.Timing.TRC
+			vrs := b.OnActivate(row, now)
+			if b.Resets() != windows {
+				windows = b.Resets()
+				clear(since)
+			}
+			since[row]++
+			if len(vrs) > 0 {
+				since[row] = 0
+			}
+			if since[row] > p.T {
+				t.Fatalf("row %d gained %d > T=%d ACTs without refresh", row, since[row], p.T)
+			}
+		}
+	})
+}

@@ -1,0 +1,233 @@
+package graphene
+
+import "fmt"
+
+// entry is one Misra-Gries counter-table slot. It models the paired
+// Address-CAM / Count-CAM entry of Fig. 4.
+type entry struct {
+	addr     int32 // row address; -1 when the slot has never been filled
+	count    int64 // estimated count (mod T when overflow is set)
+	overflow bool  // §IV-B: set once the estimated count first reaches T
+
+	// triggers counts how many times this entry reached T since the last
+	// reset. The hardware only keeps the 1-bit overflow flag; this shadow
+	// counter exists so the simulator can reconstruct uncompressed
+	// estimated counts for verification and statistics.
+	triggers int64
+}
+
+// Table is the Misra-Gries counter table plus spillover-count register of
+// §III-A, extended with the multiples-of-T trigger of §III-B and the
+// overflow-bit compression of §IV-B.
+//
+// Table is a pure tracking structure: Observe reports when a row's
+// estimated count reaches a multiple of T, and the caller (Bank) turns that
+// into victim refreshes. It has no notion of time; reset-window management
+// also lives in Bank.
+type Table struct {
+	t        int64
+	entries  []entry
+	index    map[int32]int // row address -> entry slot, mirrors the CAM search
+	spill    int64         // spillover count register
+	observed int64         // ACTs observed since the last reset
+
+	// windowTriggers counts threshold hits since the last reset; it keeps
+	// the count-conservation invariant checkable across window resets.
+	windowTriggers int64
+
+	// stats (not cleared by Reset; they feed overhead accounting)
+	hits, replacements, spills, triggers int64
+}
+
+// NewTable builds a table with nentry slots and tracking threshold t.
+func NewTable(nentry int, t int64) (*Table, error) {
+	if nentry < 1 {
+		return nil, fmt.Errorf("graphene: table needs at least one entry, got %d", nentry)
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("graphene: threshold must be >= 1, got %d", t)
+	}
+	tb := &Table{t: t, entries: make([]entry, nentry), index: make(map[int32]int, nentry)}
+	tb.Reset()
+	return tb, nil
+}
+
+// Reset clears the table and the spillover count (the per-window reset of
+// §III-B).
+func (tb *Table) Reset() {
+	for i := range tb.entries {
+		tb.entries[i] = entry{addr: -1}
+	}
+	clear(tb.index)
+	tb.spill = 0
+	tb.observed = 0
+	tb.windowTriggers = 0
+}
+
+// T returns the tracking threshold.
+func (tb *Table) T() int64 { return tb.t }
+
+// Len returns the number of table entries.
+func (tb *Table) Len() int { return len(tb.entries) }
+
+// Spillover returns the current spillover count.
+func (tb *Table) Spillover() int64 { return tb.spill }
+
+// Observed returns the number of ACTs observed since the last reset.
+func (tb *Table) Observed() int64 { return tb.observed }
+
+// Alert reports whether the spillover count has reached T — the condition
+// under which the §IV-B overflow-bit pinning (and with it the tracking
+// guarantee) would stop holding. A correctly sized table (Inequality 1 for
+// the window's ACT budget) keeps the spillover below W/(Nentry+1) < T, so
+// the alert only fires when the device sees more activations per window
+// than the configuration was derived for — the hardware alert signal of
+// Fig. 4.
+func (tb *Table) Alert() bool { return tb.spill >= tb.t }
+
+// Triggers returns how many times an estimated count reached a multiple of
+// T since construction (not cleared by Reset; it feeds overhead stats).
+func (tb *Table) Triggers() int64 { return tb.triggers }
+
+// Observe processes one activation of row following Fig. 1/Fig. 5:
+//
+//   - address hit: increment the entry's estimated count;
+//   - miss with an evictable entry whose count equals the spillover count:
+//     replace the entry's address and increment its count (the old count is
+//     carried over — the defining Misra-Gries move);
+//   - otherwise: increment the spillover count.
+//
+// It returns trigger=true when the row's estimated count reached a multiple
+// of T by this activation — the moment Graphene issues victim row refreshes
+// (§III-B). Entries whose overflow bit is set are never evicted: by Lemma 2
+// their true count strictly exceeds the spillover count for the rest of the
+// window, so they can never be a replacement candidate (§IV-B).
+func (tb *Table) Observe(row int) (trigger bool) {
+	if row < 0 {
+		panic(fmt.Sprintf("graphene: negative row %d", row))
+	}
+	tb.observed++
+	addr := int32(row)
+
+	if i, ok := tb.index[addr]; ok { // row address HIT
+		tb.hits++
+		e := &tb.entries[i]
+		e.count++
+		if e.count == tb.t {
+			// Estimated count reached (a multiple of) T: reset the stored
+			// count, keep the overflow bit high until the window ends.
+			e.count = 0
+			e.overflow = true
+			e.triggers++
+			tb.triggers++
+			tb.windowTriggers++
+			return true
+		}
+		return false
+	}
+
+	// Row address MISS: search for an entry whose estimated count equals
+	// the spillover count (single Count-CAM search in hardware, Fig. 5).
+	for i := range tb.entries {
+		e := &tb.entries[i]
+		if e.overflow || e.count != tb.spill {
+			continue
+		}
+		// Entry replace: carry the old count over, +1 for this ACT.
+		tb.replacements++
+		if e.addr >= 0 {
+			delete(tb.index, e.addr)
+		}
+		e.addr = addr
+		e.count++
+		tb.index[addr] = i
+		if e.count == tb.t {
+			e.count = 0
+			e.overflow = true
+			e.triggers++
+			tb.triggers++
+			tb.windowTriggers++
+			return true
+		}
+		return false
+	}
+
+	// No replacement candidate: bump the spillover count.
+	tb.spills++
+	tb.spill++
+	return false
+}
+
+// EstimatedCount returns the uncompressed tracked estimate for row since
+// the last reset; ok is false when the row is not (or no longer) in the
+// table. For entries whose overflow bit is set the stored count is folded
+// back out through the shadow trigger counter (the hardware never needs
+// this value — it only compares against T — but verification does).
+func (tb *Table) EstimatedCount(row int) (count int64, ok bool) {
+	i, ok := tb.index[int32(row)]
+	if !ok {
+		return 0, false
+	}
+	e := tb.entries[i]
+	return e.count + e.triggers*tb.t, true
+}
+
+// Tracked returns every row currently in the table with its stored count
+// and overflow flag, for inspection in tests and tools.
+func (tb *Table) Tracked() []TrackedRow {
+	out := make([]TrackedRow, 0, len(tb.index))
+	for addr, i := range tb.index {
+		e := tb.entries[i]
+		out = append(out, TrackedRow{Row: int(addr), Count: e.count, Overflow: e.overflow, Triggers: e.triggers})
+	}
+	return out
+}
+
+// TrackedRow is one inspected table entry.
+type TrackedRow struct {
+	Row      int
+	Count    int64 // stored (compressed) count field
+	Overflow bool
+	Triggers int64 // shadow: times this entry reached T since reset
+}
+
+// CheckInvariants verifies the structural facts behind Lemmas 1 and 2 that
+// are visible without ground truth:
+//
+//   - count conservation: spillover + Σ uncompressed counts equals the
+//     number of observed ACTs (each trigger consumed T stored counts);
+//   - pure Misra-Gries: no live non-overflow entry's count is below the
+//     spillover count;
+//   - overflow entries' uncompressed counts stay above the spillover count
+//     as long as the spillover count is below T — the §IV-B precondition
+//     that Inequality 1 sizing guarantees (spill <= W/(Nentry+1) < T). An
+//     undersized table (tests build them deliberately) may drive the
+//     spillover past T, where pinning deviates from pure Misra-Gries by
+//     design, so the clause is only enforced below T.
+//
+// It returns a descriptive error on the first violation. Tests call it
+// after every step of randomized streams.
+func (tb *Table) CheckInvariants() error {
+	sum := tb.spill
+	for _, e := range tb.entries {
+		sum += e.count
+	}
+	// Each trigger consumed T counts when the stored field was reset.
+	sum += tb.windowTriggers * tb.t
+	if sum != tb.observed {
+		return fmt.Errorf("graphene: count conservation violated: spill+counts+T·triggers = %d, observed = %d", sum, tb.observed)
+	}
+	for _, e := range tb.entries {
+		if e.addr < 0 {
+			continue
+		}
+		c := e.count + e.triggers*tb.t
+		switch {
+		case !e.overflow && e.count < tb.spill:
+			return fmt.Errorf("graphene: entry row %d count %d below spillover %d", e.addr, e.count, tb.spill)
+		case e.overflow && tb.spill < tb.t && c < tb.spill:
+			return fmt.Errorf("graphene: overflow entry row %d uncompressed count %d below spillover %d", e.addr, c, tb.spill)
+		}
+	}
+	return nil
+}

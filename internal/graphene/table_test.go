@@ -1,0 +1,357 @@
+package graphene
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refMisraGries is an uncompressed reference implementation of the §III-A
+// algorithm: full-width counts, trigger at every multiple of T, and — per
+// the paper's §IV-B argument — entries whose count ever reached T are
+// pinned until reset. Slots are scanned in index order exactly like the
+// production table's CAM model, so the two must match trigger for trigger.
+type refEntry struct {
+	row   int
+	count int64
+}
+
+type refMisraGries struct {
+	t     int64
+	slots []refEntry
+	spill int64
+}
+
+func newRef(nentry int, t int64) *refMisraGries {
+	r := &refMisraGries{t: t, slots: make([]refEntry, nentry)}
+	for i := range r.slots {
+		r.slots[i].row = -1
+	}
+	return r
+}
+
+func (r *refMisraGries) observe(row int) bool {
+	for i := range r.slots {
+		if r.slots[i].row == row {
+			r.slots[i].count++
+			return r.slots[i].count%r.t == 0
+		}
+	}
+	for i := range r.slots {
+		e := &r.slots[i]
+		if e.count >= r.t { // pinned: reached T at some point
+			continue
+		}
+		if e.count == r.spill {
+			e.row = row
+			e.count++
+			return e.count%r.t == 0
+		}
+	}
+	r.spill++
+	return false
+}
+
+func (r *refMisraGries) tracked() map[int]bool {
+	out := make(map[int]bool)
+	for _, e := range r.slots {
+		if e.row >= 0 {
+			out[e.row] = true
+		}
+	}
+	return out
+}
+
+func mustTable(t *testing.T, nentry int, thresh int64) *Table {
+	t.Helper()
+	tb, err := NewTable(nentry, thresh)
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	return tb
+}
+
+func TestNewTableRejectsBadArgs(t *testing.T) {
+	if _, err := NewTable(0, 5); err == nil {
+		t.Error("accepted 0 entries")
+	}
+	if _, err := NewTable(4, 0); err == nil {
+		t.Error("accepted threshold 0")
+	}
+}
+
+func TestPaperFig2Example(t *testing.T) {
+	// Reproduce Fig. 2 exactly: table {0x1010:5, 0x2020:7, 0x3030:3},
+	// spillover 2, then ACTs 0x1010, 0x4040, 0x5050.
+	tb := mustTable(t, 3, 1000)
+	// Construct the initial state through the public API: fill the three
+	// slots then drive the counts up.
+	seed := []struct {
+		row  int
+		acts int
+	}{{0x1010, 5}, {0x2020, 7}, {0x3030, 3}}
+	for _, s := range seed {
+		for i := 0; i < s.acts; i++ {
+			tb.Observe(s.row)
+		}
+	}
+	// Drive spillover to 2 with rows that miss and find no candidate.
+	for tb.Spillover() < 2 {
+		tb.Observe(0x9999)
+	}
+	if tb.Spillover() != 2 {
+		t.Fatalf("spillover = %d, want 2", tb.Spillover())
+	}
+
+	// Step 1: 0x1010 hits; its count goes 5 -> 6.
+	tb.Observe(0x1010)
+	if c, ok := tb.EstimatedCount(0x1010); !ok || c != 6 {
+		t.Errorf("after step 1: count(0x1010) = %d,%v, want 6", c, ok)
+	}
+
+	// Step 2: 0x4040 misses and no entry count equals 2 -> spillover 3.
+	tb.Observe(0x4040)
+	if tb.Spillover() != 3 {
+		t.Errorf("after step 2: spillover = %d, want 3", tb.Spillover())
+	}
+	if _, ok := tb.EstimatedCount(0x4040); ok {
+		t.Error("0x4040 must not be inserted")
+	}
+
+	// Step 3: 0x5050 misses; 0x3030 (count 3 == spillover 3) is replaced;
+	// the carried-over count becomes 4.
+	tb.Observe(0x5050)
+	if _, ok := tb.EstimatedCount(0x3030); ok {
+		t.Error("0x3030 must have been evicted")
+	}
+	if c, ok := tb.EstimatedCount(0x5050); !ok || c != 4 {
+		t.Errorf("after step 3: count(0x5050) = %d,%v, want 4 (old count carried over)", c, ok)
+	}
+	if tb.Spillover() != 3 {
+		t.Errorf("after step 3: spillover = %d, want 3", tb.Spillover())
+	}
+}
+
+func TestLemma1EstimateNeverBelowActual(t *testing.T) {
+	// Lemma 1 (§III-C): every tracked row's estimated count >= its actual
+	// count. Checked on randomized streams after every single ACT.
+	rng := rand.New(rand.NewSource(7))
+	tb := mustTable(t, 4, 50)
+	actual := map[int]int64{}
+	for i := 0; i < 200_000; i++ {
+		row := rng.Intn(12)
+		actual[row]++
+		tb.Observe(row)
+		for _, tr := range tb.Tracked() {
+			est, ok := tb.EstimatedCount(tr.Row)
+			if !ok {
+				t.Fatalf("ACT %d: tracked row %d has no estimate", i, tr.Row)
+			}
+			if tr.Overflow && tr.Triggers == 0 {
+				t.Fatalf("row %d has overflow set but never triggered", tr.Row)
+			}
+			if est < actual[tr.Row] {
+				t.Fatalf("ACT %d: row %d estimated %d < actual %d", i, tr.Row, est, actual[tr.Row])
+			}
+		}
+		if err := tb.CheckInvariants(); err != nil {
+			t.Fatalf("ACT %d: %v", i, err)
+		}
+	}
+}
+
+func TestLemma2SpilloverBound(t *testing.T) {
+	// Lemma 2 (§III-C): spillover count <= W/(Nentry+1) where W is the
+	// number of observed ACTs.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		nentry := 1 + rng.Intn(8)
+		// A huge threshold keeps the table in the pure Misra-Gries regime
+		// (no overflow pinning), where Lemma 2 holds unconditionally.
+		tb := mustTable(t, nentry, 1<<40)
+		for i := 0; i < 20_000; i++ {
+			tb.Observe(rng.Intn(2 + rng.Intn(40)))
+			bound := tb.Observed() / int64(nentry+1)
+			if tb.Spillover() > bound {
+				t.Fatalf("trial %d ACT %d: spillover %d > W/(N+1) = %d", trial, i, tb.Spillover(), bound)
+			}
+		}
+	}
+}
+
+func TestTrackingGuarantee(t *testing.T) {
+	// §III-A: any row activated more than W/(Nentry+1) times during the
+	// last W ACTs (here: since reset) is present in the table.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		nentry := 2 + rng.Intn(8)
+		tb := mustTable(t, nentry, 1<<30) // threshold out of reach
+		actual := map[int]int64{}
+		for i := 0; i < 30_000; i++ {
+			// Skew the stream so some rows become frequent.
+			row := rng.Intn(4)
+			if rng.Float64() < 0.5 {
+				row = 4 + rng.Intn(60)
+			}
+			tb.Observe(row)
+			actual[row]++
+			threshold := tb.Observed() / int64(nentry+1)
+			for r, a := range actual {
+				if a > threshold {
+					if _, ok := tb.EstimatedCount(r); !ok {
+						t.Fatalf("trial %d ACT %d: row %d with %d/%d ACTs (> W/(N+1) = %d) not tracked",
+							trial, i, r, a, tb.Observed(), threshold)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTheoremActualNeverGainsTWithoutTrigger(t *testing.T) {
+	// The Theorem of §III-C: within one reset window, no row's actual
+	// count can increase by T without a victim-refresh trigger in between.
+	// The guarantee requires the table to satisfy Inequality 1 for the
+	// window's ACT budget: W < (Nentry+1)·T. The table resets each window
+	// exactly as Graphene's bank does.
+	rng := rand.New(rand.NewSource(17))
+	const (
+		T      = 40
+		nentry = 5
+		window = (nentry+1)*T - 1 // max ACTs per window under Inequality 1
+	)
+	tb := mustTable(t, nentry, T)
+	sinceTrigger := map[int]int64{}
+	for w := 0; w < 2000; w++ {
+		for i := 0; i < window; i++ {
+			// Hostile mix: a few hot rows plus background noise.
+			row := rng.Intn(3)
+			if rng.Float64() < 0.4 {
+				row = 3 + rng.Intn(97)
+			}
+			sinceTrigger[row]++
+			if tb.Observe(row) {
+				sinceTrigger[row] = 0
+			}
+			if sinceTrigger[row] > T {
+				t.Fatalf("window %d ACT %d: row %d accumulated %d ACTs (> T = %d) without trigger",
+					w, i, row, sinceTrigger[row], T)
+			}
+		}
+		tb.Reset()
+		clear(sinceTrigger)
+	}
+}
+
+func TestOverflowBitMatchesReference(t *testing.T) {
+	// The §IV-B compressed table must trigger exactly like the
+	// uncompressed reference implementation on identical streams.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		nentry := 2 + rng.Intn(6)
+		thr := int64(5 + rng.Intn(50))
+		tb := mustTable(t, nentry, thr)
+		ref := newRef(nentry, thr)
+		for i := 0; i < 50_000; i++ {
+			row := rng.Intn(2 + rng.Intn(30))
+			got := tb.Observe(row)
+			want := ref.observe(row)
+			if got != want {
+				t.Fatalf("trial %d ACT %d row %d: trigger = %v, reference = %v", trial, i, row, got, want)
+			}
+			if tb.Spillover() != ref.spill {
+				t.Fatalf("trial %d ACT %d: spillover %d, reference %d", trial, i, tb.Spillover(), ref.spill)
+			}
+		}
+		// The tracked row sets must agree at the end of the stream.
+		want := ref.tracked()
+		got := tb.Tracked()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: tracked %d rows, reference %d", trial, len(got), len(want))
+		}
+		for _, tr := range got {
+			if !want[tr.Row] {
+				t.Fatalf("trial %d: row %d tracked but absent from reference", trial, tr.Row)
+			}
+		}
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	tb := mustTable(t, 4, 10)
+	for i := 0; i < 100; i++ {
+		tb.Observe(i % 7)
+	}
+	tb.Reset()
+	if tb.Spillover() != 0 || tb.Observed() != 0 {
+		t.Errorf("after reset: spillover %d observed %d, want 0/0", tb.Spillover(), tb.Observed())
+	}
+	if got := len(tb.Tracked()); got != 0 {
+		t.Errorf("after reset: %d tracked rows, want 0", got)
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Errorf("after reset: %v", err)
+	}
+	// Conservation must hold across the reset boundary.
+	for i := 0; i < 100; i++ {
+		tb.Observe(i % 3)
+		if err := tb.CheckInvariants(); err != nil {
+			t.Fatalf("post-reset ACT %d: %v", i, err)
+		}
+	}
+}
+
+func TestObservePanicsOnNegativeRow(t *testing.T) {
+	tb := mustTable(t, 2, 5)
+	defer func() {
+		if recover() == nil {
+			t.Error("Observe(-1) did not panic")
+		}
+	}()
+	tb.Observe(-1)
+}
+
+func TestQuickInvariantsHoldOnRandomStreams(t *testing.T) {
+	// Property-based: for arbitrary (bounded) table shapes and streams,
+	// the structural invariants hold at every step.
+	f := func(nentrySeed, thrSeed uint8, streamSeed int64) bool {
+		nentry := int(nentrySeed%10) + 1
+		thr := int64(thrSeed%60) + 2
+		tb, err := NewTable(nentry, thr)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(streamSeed))
+		for i := 0; i < 3000; i++ {
+			tb.Observe(rng.Intn(50))
+			if tb.CheckInvariants() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSpilloverBound(t *testing.T) {
+	f := func(nentrySeed uint8, streamSeed int64) bool {
+		nentry := int(nentrySeed%12) + 1
+		tb, err := NewTable(nentry, 1<<40)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(streamSeed))
+		for i := 0; i < 5000; i++ {
+			tb.Observe(rng.Intn(64))
+			if tb.Spillover() > tb.Observed()/int64(nentry+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,41 @@
+package graphene
+
+// WindowStats summarizes one completed reset window — the observability
+// surface a deployment would export (per-bank counters a BMC or firmware
+// can poll to detect ongoing Row Hammer pressure).
+type WindowStats struct {
+	Index        int64 // 0-based window number
+	ACTs         int64 // activations observed in the window
+	Triggers     int64 // victim refreshes issued
+	MaxSpillover int64 // final spillover count (monotone within a window)
+	Tracked      int   // live table entries at window end
+	Alert        bool  // spillover alert state at window end
+}
+
+// windowHistory is a small ring of recent windows.
+const windowHistoryLen = 16
+
+// snapshotWindow records the closing window's summary. Called by the bank
+// right before a reset.
+func (b *Bank) snapshotWindow() {
+	ws := WindowStats{
+		Index:        b.resets,
+		ACTs:         b.table.Observed(),
+		Triggers:     b.table.windowTriggers,
+		MaxSpillover: b.table.Spillover(),
+		Tracked:      len(b.table.index),
+		Alert:        b.table.Alert(),
+	}
+	b.history = append(b.history, ws)
+	if len(b.history) > windowHistoryLen {
+		b.history = b.history[len(b.history)-windowHistoryLen:]
+	}
+}
+
+// WindowHistory returns summaries of up to the last 16 completed reset
+// windows, oldest first.
+func (b *Bank) WindowHistory() []WindowStats {
+	out := make([]WindowStats, len(b.history))
+	copy(out, b.history)
+	return out
+}

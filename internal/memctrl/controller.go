@@ -1,0 +1,406 @@
+// Package memctrl is the trace-driven memory-system simulator: it replays
+// an activation stream against the DRAM device model, drives one protection
+// engine per bank, schedules the periodic auto-refresh routine, applies
+// victim refreshes, and feeds every event to the ground-truth Row Hammer
+// oracle.
+//
+// Substitution note (DESIGN.md §3): the paper uses McSimA+ cycle-level CPU
+// simulation; here, workload timing enters through per-access think-time
+// gaps and all protection overhead manifests — exactly as in the paper's
+// accounting (§V-B) — as bank-busy time: tRC per victim row refreshed plus
+// tRP at the precharge, and tRFC per REF. Performance overhead is the
+// relative increase in stream completion time versus an unprotected run of
+// the same trace.
+package memctrl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"graphene/internal/dram"
+	"graphene/internal/hammer"
+	"graphene/internal/mitigation"
+	"graphene/internal/remap"
+	"graphene/internal/trace"
+)
+
+// Config assembles one simulation.
+type Config struct {
+	Geometry dram.Geometry
+	Timing   dram.Timing
+
+	// Factory builds the per-bank protection engine; nil simulates an
+	// unprotected baseline.
+	Factory mitigation.Factory
+
+	// TRH enables the ground-truth oracle when positive. OracleDistance
+	// and Mu configure its disturbance model (defaults: ±1, uniform).
+	TRH            int64
+	OracleDistance int
+	Mu             mitigation.MuModel
+
+	// Remap is the device's logical→physical row mapping (nil = identity).
+	// Protection schemes observe logical addresses; disturbance physics,
+	// auto-refresh, and NRR neighbor resolution act on physical rows
+	// (§II-C, §IV-A).
+	Remap remap.Remapper
+}
+
+func (c Config) withDefaults() Config {
+	if c.Geometry == (dram.Geometry{}) {
+		c.Geometry = dram.Default()
+	}
+	if c.Timing == (dram.Timing{}) {
+		c.Timing = dram.DDR4()
+	}
+	if c.OracleDistance == 0 {
+		c.OracleDistance = 1
+	}
+	return c
+}
+
+// BankFlip ties an oracle flip to the bank it occurred in.
+type BankFlip struct {
+	Bank int
+	hammer.Flip
+}
+
+// BankVictim ties a residual-disturbance report to its bank.
+type BankVictim struct {
+	Bank int
+	hammer.VictimReport
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Workload string
+	Scheme   string
+
+	EndTime dram.Time // completion time of the whole stream (max over banks)
+	ACTs    int64
+
+	REFCommands int64 // auto-refresh commands issued
+	RowsAuto    int64 // rows refreshed by the normal routine
+	NRRCommands int64 // victim-refresh commands issued
+	RowsVictim  int64 // rows refreshed by victim refreshes
+
+	Flips          []BankFlip // ground-truth bit flips (empty for sound schemes)
+	MaxDisturbance float64    // worst victim accumulator at the horizon
+
+	// TopVictims lists the most-disturbed (bank, row) accumulators at the
+	// horizon, highest first — the residual pressure the attack left
+	// behind after the scheme's refreshes.
+	TopVictims []BankVictim
+
+	// ExtraDRAMAccesses counts additional DRAM traffic some schemes cause
+	// (CRA counter-cache misses). Each access is charged to the bank
+	// timeline as one column-access occupancy (tCL), so it also shows up
+	// in EndTime.
+	ExtraDRAMAccesses int64
+
+	CostPerBank mitigation.HardwareCost
+
+	// PerBank breaks the aggregate counters down by flat bank index.
+	PerBank []BankSummary
+}
+
+// BankSummary is one bank's share of the run.
+type BankSummary struct {
+	Bank        int
+	ACTs        int64
+	RowsAuto    int64
+	NRRCommands int64
+	RowsVictim  int64
+	BusyTime    dram.Time
+}
+
+// RefreshOverhead is victim rows over normally refreshed rows — the
+// paper's refresh-energy overhead metric (Fig. 8(a)/(b)).
+func (r Result) RefreshOverhead() float64 {
+	if r.RowsAuto == 0 {
+		return 0
+	}
+	return float64(r.RowsVictim) / float64(r.RowsAuto)
+}
+
+// SlowdownVs returns the relative completion-time increase over a baseline
+// run of the same trace (Fig. 8(c)).
+func (r Result) SlowdownVs(baseline Result) float64 {
+	if baseline.EndTime == 0 {
+		return 0
+	}
+	return float64(r.EndTime-baseline.EndTime) / float64(baseline.EndTime)
+}
+
+// bankState bundles the per-bank simulation machinery.
+type bankState struct {
+	bank    *dram.Bank
+	mit     mitigation.Mitigator
+	oracle  *hammer.Oracle
+	now     dram.Time
+	nextREF dram.Time
+
+	// extraFn reads the scheme's cumulative extra-DRAM-access counter
+	// (CRA's counter-cache traffic); nil for self-contained schemes.
+	extraFn   func() int64
+	lastExtra int64
+
+	remap remap.Remapper // nil = identity
+}
+
+// phys translates a logical row to the physical word line.
+func (s *bankState) phys(row int) int {
+	if s.remap == nil {
+		return row
+	}
+	return s.remap.ToPhysical(row)
+}
+
+// Run replays gen to completion under cfg.
+func Run(cfg Config, gen trace.Generator) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Geometry.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Timing.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	if cfg.Remap != nil && cfg.Remap.Rows() != cfg.Geometry.RowsPerBank {
+		return Result{}, fmt.Errorf("memctrl: remapper covers %d rows, bank has %d", cfg.Remap.Rows(), cfg.Geometry.RowsPerBank)
+	}
+
+	nbanks := cfg.Geometry.Banks()
+	states := make([]*bankState, nbanks)
+	for i := range states {
+		b, err := dram.NewBank(cfg.Timing, cfg.Geometry.RowsPerBank)
+		if err != nil {
+			return Result{}, err
+		}
+		s := &bankState{bank: b, nextREF: cfg.Timing.TREFI, remap: cfg.Remap}
+		if cfg.Factory != nil {
+			if s.mit, err = cfg.Factory(); err != nil {
+				return Result{}, err
+			}
+			if x, ok := s.mit.(interface{ ExtraDRAMAccesses() int64 }); ok {
+				s.extraFn = x.ExtraDRAMAccesses
+			}
+		}
+		if cfg.TRH > 0 {
+			if s.oracle, err = hammer.NewOracle(cfg.Geometry.RowsPerBank, cfg.TRH, cfg.OracleDistance, cfg.Mu); err != nil {
+				return Result{}, err
+			}
+		}
+		states[i] = s
+	}
+
+	res := Result{Workload: gen.Name(), Scheme: "none"}
+	if cfg.Factory != nil {
+		res.Scheme = states[0].mit.Name()
+		res.CostPerBank = states[0].mit.Cost()
+	}
+
+	// Partition the stream by bank, preserving per-bank order. Banks are
+	// timing-independent in this model, so each bank replays its own
+	// sub-stream.
+	perBank := make([][]trace.Access, nbanks)
+	for {
+		a, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if a.Bank < 0 || a.Bank >= nbanks {
+			return Result{}, fmt.Errorf("memctrl: access to bank %d out of range [0,%d)", a.Bank, nbanks)
+		}
+		if a.Row < 0 || a.Row >= cfg.Geometry.RowsPerBank {
+			return Result{}, fmt.Errorf("memctrl: access to row %d out of range [0,%d)", a.Row, cfg.Geometry.RowsPerBank)
+		}
+		perBank[a.Bank] = append(perBank[a.Bank], a)
+	}
+
+	// Banks are timing-independent in this model, so their timelines replay
+	// concurrently; results merge deterministically in bank order below.
+	type bankOut struct {
+		acts  int64
+		flips []BankFlip
+		err   error
+	}
+	outs := make([]bankOut, nbanks)
+	var wg sync.WaitGroup
+	for bi, accs := range perBank {
+		if len(accs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(bi int, accs []trace.Access) {
+			defer wg.Done()
+			s := states[bi]
+			out := &outs[bi]
+			for _, a := range accs {
+				s.now += a.Gap
+				if err := s.catchUpREF(); err != nil {
+					out.err = err
+					return
+				}
+
+				start := s.now
+				if bu := s.bank.BusyUntil(); bu > start {
+					start = bu
+				}
+				physRow := s.phys(a.Row)
+				done, err := s.bank.Activate(physRow, s.now)
+				if err != nil {
+					out.err = err
+					return
+				}
+				out.acts++
+
+				if s.oracle != nil {
+					// The oracle lives in physical space: disturbance
+					// follows word-line adjacency, not controller
+					// addressing.
+					for _, f := range s.oracle.Activate(physRow, start) {
+						out.flips = append(out.flips, BankFlip{Bank: bi, Flip: f})
+					}
+				}
+				if s.mit != nil {
+					if err := s.apply(s.mit.OnActivate(a.Row, start), done); err != nil {
+						out.err = err
+						return
+					}
+					if s.extraFn != nil {
+						// Charge the scheme's extra DRAM traffic (counter
+						// reads/writebacks) as bank occupancy, one column
+						// access (tCL) per transfer.
+						if delta := s.extraFn() - s.lastExtra; delta > 0 {
+							s.lastExtra += delta
+							if _, err := s.bank.Stall(done, dram.Time(delta)*cfg.Timing.TCL); err != nil {
+								out.err = err
+								return
+							}
+						}
+					}
+				}
+				s.now = done
+			}
+		}(bi, accs)
+	}
+	wg.Wait()
+	for bi := range outs {
+		if outs[bi].err != nil {
+			return Result{}, outs[bi].err
+		}
+		res.ACTs += outs[bi].acts
+		res.Flips = append(res.Flips, outs[bi].flips...)
+	}
+
+	// Advance every bank to the global horizon so refresh-energy
+	// accounting covers the same elapsed time for all banks.
+	var horizon dram.Time
+	for _, s := range states {
+		if s.bank.BusyUntil() > horizon {
+			horizon = s.bank.BusyUntil()
+		}
+		if s.now > horizon {
+			horizon = s.now
+		}
+	}
+	res.EndTime = horizon
+	for _, s := range states {
+		s.now = horizon
+		if err := s.catchUpREF(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	for bi, s := range states {
+		st := s.bank.Stats()
+		res.REFCommands += st.REFCommands
+		res.RowsAuto += st.RowsAutoRefresh
+		res.NRRCommands += st.NRRCommands
+		res.RowsVictim += st.RowsNRR
+		res.PerBank = append(res.PerBank, BankSummary{
+			Bank:        bi,
+			ACTs:        st.ACTs,
+			RowsAuto:    st.RowsAutoRefresh,
+			NRRCommands: st.NRRCommands,
+			RowsVictim:  st.RowsNRR,
+			BusyTime:    st.BusyTime,
+		})
+		if s.oracle != nil {
+			if _, d := s.oracle.MaxDisturbance(); d > res.MaxDisturbance {
+				res.MaxDisturbance = d
+			}
+			for _, v := range s.oracle.TopVictims(3) {
+				res.TopVictims = append(res.TopVictims, BankVictim{Bank: bi, VictimReport: v})
+			}
+		}
+		if s.extraFn != nil {
+			res.ExtraDRAMAccesses += s.extraFn()
+		}
+	}
+	sort.Slice(res.TopVictims, func(i, j int) bool {
+		return res.TopVictims[i].Disturbance > res.TopVictims[j].Disturbance
+	})
+	if len(res.TopVictims) > 3 {
+		res.TopVictims = res.TopVictims[:3]
+	}
+	return res, nil
+}
+
+// catchUpREF issues every auto-refresh command due at or before s.now,
+// interleaving the mitigator's per-tREFI tick and any victim refreshes it
+// requests. A tick that asks for out-of-range rows (a buggy scheme) is a
+// real error and propagates.
+func (s *bankState) catchUpREF() error {
+	for s.nextREF <= s.now {
+		done, rows := s.bank.AutoRefresh(s.nextREF)
+		if s.oracle != nil {
+			for _, r := range rows {
+				s.oracle.RefreshRow(r)
+			}
+		}
+		if s.mit != nil {
+			if err := s.apply(s.mit.Tick(s.nextREF), done); err != nil {
+				return err
+			}
+		}
+		s.nextREF += s.bank.Timing().TREFI
+	}
+	return nil
+}
+
+// apply executes the requested victim refreshes at or after `at`. Aggressor
+// refreshes (NRR, §IV-A) resolve neighbors inside the device, in physical
+// space — they stay correct under remapping. Explicit row lists are
+// controller-side logical addresses: the device refreshes exactly their
+// physical images, so a scheme that assumed logical contiguity misses the
+// true physical victims (the §II-C CBT hazard).
+func (s *bankState) apply(vrs []mitigation.VictimRefresh, at dram.Time) error {
+	for _, vr := range vrs {
+		var rows []int
+		var err error
+		if vr.Explicit() {
+			rows = vr.Rows
+			if s.remap != nil {
+				rows = make([]int, len(vr.Rows))
+				for i, r := range vr.Rows {
+					rows[i] = s.remap.ToPhysical(r)
+				}
+			}
+			_, err = s.bank.RefreshRows(rows, at)
+		} else {
+			_, rows, err = s.bank.NearbyRowRefresh(s.phys(vr.Aggressor), vr.Distance, at)
+		}
+		if err != nil {
+			return err
+		}
+		if s.oracle != nil {
+			for _, r := range rows {
+				s.oracle.RefreshRow(r)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// Package mitigation defines the interface every Row Hammer protection
+// scheme in this repository implements, plus the hardware-cost vocabulary
+// used for the paper's area comparisons (Table IV, Fig. 9(a)).
+//
+// A Mitigator instance guards a single DRAM bank, mirroring the paper's
+// per-bank counter tables. The memory controller calls OnActivate for every
+// ACT command it issues to that bank and Tick at every tREFI (where REF
+// commands are scheduled); the mitigator responds with the victim refreshes
+// the controller must perform before the activation stream can continue.
+package mitigation
+
+import "graphene/internal/dram"
+
+// VictimRefresh is one proactive refresh a scheme requests.
+//
+// Either Rows is non-nil — an explicit set of rows to refresh (CBT refreshes
+// whole counter regions) — or Aggressor/Distance name an NRR command
+// refreshing every row within Distance of Aggressor on both sides.
+type VictimRefresh struct {
+	Aggressor int
+	Distance  int
+	Rows      []int
+}
+
+// Explicit reports whether the refresh targets an explicit row set rather
+// than an aggressor neighborhood.
+func (v VictimRefresh) Explicit() bool { return v.Rows != nil }
+
+// RowCount returns how many rows the refresh touches inside a bank with the
+// given number of rows (edge rows have fewer neighbors).
+func (v VictimRefresh) RowCount(bankRows int) int {
+	if v.Explicit() {
+		return len(v.Rows)
+	}
+	n := 0
+	for d := 1; d <= v.Distance; d++ {
+		if v.Aggressor-d >= 0 {
+			n++
+		}
+		if v.Aggressor+d < bankRows {
+			n++
+		}
+	}
+	return n
+}
+
+// Mitigator is one per-bank Row Hammer protection engine.
+type Mitigator interface {
+	// Name identifies the scheme (e.g. "graphene", "para", "cbt-128").
+	Name() string
+
+	// OnActivate observes one ACT to the guarded bank and returns the
+	// victim refreshes that must be issued now (possibly none).
+	OnActivate(row int, now dram.Time) []VictimRefresh
+
+	// Tick is called once per tREFI, when the controller schedules the REF
+	// command. Schemes that act at refresh granularity (TWiCe pruning,
+	// PRoHIT's piggybacked target refresh) use it; others ignore it.
+	Tick(now dram.Time) []VictimRefresh
+
+	// Reset clears all tracking state (power-on or test reset). Periodic
+	// reset windows are managed internally by each scheme from the times
+	// passed to OnActivate.
+	Reset()
+
+	// Cost reports the scheme's per-bank hardware cost.
+	Cost() HardwareCost
+}
+
+// HardwareCost describes per-bank tracking-structure cost in the units the
+// paper compares (bits of CAM and SRAM storage; Table IV).
+type HardwareCost struct {
+	Entries  int // tracking entries (0 for table-free schemes such as PARA)
+	CAMBits  int // content-addressable storage bits
+	SRAMBits int // plain SRAM storage bits
+}
+
+// TotalBits returns CAM + SRAM bits.
+func (c HardwareCost) TotalBits() int { return c.CAMBits + c.SRAMBits }
+
+// Factory builds a fresh Mitigator for one bank. The sim layer instantiates
+// one per bank so that schemes keep per-bank state, as in the paper.
+type Factory func() (Mitigator, error)
+
+// Bits returns the number of bits needed to represent values in [0, n),
+// with a minimum of 1. It is the bit-width helper used throughout the area
+// models (e.g. 16 bits for 64K row addresses, §IV-B).
+func Bits(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}

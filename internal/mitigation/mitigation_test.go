@@ -1,0 +1,102 @@
+package mitigation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBits(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{8334, 14},          // §IV-B: count to T = 8,333 needs 14 bits
+		{64 * 1024, 16},     // 64K row addresses need 16 bits
+		{1360*1000 + 1, 21}, // count to W needs 21 bits
+	}
+	for _, tc := range cases {
+		if got := Bits(tc.n); got != tc.want {
+			t.Errorf("Bits(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestBitsProperty(t *testing.T) {
+	// 2^Bits(n) >= n and 2^(Bits(n)-1) < n for n > 1.
+	f := func(v uint32) bool {
+		n := int(v%10_000_000) + 2
+		b := Bits(n)
+		return (1<<b) >= n && (1<<(b-1)) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVictimRefreshRowCount(t *testing.T) {
+	cases := []struct {
+		vr       VictimRefresh
+		bankRows int
+		want     int
+	}{
+		{VictimRefresh{Aggressor: 100, Distance: 1}, 1024, 2},
+		{VictimRefresh{Aggressor: 100, Distance: 3}, 1024, 6},
+		{VictimRefresh{Aggressor: 0, Distance: 2}, 1024, 2},    // low edge
+		{VictimRefresh{Aggressor: 1023, Distance: 2}, 1024, 2}, // high edge
+		{VictimRefresh{Rows: []int{1, 2, 3}}, 1024, 3},
+		{VictimRefresh{Rows: []int{}}, 1024, 0},
+	}
+	for i, tc := range cases {
+		if got := tc.vr.RowCount(tc.bankRows); got != tc.want {
+			t.Errorf("case %d: RowCount = %d, want %d", i, got, tc.want)
+		}
+	}
+}
+
+func TestVictimRefreshExplicit(t *testing.T) {
+	if (VictimRefresh{Aggressor: 5, Distance: 1}).Explicit() {
+		t.Error("aggressor-style refresh reported explicit")
+	}
+	if !(VictimRefresh{Rows: []int{1}}).Explicit() {
+		t.Error("row-set refresh not reported explicit")
+	}
+}
+
+func TestHardwareCostTotal(t *testing.T) {
+	c := HardwareCost{Entries: 81, CAMBits: 2511, SRAMBits: 100}
+	if c.TotalBits() != 2611 {
+		t.Errorf("TotalBits = %d, want 2611", c.TotalBits())
+	}
+}
+
+func TestAmpFactorValues(t *testing.T) {
+	if amp, err := AmpFactor(1, nil); err != nil || amp != 1 {
+		t.Errorf("AmpFactor(1) = %g, %v; want 1", amp, err)
+	}
+	if amp, err := AmpFactor(4, UniformMu); err != nil || amp != 4 {
+		t.Errorf("AmpFactor(4, uniform) = %g, %v; want 4", amp, err)
+	}
+	amp, err := AmpFactor(3, InverseSquareMu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + 0.25 + 1.0/9
+	if diff := amp - want; diff < -1e-12 || diff > 1e-12 {
+		t.Errorf("AmpFactor(3, 1/i²) = %g, want %g", amp, want)
+	}
+}
+
+func TestAmpFactorRejectsBadModels(t *testing.T) {
+	if _, err := AmpFactor(0, nil); err == nil {
+		t.Error("accepted distance 0")
+	}
+	if _, err := AmpFactor(2, func(i int) float64 { return 1.5 }); err == nil {
+		t.Error("accepted μ > 1")
+	}
+	if _, err := AmpFactor(2, func(i int) float64 {
+		if i == 1 {
+			return 1
+		}
+		return 0
+	}); err == nil {
+		t.Error("accepted μ = 0")
+	}
+}

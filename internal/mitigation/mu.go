@@ -1,0 +1,50 @@
+package mitigation
+
+import (
+	"fmt"
+	"math"
+)
+
+// MuModel gives the relative charge-disturbance coefficient μ_i of an
+// aggressor i rows away from its victim (paper §III-D). μ_1 must be 1 and
+// μ must be non-increasing in i. It is shared by the Graphene parameter
+// derivation, the ground-truth disturbance oracle, and the ±n extensions of
+// the baselines.
+type MuModel func(i int) float64
+
+// UniformMu assumes every aggressor within range disturbs as strongly as an
+// adjacent one — the conservative model of §III-D's first paragraph.
+func UniformMu(i int) float64 { return 1 }
+
+// InverseSquareMu models disturbance decaying with the square of distance
+// (μ_i = 1/i²), the example of §III-D whose amplification factor is bounded
+// by Σ 1/k² ≈ 1.64.
+func InverseSquareMu(i int) float64 { return 1 / float64(i*i) }
+
+// AmpFactor computes 1 + μ₂ + … + μₙ, validating the μ model (§III-D). The
+// factor scales table sizes up and tracking thresholds down for ±n Row
+// Hammer protection.
+func AmpFactor(n int, mu MuModel) (float64, error) {
+	if mu == nil {
+		mu = UniformMu
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("mitigation: distance must be >= 1, got %d", n)
+	}
+	sum := 0.0
+	prev := math.Inf(1)
+	for i := 1; i <= n; i++ {
+		m := mu(i)
+		switch {
+		case i == 1 && m != 1:
+			return 0, fmt.Errorf("mitigation: μ_1 must be 1, got %g", m)
+		case m <= 0 || m > 1:
+			return 0, fmt.Errorf("mitigation: μ_%d = %g out of (0, 1]", i, m)
+		case m > prev:
+			return 0, fmt.Errorf("mitigation: μ must be non-increasing, μ_%d = %g > μ_%d = %g", i, m, i-1, prev)
+		}
+		sum += m
+		prev = m
+	}
+	return sum, nil
+}

@@ -1,0 +1,104 @@
+package mitigation
+
+import (
+	"fmt"
+	"strings"
+
+	"graphene/internal/dram"
+)
+
+// Stack composes several mitigators into one: every layer observes every
+// ACT and every REF tick, and their victim refreshes are concatenated.
+// It models defense in depth, which is how real systems deploy Row Hammer
+// protection — e.g. a vendor TRR sampler inside the device underneath a
+// Graphene engine in the memory controller. A stack is sound if any layer
+// is sound; its cost is the sum of the layers' costs.
+type Stack struct {
+	layers []Mitigator
+}
+
+// NewStack builds a stack over the given layers (at least one).
+func NewStack(layers ...Mitigator) (*Stack, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("mitigation: stack needs at least one layer")
+	}
+	for i, l := range layers {
+		if l == nil {
+			return nil, fmt.Errorf("mitigation: stack layer %d is nil", i)
+		}
+	}
+	return &Stack{layers: layers}, nil
+}
+
+var _ Mitigator = (*Stack)(nil)
+
+// Name implements Mitigator: the layer names joined with "+".
+func (s *Stack) Name() string {
+	names := make([]string, len(s.layers))
+	for i, l := range s.layers {
+		names[i] = l.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+// Layers returns the composed mitigators, outermost first.
+func (s *Stack) Layers() []Mitigator { return append([]Mitigator(nil), s.layers...) }
+
+// OnActivate implements Mitigator.
+func (s *Stack) OnActivate(row int, now dram.Time) []VictimRefresh {
+	var out []VictimRefresh
+	for _, l := range s.layers {
+		out = append(out, l.OnActivate(row, now)...)
+	}
+	return out
+}
+
+// Tick implements Mitigator.
+func (s *Stack) Tick(now dram.Time) []VictimRefresh {
+	var out []VictimRefresh
+	for _, l := range s.layers {
+		out = append(out, l.Tick(now)...)
+	}
+	return out
+}
+
+// Reset implements Mitigator.
+func (s *Stack) Reset() {
+	for _, l := range s.layers {
+		l.Reset()
+	}
+}
+
+// Cost implements Mitigator: the sum over layers.
+func (s *Stack) Cost() HardwareCost {
+	var c HardwareCost
+	for _, l := range s.layers {
+		lc := l.Cost()
+		c.Entries += lc.Entries
+		c.CAMBits += lc.CAMBits
+		c.SRAMBits += lc.SRAMBits
+	}
+	return c
+}
+
+// StackFactory composes per-bank factories into a stack factory.
+func StackFactory(factories ...Factory) Factory {
+	return func() (Mitigator, error) {
+		layers := make([]Mitigator, 0, len(factories))
+		for i, f := range factories {
+			if f == nil {
+				return nil, fmt.Errorf("mitigation: stack factory %d is nil", i)
+			}
+			m, err := f()
+			if err != nil {
+				return nil, err
+			}
+			layers = append(layers, m)
+		}
+		s, err := NewStack(layers...)
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}

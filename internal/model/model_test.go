@@ -1,0 +1,204 @@
+package model
+
+import (
+	"testing"
+
+	"graphene/internal/dram"
+	"graphene/internal/graphene"
+	"graphene/internal/memctrl"
+	"graphene/internal/para"
+	"graphene/internal/twice"
+	"graphene/internal/workload"
+)
+
+func smallTiming() dram.Timing {
+	return dram.Timing{
+		TREFI: 7800 * dram.Nanosecond, TRFC: 350 * dram.Nanosecond,
+		TRC: 45 * dram.Nanosecond, TRCD: 13300, TRP: 13300, TCL: 13300,
+		TREFW: 2 * dram.Millisecond,
+	}
+}
+
+func TestGrapheneBoundsAtPaperConfig(t *testing.T) {
+	p, err := graphene.Config{TRH: 50000, K: 2}.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2·3·(8333−1) = 49,992 < 50,000: the guarantee holds with an 8-ACT
+	// margin — the paper's Inequality 3 is exactly tight.
+	if d := GrapheneMaxVictimDisturbance(p, 2); d != 49992 {
+		t.Errorf("worst-case disturbance = %g, want 49992", d)
+	}
+	if m := GrapheneGuaranteeMargin(50000, p, 2); m != 8 {
+		t.Errorf("margin = %g, want 8", m)
+	}
+	if tr := GrapheneMaxTriggersPerWindow(p); tr != 81 {
+		t.Errorf("max triggers = %d, want 81", tr)
+	}
+	if rows := GrapheneWorstCaseRefreshRows(p, 2, 1); rows != 324 {
+		t.Errorf("worst refresh rows = %d, want 324", rows)
+	}
+}
+
+func TestVerifyGrapheneConfigAcceptsAllDerivedConfigs(t *testing.T) {
+	for _, trh := range []int64{50000, 25000, 12500, 6250, 3125, 1562} {
+		for k := 1; k <= 8; k++ {
+			for _, dist := range []int{1, 2, 3} {
+				cfg := graphene.Config{TRH: trh, K: k, Distance: dist, Mu: graphene.InverseSquareMu}
+				if err := VerifyGrapheneConfig(cfg); err != nil {
+					t.Errorf("TRH %d K %d ±%d: %v", trh, k, dist, err)
+				}
+			}
+		}
+	}
+}
+
+func TestVerifyGrapheneConfigRejectsBad(t *testing.T) {
+	if err := VerifyGrapheneConfig(graphene.Config{TRH: 0}); err == nil {
+		t.Error("accepted TRH 0")
+	}
+}
+
+// TestDisturbanceBoundHoldsInSimulation drives the double-sided worst case
+// and confirms the oracle never observes disturbance above the closed-form
+// bound (which itself stays below TRH).
+func TestDisturbanceBoundHoldsInSimulation(t *testing.T) {
+	timing := smallTiming()
+	const (
+		rows = 1 << 12
+		trh  = 2000
+	)
+	cfg := graphene.Config{TRH: trh, K: 2, Rows: rows, Timing: timing}
+	p, err := cfg.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := GrapheneMaxVictimDisturbance(p, 2)
+	if bound >= trh {
+		t.Fatalf("bound %g not below TRH %d", bound, trh)
+	}
+	acts := timing.MaxACTs(timing.TREFW) * 2
+	res, err := memctrl.Run(memctrl.Config{
+		Geometry: dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 1, RowsPerBank: rows},
+		Timing:   timing,
+		Factory:  graphene.Factory(cfg),
+		TRH:      trh,
+	}, workload.DoubleSided(0, 600, acts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxDisturbance > bound {
+		t.Errorf("simulated disturbance %g exceeded closed-form bound %g", res.MaxDisturbance, bound)
+	}
+	if len(res.Flips) != 0 {
+		t.Errorf("%d flips", len(res.Flips))
+	}
+}
+
+// TestTriggerBoundHoldsInSimulation confirms no pattern we can write beats
+// the ⌊W/T⌋ triggers-per-window bound.
+func TestTriggerBoundHoldsInSimulation(t *testing.T) {
+	timing := smallTiming()
+	const (
+		rows = 1 << 12
+		trh  = 2000
+	)
+	cfg := graphene.Config{TRH: trh, K: 2, Rows: rows, Timing: timing}
+	p, err := cfg.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := timing.MaxACTs(timing.TREFW) // 2 reset windows at k=2
+	perWindow := GrapheneMaxTriggersPerWindow(p)
+
+	for _, n := range []int{1, p.NEntry / 2, p.NEntry, p.NEntry + 1, 2 * p.NEntry} {
+		if n < 1 {
+			continue
+		}
+		res, err := memctrl.Run(memctrl.Config{
+			Geometry: dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 1, RowsPerBank: rows},
+			Timing:   timing,
+			Factory:  graphene.Factory(cfg),
+			TRH:      trh,
+		}, workload.RotateRows("rot", 0, 64, 3, n, acts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two reset windows elapse plus slack: allow 2 windows + 1.
+		if res.NRRCommands > 2*perWindow+1 {
+			t.Errorf("n=%d: %d triggers exceed bound %d per window", n, res.NRRCommands, perWindow)
+		}
+	}
+}
+
+func TestTWiCeBoundEqualsDesignThreshold(t *testing.T) {
+	p, err := twice.Config{TRH: 50000}.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := TWiCeMaxVictimDisturbance(p); d != 50000 {
+		t.Errorf("TWiCe worst-case disturbance = %g, want TRH 50000 (design equality)", d)
+	}
+}
+
+func TestCBTTriggerRows(t *testing.T) {
+	cases := []struct {
+		rows, level, dist int
+		remapped          bool
+		want              int
+	}{
+		{64 * 1024, 9, 1, false, 130}, // N/2^9 + 2 = paper's 130-row burst
+		{64 * 1024, 9, 1, true, 256},  // 2 × N/2^9
+		{64 * 1024, 0, 1, false, 64*1024 + 2},
+		{16, 10, 1, false, 3}, // region clamps to 1
+	}
+	for _, tc := range cases {
+		got, err := CBTTriggerRows(tc.rows, tc.level, tc.dist, tc.remapped)
+		if err != nil || got != tc.want {
+			t.Errorf("CBTTriggerRows(%d,%d,%d,%v) = %d,%v; want %d",
+				tc.rows, tc.level, tc.dist, tc.remapped, got, err, tc.want)
+		}
+	}
+	if _, err := CBTTriggerRows(0, 0, 1, false); err == nil {
+		t.Error("accepted 0 rows")
+	}
+}
+
+func TestParaExpectedRefreshesMatchesSimulation(t *testing.T) {
+	timing := smallTiming()
+	const prob = 0.01
+	acts := int64(200_000)
+	want := ParaExpectedRefreshes(prob, acts)
+
+	res, err := memctrl.Run(memctrl.Config{
+		Geometry: dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 1, RowsPerBank: 1 << 12},
+		Timing:   timing,
+		Factory:  para.Factory(para.Classic(prob, 1<<12, 5)),
+	}, workload.S3(0, 600, acts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(res.NRRCommands)
+	if got < want*0.9 || got > want*1.1 {
+		t.Errorf("PARA refreshes = %g, expected ≈ %g", got, want)
+	}
+}
+
+func TestMargin(t *testing.T) {
+	if Margin(50000, 49992) <= 1 {
+		t.Error("sound config must have margin > 1")
+	}
+	if Margin(100, 0) != 0 {
+		t.Error("zero disturbance must give margin 0")
+	}
+}
+
+func TestSamplerCoverageBound(t *testing.T) {
+	// Real DDR4: W 1.36M, TRH 50K -> critical budget ≈ 54 refreshes per
+	// window; one TRR per tREFI (8192/window) is far above it, which is
+	// why only broken targeting (not capacity) explains TRRespass.
+	b := SamplerCoverageBound(1_360_000, 50_000)
+	if b < 54 || b > 55 {
+		t.Errorf("critical budget = %g, want ≈ 54.4", b)
+	}
+}

@@ -1,0 +1,256 @@
+package pagepolicy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graphene/internal/dram"
+	"graphene/internal/trace"
+)
+
+func TestClosedPageAlwaysActivates(t *testing.T) {
+	p := NewClosedPage()
+	for i := 0; i < 10; i++ {
+		if !p.OnRequest(5) {
+			t.Fatalf("closed page skipped an ACT at request %d", i)
+		}
+	}
+}
+
+func TestOpenPageActivatesOnConflictOnly(t *testing.T) {
+	p := NewOpenPage()
+	if !p.OnRequest(5) {
+		t.Fatal("first request must ACT")
+	}
+	for i := 0; i < 100; i++ {
+		if p.OnRequest(5) {
+			t.Fatalf("open page re-activated the open row at hit %d", i)
+		}
+	}
+	if !p.OnRequest(6) {
+		t.Fatal("row conflict must ACT")
+	}
+	p.Reset()
+	if !p.OnRequest(6) {
+		t.Fatal("request after Reset must ACT")
+	}
+}
+
+func TestMinimalistOpenClosesAfterBurst(t *testing.T) {
+	p, err := NewMinimalistOpen(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.OnRequest(9) {
+		t.Fatal("first request must ACT")
+	}
+	// Four hits ride the open row…
+	for i := 0; i < 4; i++ {
+		if p.OnRequest(9) {
+			t.Fatalf("hit %d re-activated", i)
+		}
+	}
+	// …then the row auto-precharged: the next access to the same row ACTs.
+	if !p.OnRequest(9) {
+		t.Error("row stayed open past the burst budget")
+	}
+}
+
+func TestMinimalistOpenRejectsBadBudget(t *testing.T) {
+	if _, err := NewMinimalistOpen(0); err == nil {
+		t.Error("accepted maxHits 0")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	mo, _ := NewMinimalistOpen(4)
+	for _, tc := range []struct {
+		p    Policy
+		want string
+	}{
+		{NewClosedPage(), "closed-page"},
+		{NewOpenPage(), "open-page"},
+		{mo, "minimalist-open-4"},
+	} {
+		if got := tc.p.Name(); got != tc.want {
+			t.Errorf("Name = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// reqSlice replays fixed requests.
+type reqSlice struct {
+	name string
+	reqs []Request
+	i    int
+}
+
+func (r *reqSlice) Name() string { return r.name }
+func (r *reqSlice) Next() (Request, bool) {
+	if r.i >= len(r.reqs) {
+		return Request{}, false
+	}
+	q := r.reqs[r.i]
+	r.i++
+	return q, true
+}
+
+func TestFrontendFiltersRowBufferHits(t *testing.T) {
+	reqs := []Request{
+		{Bank: 0, Row: 1}, {Bank: 0, Row: 1}, {Bank: 0, Row: 1}, // 1 ACT
+		{Bank: 0, Row: 2},                    // conflict: ACT
+		{Bank: 1, Row: 1}, {Bank: 1, Row: 1}, // other bank: 1 ACT
+	}
+	f, err := NewFrontend(&reqSlice{name: "t", reqs: reqs}, NewOpenPage, 2, dram.DDR4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := trace.Collect(f)
+	if len(accs) != 3 {
+		t.Fatalf("emitted %d ACTs, want 3: %+v", len(accs), accs)
+	}
+	if f.Requests() != 6 || f.ACTs() != 3 {
+		t.Errorf("requests/acts = %d/%d, want 6/3", f.Requests(), f.ACTs())
+	}
+	if got := f.RowBufferHitRate(); got != 0.5 {
+		t.Errorf("hit rate = %g, want 0.5", got)
+	}
+}
+
+func TestFrontendFoldsHitTimeIntoGaps(t *testing.T) {
+	timing := dram.DDR4()
+	gap := dram.Time(100)
+	reqs := []Request{
+		{Bank: 0, Row: 1, Gap: gap},
+		{Bank: 0, Row: 1, Gap: gap}, // hit: folded into next ACT
+		{Bank: 0, Row: 2, Gap: gap}, // ACT carrying the folded time
+	}
+	f, err := NewFrontend(&reqSlice{name: "t", reqs: reqs}, NewOpenPage, 1, timing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := trace.Collect(f)
+	if len(accs) != 2 {
+		t.Fatalf("emitted %d ACTs, want 2", len(accs))
+	}
+	want := gap + timing.TCL + gap // hit's gap + column occupancy + own gap
+	if accs[1].Gap != want {
+		t.Errorf("second ACT gap = %v, want %v", accs[1].Gap, want)
+	}
+}
+
+func TestFrontendRejectsBadConfig(t *testing.T) {
+	gen := &reqSlice{name: "t"}
+	if _, err := NewFrontend(nil, NewOpenPage, 1, dram.DDR4()); err == nil {
+		t.Error("accepted nil generator")
+	}
+	if _, err := NewFrontend(gen, nil, 1, dram.DDR4()); err == nil {
+		t.Error("accepted nil factory")
+	}
+	if _, err := NewFrontend(gen, NewOpenPage, 0, dram.DDR4()); err == nil {
+		t.Error("accepted zero banks")
+	}
+}
+
+func TestFrontendName(t *testing.T) {
+	f, err := NewFrontend(&reqSlice{name: "w"}, NewClosedPage, 1, dram.DDR4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "w+closed-page" {
+		t.Errorf("Name = %q", f.Name())
+	}
+}
+
+func TestAlternatingAttackDefeatsEveryPolicy(t *testing.T) {
+	// §II-B: a two-row alternation forces an ACT per request under closed,
+	// open, and minimalist-open policies alike — the page policy offers no
+	// Row Hammer protection.
+	mo := func() Policy {
+		p, err := NewMinimalistOpen(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, factory := range []PolicyFactory{NewClosedPage, NewOpenPage, mo} {
+		reqs := make([]Request, 1000)
+		for i := range reqs {
+			reqs[i] = Request{Bank: 0, Row: 10 + i%2*2}
+		}
+		f, err := NewFrontend(&reqSlice{name: "atk", reqs: reqs}, factory, 1, dram.DDR4())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(trace.Collect(f))
+		if n != 1000 {
+			t.Errorf("%s: attack produced %d ACTs from 1000 requests, want 1000", f.policy[0].Name(), n)
+		}
+	}
+}
+
+func TestQuickClosedPolicyIdentity(t *testing.T) {
+	// Property: under the closed-page policy the frontend is the identity
+	// on (bank,row) streams — same count, same order, gaps preserved.
+	f := func(seed int64, n uint8) bool {
+		count := int(n)%200 + 1
+		reqs := make([]Request, count)
+		r := seed
+		for i := range reqs {
+			r = r*6364136223846793005 + 1442695040888963407
+			reqs[i] = Request{
+				Bank: int(uint64(r) % 4),
+				Row:  int(uint64(r>>8) % 1024),
+				Gap:  dram.Time(uint64(r>>16) % 1000),
+			}
+		}
+		fe, err := NewFrontend(&reqSlice{name: "q", reqs: reqs}, NewClosedPage, 4, dram.DDR4())
+		if err != nil {
+			return false
+		}
+		accs := trace.Collect(fe)
+		if len(accs) != count {
+			return false
+		}
+		for i, a := range accs {
+			if a.Bank != reqs[i].Bank || a.Row != reqs[i].Row || a.Gap != reqs[i].Gap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFrontendConservesRequests(t *testing.T) {
+	// Property: requests = ACTs + row-buffer hits, for every policy.
+	mo := func() Policy {
+		p, _ := NewMinimalistOpen(4)
+		return p
+	}
+	for _, factory := range []PolicyFactory{NewClosedPage, NewOpenPage, mo} {
+		f := func(seed int64, n uint8) bool {
+			count := int(n)%300 + 1
+			reqs := make([]Request, count)
+			r := seed
+			for i := range reqs {
+				r = r*2862933555777941757 + 3037000493
+				reqs[i] = Request{Bank: int(uint64(r) % 2), Row: int(uint64(r>>8) % 8)}
+			}
+			fe, err := NewFrontend(&reqSlice{name: "q", reqs: reqs}, factory, 2, dram.DDR4())
+			if err != nil {
+				return false
+			}
+			acts := int64(len(trace.Collect(fe)))
+			wantRate := float64(fe.Requests()-acts) / float64(fe.Requests())
+			diff := fe.RowBufferHitRate() - wantRate
+			return fe.Requests() == int64(count) && acts == fe.ACTs() &&
+				diff < 1e-12 && diff > -1e-12
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package para implements PARA (Kim et al., ISCA 2014), the representative
+// probabilistic Row Hammer mitigation the paper compares against (§II-C,
+// §V-A): on every ACT, with probability p, one adjacent row (chosen
+// uniformly from the two sides) is refreshed. Each victim is therefore
+// refreshed with probability p/2 per aggressor ACT, matching the failure
+// analysis of the paper's footnote 2.
+//
+// The ±n extension of §V-D uses per-distance probabilities p_1 … p_n.
+package para
+
+import (
+	"fmt"
+	"math/rand"
+
+	"graphene/internal/dram"
+	"graphene/internal/mitigation"
+)
+
+// Config selects a PARA instance for one bank.
+type Config struct {
+	// Probabilities[d-1] is the chance that an ACT triggers a refresh of a
+	// row d rows away (one side chosen at random). A single-element slice
+	// reproduces classic PARA.
+	Probabilities []float64
+
+	// Rows is the number of rows in the guarded bank (victims outside the
+	// bank are dropped). Defaults to 64K.
+	Rows int
+
+	// Seed makes the scheme deterministic for reproducible experiments.
+	Seed int64
+}
+
+// Classic returns the configuration for original ±1 PARA with refresh
+// probability p (e.g. 0.00145 for near-complete protection at TRH = 50K,
+// §V-A).
+func Classic(p float64, rows int, seed int64) Config {
+	return Config{Probabilities: []float64{p}, Rows: rows, Seed: seed}
+}
+
+// Para is the per-bank engine. It implements mitigation.Mitigator.
+type Para struct {
+	cfg Config
+	rng *rand.Rand
+
+	refreshes int64
+}
+
+var _ mitigation.Mitigator = (*Para)(nil)
+
+// New builds a PARA engine from cfg.
+func New(cfg Config) (*Para, error) {
+	if len(cfg.Probabilities) == 0 {
+		return nil, fmt.Errorf("para: at least one refresh probability required")
+	}
+	for d, p := range cfg.Probabilities {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("para: probability p_%d = %g out of [0, 1]", d+1, p)
+		}
+	}
+	if cfg.Rows == 0 {
+		cfg.Rows = 64 * 1024
+	}
+	if cfg.Rows < 0 {
+		return nil, fmt.Errorf("para: rows must be positive, got %d", cfg.Rows)
+	}
+	return &Para{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Name implements mitigation.Mitigator.
+func (p *Para) Name() string {
+	return fmt.Sprintf("para-%g", p.cfg.Probabilities[0])
+}
+
+// VictimRefreshes returns the number of rows refreshed so far.
+func (p *Para) VictimRefreshes() int64 { return p.refreshes }
+
+// OnActivate implements mitigation.Mitigator: for every protected distance
+// d, with probability p_d it refreshes one of the two rows d away.
+func (p *Para) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
+	var out []mitigation.VictimRefresh
+	for d, prob := range p.cfg.Probabilities {
+		if prob == 0 || p.rng.Float64() >= prob {
+			continue
+		}
+		victim := row + (d + 1)
+		if p.rng.Intn(2) == 0 {
+			victim = row - (d + 1)
+		}
+		if victim < 0 || victim >= p.cfg.Rows {
+			continue
+		}
+		p.refreshes++
+		out = append(out, mitigation.VictimRefresh{Rows: []int{victim}})
+	}
+	return out
+}
+
+// Tick implements mitigation.Mitigator; PARA takes no refresh-time action.
+func (p *Para) Tick(now dram.Time) []mitigation.VictimRefresh { return nil }
+
+// Reset implements mitigation.Mitigator: PARA is stateless apart from its
+// RNG, which is reseeded for reproducibility.
+func (p *Para) Reset() {
+	p.rng = rand.New(rand.NewSource(p.cfg.Seed))
+	p.refreshes = 0
+}
+
+// Cost implements mitigation.Mitigator: PARA keeps no tracking state.
+func (p *Para) Cost() mitigation.HardwareCost { return mitigation.HardwareCost{} }
+
+// Factory returns a mitigation.Factory; each bank gets an independent RNG
+// stream derived from the base seed.
+func Factory(cfg Config) mitigation.Factory {
+	next := cfg.Seed
+	return func() (mitigation.Mitigator, error) {
+		c := cfg
+		c.Seed = next
+		next++
+		return New(c)
+	}
+}

@@ -1,0 +1,102 @@
+// Package plot renders minimal ASCII charts for the terminal report tool:
+// horizontal bar charts for figure-style comparisons and log-scaled bars
+// for quantities spanning decades (table sizes across thresholds).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one labeled value.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+const defaultWidth = 48
+
+// Bars writes a horizontal bar chart, linearly scaled to the maximum
+// value. Values must be non-negative.
+func Bars(w io.Writer, title string, bars []Bar) error {
+	return render(w, title, bars, false)
+}
+
+// LogBars writes a horizontal bar chart scaled by log10, for values
+// spanning orders of magnitude. Zero values render as empty bars.
+func LogBars(w io.Writer, title string, bars []Bar) error {
+	return render(w, title, bars, true)
+}
+
+func render(w io.Writer, title string, bars []Bar, logScale bool) error {
+	if len(bars) == 0 {
+		return fmt.Errorf("plot: no bars")
+	}
+	labelW := 0
+	maxVal := 0.0
+	minPos := math.Inf(1)
+	for _, b := range bars {
+		if b.Value < 0 {
+			return fmt.Errorf("plot: negative value %g for %q", b.Value, b.Label)
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if b.Value > 0 && b.Value < minPos {
+			minPos = b.Value
+		}
+	}
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	for _, b := range bars {
+		n := 0
+		switch {
+		case maxVal == 0 || b.Value == 0:
+			n = 0
+		case !logScale:
+			n = int(math.Round(b.Value / maxVal * defaultWidth))
+		default:
+			// Map [minPos, maxVal] onto [1, width] in log space.
+			span := math.Log10(maxVal) - math.Log10(minPos)
+			if span <= 0 {
+				n = defaultWidth
+			} else {
+				frac := (math.Log10(b.Value) - math.Log10(minPos)) / span
+				n = 1 + int(math.Round(frac*float64(defaultWidth-1)))
+			}
+		}
+		if b.Value > 0 && n == 0 {
+			n = 1 // visible trace for tiny non-zero values
+		}
+		if _, err := fmt.Fprintf(w, "  %-*s |%s %s\n",
+			labelW, b.Label, strings.Repeat("█", n), format(b.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func format(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	case v >= 10:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 0.01:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}

@@ -1,0 +1,101 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarsLinearScaling(t *testing.T) {
+	var sb strings.Builder
+	err := Bars(&sb, "title", []Bar{
+		{Label: "a", Value: 100},
+		{Label: "bb", Value: 50},
+		{Label: "c", Value: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "title" {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	countBlocks := func(line string) int { return strings.Count(line, "█") }
+	if a, b := countBlocks(lines[1]), countBlocks(lines[2]); a != 2*b {
+		t.Errorf("bar lengths %d vs %d, want 2:1", a, b)
+	}
+	if countBlocks(lines[3]) != 0 {
+		t.Errorf("zero value drew a bar: %q", lines[3])
+	}
+	// Labels align to the widest label.
+	if !strings.Contains(lines[1], "a  |") {
+		t.Errorf("label not padded: %q", lines[1])
+	}
+}
+
+func TestLogBarsSpanDecades(t *testing.T) {
+	var sb strings.Builder
+	err := LogBars(&sb, "", []Bar{
+		{Label: "small", Value: 10},
+		{Label: "mid", Value: 1_000},
+		{Label: "big", Value: 100_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	n := func(i int) int { return strings.Count(lines[i], "█") }
+	if !(n(0) < n(1) && n(1) < n(2)) {
+		t.Errorf("log bars not increasing: %d %d %d", n(0), n(1), n(2))
+	}
+	// Log scaling compresses: the 10,000× value ratio renders within the
+	// fixed width, not proportionally.
+	if n(2) > 100*n(0) || n(2) > 64 {
+		t.Errorf("log scale not applied: %d vs %d", n(2), n(0))
+	}
+	// The two decade steps (10→1K, 1K→100K) are equal in log space, so the
+	// bar increments should match within rounding.
+	if d1, d2 := n(1)-n(0), n(2)-n(1); d1 < d2-1 || d1 > d2+1 {
+		t.Errorf("log spacing uneven: +%d then +%d", d1, d2)
+	}
+}
+
+func TestTinyNonZeroStillVisible(t *testing.T) {
+	var sb strings.Builder
+	if err := Bars(&sb, "", []Bar{{Label: "x", Value: 1e-9}, {Label: "y", Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if strings.Count(lines[0], "█") < 1 {
+		t.Error("tiny non-zero value invisible")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := Bars(&sb, "", nil); err == nil {
+		t.Error("accepted empty bars")
+	}
+	if err := Bars(&sb, "", []Bar{{Label: "x", Value: -1}}); err == nil {
+		t.Error("accepted negative value")
+	}
+}
+
+func TestValueFormatting(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{2_500_000, "2.50M"},
+		{2_500, "2.5K"},
+		{42, "42"},
+		{0.34, "0.34"},
+		{1e-5, "1.00e-05"},
+	}
+	for _, tc := range cases {
+		if got := format(tc.in); got != tc.want {
+			t.Errorf("format(%g) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

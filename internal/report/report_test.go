@@ -1,0 +1,138 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"graphene/internal/dram"
+	"graphene/internal/sim"
+)
+
+func render(t *testing.T, f func(*strings.Builder) error) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := f(&sb); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	return sb.String()
+}
+
+func wantAll(t *testing.T, out string, subs ...string) {
+	t.Helper()
+	for _, s := range subs {
+		if !strings.Contains(out, s) {
+			t.Errorf("output missing %q:\n%s", s, out)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out := render(t, func(w *strings.Builder) error { return Table1(w) })
+	wantAll(t, out, "Table I", "tREFI", "7.800us", "350.000ns", "45.000ns", "64.000ms")
+}
+
+func TestTable2(t *testing.T) {
+	out := render(t, func(w *strings.Builder) error { return Table2(w, 50000) })
+	wantAll(t, out, "Table II", "12500", "108", "1358404")
+}
+
+func TestTable2RejectsBadTRH(t *testing.T) {
+	var sb strings.Builder
+	if err := Table2(&sb, 0); err == nil {
+		t.Error("accepted TRH 0")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	out := render(t, func(w *strings.Builder) error { return Table3(w) })
+	wantAll(t, out, "Table III", "4 channels", "16 banks")
+}
+
+func TestTable4(t *testing.T) {
+	out := render(t, func(w *strings.Builder) error { return Table4(w, 50000) })
+	wantAll(t, out, "Table IV", "graphene-k2", "2511", "twice", "cbt-128", "20484 + 15932")
+}
+
+func TestTable5(t *testing.T) {
+	out := render(t, func(w *strings.Builder) error { return Table5(w) })
+	wantAll(t, out, "Table V", "3.69e-03", "1.08e+06")
+}
+
+func TestFig6(t *testing.T) {
+	out := render(t, func(w *strings.Builder) error { return Fig6(w, 50000) })
+	wantAll(t, out, "Fig. 6", "108", "81")
+	if strings.Count(out, "\n") < 11 {
+		t.Errorf("Fig. 6 table too short:\n%s", out)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	out := render(t, func(w *strings.Builder) error { return Fig7(w) })
+	wantAll(t, out, "Fig. 7", "x-4", "x1, x2")
+}
+
+func TestFig8QuickScale(t *testing.T) {
+	sc := sim.Quick()
+	sc.WorkloadAccesses = 20_000
+	sc.AdversarialWindows = 0.05
+	out := render(t, func(w *strings.Builder) error { return Fig8(w, sc, 50000) })
+	wantAll(t, out, "Fig. 8(a)", "Fig. 8(b)", "Graphene", "TWiCe", "CBT-128", "PARA", "mcf", "S3")
+}
+
+func TestFig9QuickScale(t *testing.T) {
+	sc := sim.Quick()
+	sc.WorkloadAccesses = 10_000
+	sc.AdversarialWindows = 0.02
+	out := render(t, func(w *strings.Builder) error { return Fig9(w, sc, []int64{50000, 25000}) })
+	wantAll(t, out, "Fig. 9(a)", "Fig. 9(b)", "Fig. 9(c)", "50000", "25000")
+}
+
+func TestSecurityVA(t *testing.T) {
+	out := render(t, func(w *strings.Builder) error { return SecurityVA(w) })
+	wantAll(t, out, "§V-A", "0.00145", "0.05034")
+	// Derived column must be present and close to the paper column; spot
+	// check the 50K row carries a 0.0014x value.
+	if !strings.Contains(out, "0.0014") {
+		t.Errorf("derived p missing:\n%s", out)
+	}
+}
+
+func TestPrintRowsEmpty(t *testing.T) {
+	var sb strings.Builder
+	printRows(&sb, nil, true)
+	printScaling(&sb, nil, true)
+	if sb.Len() != 0 {
+		t.Errorf("empty rows produced output %q", sb.String())
+	}
+}
+
+// The default geometry used in the area-based exhibits must stay the
+// paper's (guards against accidental coupling to sim scales).
+func TestExhibitsUsePaperGeometry(t *testing.T) {
+	if g := dram.Default(); g.Banks() != 64 {
+		t.Fatalf("default geometry has %d banks", g.Banks())
+	}
+}
+
+func TestSectionVD(t *testing.T) {
+	out := render(t, func(w *strings.Builder) error { return SectionVD(w, 50000) })
+	wantAll(t, out, "§V-D", "1.645", "2511")
+	var sb strings.Builder
+	if err := SectionVD(&sb, 0); err == nil {
+		t.Error("accepted TRH 0")
+	}
+}
+
+func TestSectionVI(t *testing.T) {
+	out := render(t, func(w *strings.Builder) error { return SectionVI(w, 50000) })
+	wantAll(t, out, "§VI", "graphene-k2", "spacesaving", "cms-3x")
+	var sb strings.Builder
+	if err := SectionVI(&sb, 0); err == nil {
+		t.Error("accepted TRH 0")
+	}
+}
+
+func TestFuture(t *testing.T) {
+	out := render(t, func(w *strings.Builder) error { return Future(w) })
+	wantAll(t, out, "DDR5", "50000", "1562", "scalability")
+}

@@ -1,0 +1,91 @@
+package security
+
+import (
+	"fmt"
+
+	"graphene/internal/dram"
+	"graphene/internal/memctrl"
+	"graphene/internal/mitigation"
+	"graphene/internal/trace"
+)
+
+// MCConfig describes one Monte-Carlo protection experiment: a scheme, an
+// attack-pattern generator, and the oracle parameters. Each trial replays
+// one refresh window's worth of the pattern on a single bank; a trial fails
+// when the oracle records any bit flip.
+type MCConfig struct {
+	// Factory builds the scheme under test; trial t seeds it differently
+	// through the factory's own seed sequencing.
+	Factory mitigation.Factory
+
+	// Pattern builds the attack stream for a trial.
+	Pattern func(trial int) trace.Generator
+
+	TRH      int64
+	Rows     int // rows in the attacked bank; default 64K
+	Distance int // oracle disturbance reach; default 1
+	Timing   dram.Timing
+
+	Trials int
+}
+
+// MCResult reports the measured failure statistics.
+type MCResult struct {
+	Trials        int
+	Failures      int     // trials with at least one bit flip
+	TotalFlips    int     // flips across all trials
+	FailureProb   float64 // Failures / Trials
+	VictimsPerRun float64 // average victim rows refreshed per trial
+}
+
+func (r MCResult) String() string {
+	return fmt.Sprintf("%d/%d trials flipped (%.3f%%), %.1f victim refreshes/trial",
+		r.Failures, r.Trials, 100*r.FailureProb, r.VictimsPerRun)
+}
+
+// MonteCarlo runs the experiment. It reproduces measurements such as
+// §V-A's "PRoHIT has the 0.25% chance of exhibiting the bit-flip within
+// tREFW" under the Fig. 7(a) pattern.
+func MonteCarlo(cfg MCConfig) (MCResult, error) {
+	if cfg.Trials <= 0 {
+		return MCResult{}, fmt.Errorf("security: trials must be positive, got %d", cfg.Trials)
+	}
+	if cfg.Pattern == nil {
+		return MCResult{}, fmt.Errorf("security: pattern generator required")
+	}
+	if cfg.Rows == 0 {
+		cfg.Rows = 64 * 1024
+	}
+	if cfg.Distance == 0 {
+		cfg.Distance = 1
+	}
+	if cfg.Timing == (dram.Timing{}) {
+		cfg.Timing = dram.DDR4()
+	}
+
+	run := memctrl.Config{
+		Geometry:       dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 1, RowsPerBank: cfg.Rows},
+		Timing:         cfg.Timing,
+		Factory:        cfg.Factory,
+		TRH:            cfg.TRH,
+		OracleDistance: cfg.Distance,
+	}
+
+	var out MCResult
+	out.Trials = cfg.Trials
+	var victims int64
+	for t := 0; t < cfg.Trials; t++ {
+		res, err := memctrl.Run(run, cfg.Pattern(t))
+		if err != nil {
+			return MCResult{}, fmt.Errorf("security: trial %d: %w", t, err)
+		}
+		if len(res.Flips) > 0 {
+			out.Failures++
+			out.TotalFlips += len(res.Flips)
+		}
+		victims += res.RowsVictim
+	}
+	out.FailureProb = float64(out.Failures) / float64(out.Trials)
+	out.VictimsPerRun = float64(victims) / float64(out.Trials)
+	return out, nil
+}

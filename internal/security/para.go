@@ -1,0 +1,127 @@
+// Package security implements the paper's §V-A security analysis: the
+// analytic failure-probability recurrence for PARA, the minimal-probability
+// solver behind PARA-0.00145, and a Monte-Carlo harness that measures the
+// empirical failure rate of any scheme under any access pattern using the
+// ground-truth oracle.
+package security
+
+import (
+	"fmt"
+	"math"
+)
+
+// ParaFailure evaluates the paper's recurrence (footnote 2) for the chance
+// that a stream of acts activations of a single row defeats PARA with
+// refresh probability p:
+//
+//	P(e_N) = P(e_{N−1}) + 2·(p/2)·(1 − p/2)^TRH · (1 − P(e_{N−TRH−1}))
+//
+// Each of the two victim rows survives TRH consecutive ACTs un-refreshed
+// with probability (1 − p/2)^TRH (one side is refreshed per trigger, hence
+// p/2 per victim); the leading factor is the chance the failure window
+// starts exactly there, and the trailing factor excludes earlier failures.
+// P(e_N) = 0 for N < TRH.
+func ParaFailure(p float64, trh int64, acts int64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("security: probability %g out of [0, 1]", p)
+	}
+	if trh <= 0 {
+		return 0, fmt.Errorf("security: TRH must be positive, got %d", trh)
+	}
+	if acts < trh {
+		return 0, nil
+	}
+	// survive = (1 − p/2)^TRH computed stably in log space.
+	survive := math.Exp(float64(trh) * math.Log1p(-p/2))
+	step := p * survive // 2 victims × (p/2) × survive
+
+	// history[i] holds P(e_{N-TRH-1}) lookbacks in a ring buffer.
+	lookback := int(trh + 1)
+	history := make([]float64, lookback)
+	// Base case N = TRH: either victim survives the whole first window
+	// un-refreshed with probability (1 − p/2)^TRH.
+	base := 1 - (1-survive)*(1-survive)
+	history[int(trh%int64(lookback))] = base
+	prev := base
+	for n := trh + 1; n <= acts; n++ {
+		idx := int(n % int64(lookback))
+		old := history[idx] // P(e_{n-TRH-1})
+		cur := prev + step*(1-old)
+		if cur > 1 {
+			cur = 1
+		}
+		history[idx] = cur
+		prev = cur
+	}
+	return prev, nil
+}
+
+// SystemConfig describes the attacked system for the yearly failure-chance
+// computation: the paper assumes a single-processor system with four
+// single-rank DDR4 channels — 64 banks — attacked continuously for a year.
+type SystemConfig struct {
+	Banks          int     // concurrently attacked banks (64)
+	WindowsPerYear float64 // refresh windows per year (1 year / tREFW)
+	ActsPerWindow  int64   // max single-row ACTs per window (W ≈ 1,360K)
+}
+
+// DefaultSystem returns the paper's setting: 64 banks, 64 ms windows,
+// 1,360K ACTs per window.
+func DefaultSystem() SystemConfig {
+	return SystemConfig{
+		Banks:          64,
+		WindowsPerYear: 365.25 * 24 * 3600 / 64e-3,
+		ActsPerWindow:  1360 * 1000,
+	}
+}
+
+// ParaYearlyFailure returns the chance that at least one bank suffers a
+// successful Row Hammer attack within a year when every bank is hammered
+// with the worst-case single-row pattern.
+func ParaYearlyFailure(p float64, trh int64, sys SystemConfig) (float64, error) {
+	perWindow, err := ParaFailure(p, trh, sys.ActsPerWindow)
+	if err != nil {
+		return 0, err
+	}
+	attempts := float64(sys.Banks) * sys.WindowsPerYear
+	// 1 − (1 − q)^n, computed stably for tiny q.
+	return -math.Expm1(attempts * math.Log1p(-perWindow)), nil
+}
+
+// MinimalParaP finds, by bisection, the smallest refresh probability giving
+// a yearly failure chance below target (the paper's "near-complete
+// protection": < 1% per year). It reproduces the scaling series of §V-C —
+// 0.00145 at TRH 50K up to ≈ 0.05 at 1.56K (within the tolerance of the
+// paper's rounding).
+func MinimalParaP(trh int64, sys SystemConfig, target float64) (float64, error) {
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("security: target %g out of (0, 1)", target)
+	}
+	lo, hi := 0.0, 1.0
+	// Bisection on the monotone (decreasing in p) yearly failure chance.
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		fail, err := ParaYearlyFailure(mid, trh, sys)
+		if err != nil {
+			return 0, err
+		}
+		if fail > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// PaperParaP records the refresh probabilities the paper derives for
+// near-complete protection at each Row Hammer threshold (§V-A, §V-C), used
+// as the comparison column in EXPERIMENTS.md.
+var PaperParaP = map[int64]float64{
+	50000: 0.00145,
+	25000: 0.00295,
+	12500: 0.00602,
+	6250:  0.01224,
+	3125:  0.02485,
+	1562:  0.05034,
+}

@@ -1,0 +1,126 @@
+package security
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParaFailureBasics(t *testing.T) {
+	// Below TRH activations, failure is impossible.
+	p, err := ParaFailure(0.001, 1000, 999)
+	if err != nil || p != 0 {
+		t.Errorf("P(e_{TRH-1}) = %g, %v; want 0", p, err)
+	}
+	// With refresh probability 0, the first TRH ACTs always succeed.
+	p, err = ParaFailure(0, 1000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("p=0 failure = %g, want 1", p)
+	}
+	// Monotone: more ACTs, higher failure chance.
+	a, _ := ParaFailure(0.005, 1000, 10_000)
+	b, _ := ParaFailure(0.005, 1000, 100_000)
+	if b < a {
+		t.Errorf("failure not monotone in acts: %g then %g", a, b)
+	}
+	// Monotone: higher p, lower failure chance.
+	lo, _ := ParaFailure(0.01, 1000, 100_000)
+	hi, _ := ParaFailure(0.002, 1000, 100_000)
+	if lo > hi {
+		t.Errorf("failure not monotone in p: p=.01 gives %g, p=.002 gives %g", lo, hi)
+	}
+}
+
+func TestParaFailureRejectsBadArgs(t *testing.T) {
+	if _, err := ParaFailure(-0.1, 1000, 10); err == nil {
+		t.Error("accepted negative p")
+	}
+	if _, err := ParaFailure(1.5, 1000, 10); err == nil {
+		t.Error("accepted p > 1")
+	}
+	if _, err := ParaFailure(0.1, 0, 10); err == nil {
+		t.Error("accepted TRH 0")
+	}
+}
+
+func TestPaperParaPGivesNearOnePercent(t *testing.T) {
+	// §V-A: PARA-0.00145 yields ≈ 1%/year failure at TRH = 50K on the
+	// 64-bank system. Our recurrence should land within a small factor.
+	sys := DefaultSystem()
+	fail, err := ParaYearlyFailure(0.00145, 50000, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail < 0.002 || fail > 0.05 {
+		t.Errorf("yearly failure at p=0.00145 = %g, want ≈ 0.01 (§V-A)", fail)
+	}
+}
+
+func TestMinimalParaPMatchesPaperSeries(t *testing.T) {
+	// §V-C: the derived minimal p should track the paper's series within
+	// ~25% at every threshold (the paper's own rounding and system-model
+	// details account for the slack).
+	sys := DefaultSystem()
+	for trh, want := range PaperParaP {
+		got, err := MinimalParaP(trh, sys, 0.01)
+		if err != nil {
+			t.Fatalf("TRH %d: %v", trh, err)
+		}
+		if ratio := got / want; ratio < 0.75 || ratio > 1.25 {
+			t.Errorf("TRH %d: minimal p = %.5f, paper %.5f (ratio %.2f)", trh, got, want, ratio)
+		}
+	}
+}
+
+func TestMinimalParaPScalesInverselyWithTRH(t *testing.T) {
+	sys := DefaultSystem()
+	prev := 0.0
+	for _, trh := range []int64{50000, 25000, 12500, 6250, 3125, 1562} {
+		p, err := MinimalParaP(trh, sys, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p <= prev {
+			t.Errorf("minimal p not increasing as TRH falls: %g after %g", p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestMinimalParaPRejectsBadTarget(t *testing.T) {
+	if _, err := MinimalParaP(50000, DefaultSystem(), 0); err == nil {
+		t.Error("accepted target 0")
+	}
+	if _, err := MinimalParaP(50000, DefaultSystem(), 1); err == nil {
+		t.Error("accepted target 1")
+	}
+}
+
+func TestYearlyFailureSaturatesAtOne(t *testing.T) {
+	f, err := ParaYearlyFailure(0.00001, 50000, DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0.999 {
+		t.Errorf("hopeless p gives yearly failure %g, want ≈ 1", f)
+	}
+	if math.IsNaN(f) {
+		t.Error("NaN failure probability")
+	}
+}
+
+func TestDefaultSystemMatchesPaper(t *testing.T) {
+	sys := DefaultSystem()
+	if sys.Banks != 64 {
+		t.Errorf("banks = %d, want 64 (4 ranks × 16)", sys.Banks)
+	}
+	if sys.ActsPerWindow != 1_360_000 {
+		t.Errorf("W = %d, want 1,360K", sys.ActsPerWindow)
+	}
+	// ≈ 493M windows of 64 ms per year.
+	if sys.WindowsPerYear < 4.9e8 || sys.WindowsPerYear > 5.0e8 {
+		t.Errorf("windows/year = %g", sys.WindowsPerYear)
+	}
+}

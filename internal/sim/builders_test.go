@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildWorkloadNames(t *testing.T) {
+	sc := testScale()
+	sc.AdversarialWindows = 0.001
+	for _, name := range AttackNames() {
+		gen, attack, err := BuildWorkload(name, sc, 50000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !attack {
+			t.Errorf("%s not flagged as attack", name)
+		}
+		if _, ok := gen.Next(); !ok {
+			t.Errorf("%s produced no accesses", name)
+		}
+	}
+	gen, attack, err := BuildWorkload("mcf", sc, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attack {
+		t.Error("mcf flagged as attack")
+	}
+	if gen.Name() != "mcf" {
+		t.Errorf("Name = %q", gen.Name())
+	}
+	if _, _, err := BuildWorkload("nope", sc, 50000); err == nil {
+		t.Error("accepted unknown workload")
+	}
+}
+
+func TestBuildSchemeNames(t *testing.T) {
+	sc := testScale()
+	for _, name := range SchemeNames() {
+		factory, display, err := BuildScheme(name, 50000, 2, 1, sc.Geometry.RowsPerBank, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "none" {
+			if factory != nil {
+				t.Error("none returned a factory")
+			}
+			continue
+		}
+		if factory == nil {
+			t.Fatalf("%s: nil factory", name)
+		}
+		m, err := factory()
+		if err != nil {
+			t.Fatalf("%s: factory: %v", name, err)
+		}
+		if m.Name() == "" || display == "" {
+			t.Errorf("%s: empty names", name)
+		}
+	}
+	if _, _, err := BuildScheme("nope", 50000, 2, 1, 64, sc); err == nil {
+		t.Error("accepted unknown scheme")
+	}
+}
+
+func TestBuildSchemeDistancePropagates(t *testing.T) {
+	sc := testScale()
+	factory, _, err := BuildScheme("graphene", 50000, 2, 3, sc.Geometry.RowsPerBank, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the engine to a trigger and verify the refresh reach is ±3.
+	var dist int
+	for i := 0; i < 100_000; i++ {
+		if vrs := m.OnActivate(500, 0); len(vrs) > 0 {
+			dist = vrs[0].Distance
+			break
+		}
+	}
+	if dist != 3 {
+		t.Errorf("±3 scheme refreshed at distance %d", dist)
+	}
+}
+
+func TestBuildSchemeErrorListsOptions(t *testing.T) {
+	_, _, err := BuildScheme("bogus", 50000, 2, 1, 64, testScale())
+	if err == nil || !strings.Contains(err.Error(), "graphene") {
+		t.Errorf("error %v should list valid schemes", err)
+	}
+}

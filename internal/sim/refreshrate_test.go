@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"graphene/internal/dram"
+	"graphene/internal/memctrl"
+	"graphene/internal/workload"
+)
+
+// The §II-B observation about the post-disclosure BIOS mitigation:
+// multiplying the refresh rate shrinks the attack window but "the refresh
+// rate cannot be raised high enough to eliminate all threats", while its
+// energy cost accrues permanently.
+func TestRefreshRateMitigationIsInsufficient(t *testing.T) {
+	base := dram.Timing{
+		TREFI: 7800 * dram.Nanosecond, TRFC: 350 * dram.Nanosecond,
+		TRC: 45 * dram.Nanosecond, TRCD: 13300, TRP: 13300, TCL: 13300,
+		TREFW: 8 * dram.Millisecond,
+	}
+	const (
+		rows = 1 << 12
+		trh  = 2000 // W/TRH ≈ 84: DDR4-like vulnerability ratio
+	)
+	geo := dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 1, RowsPerBank: rows}
+	acts := base.MaxACTs(base.TREFW)
+
+	run := func(timing dram.Timing) memctrl.Result {
+		res, err := memctrl.Run(memctrl.Config{Geometry: geo, Timing: timing, TRH: trh},
+			workload.S3(0, rows/2, acts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	plain := run(base)
+	if len(plain.Flips) == 0 {
+		t.Fatal("baseline attack did not flip")
+	}
+
+	x2, err := base.ScaleRefreshRate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled := run(x2)
+	// Twice the refresh rate still loses: the attacker accumulates TRH
+	// ACTs well inside the halved window.
+	if len(doubled.Flips) == 0 {
+		t.Error("doubling the refresh rate stopped the attack — threat model too weak")
+	}
+	// And it costs ~2× the refresh energy (rows auto-refreshed per time).
+	ratio := float64(doubled.RowsAuto) / float64(plain.RowsAuto)
+	if ratio < 1.8 || ratio > 2.3 {
+		t.Errorf("auto-refresh rows ratio = %.2f, want ≈ 2 (energy doubles)", ratio)
+	}
+
+	// Only an infeasible rate would outpace this attacker: the window
+	// would have to shrink below TRH activations (tREFW/m < TRH·tRC →
+	// m > 87 here), far past the point where tRFC collides with tREFI.
+	need := float64(base.TREFW) / (float64(trh) * float64(base.TRC))
+	if _, err := base.ScaleRefreshRate(int(need) + 1); err == nil {
+		t.Errorf("a ×%d refresh rate should be infeasible", int(need)+1)
+	}
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"graphene/internal/dram"
+	"graphene/internal/graphene"
+	"graphene/internal/memctrl"
+	"graphene/internal/mitigation"
+	"graphene/internal/trace"
+	"graphene/internal/trr"
+	"graphene/internal/workload"
+)
+
+// The soundness matrix: every counter-based scheme against every attack
+// pattern in the repository, at the compressed security scale, judged by
+// the ground-truth oracle. The paper's central claim — counter-based
+// schemes have no false negatives (§II-C, §III-C) — must hold cell by
+// cell.
+func TestCounterSchemeSoundnessMatrix(t *testing.T) {
+	timing := dram.Timing{
+		TREFI: 244 * dram.Nanosecond, TRFC: 20 * dram.Nanosecond,
+		TRC: 45 * dram.Nanosecond, TRCD: 13300, TRP: 13300, TCL: 13300,
+		TREFW: 2 * dram.Millisecond,
+	}
+	const (
+		rows = 8192
+		trh  = 1200
+		mid  = rows / 2
+	)
+	acts := timing.MaxACTs(timing.TREFW) * 3 / 2 // 1.5 windows
+
+	sc := Scale{
+		Geometry: dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 1, RowsPerBank: rows},
+		Timing:   timing,
+		Seed:     1,
+	}
+
+	attacks := []struct {
+		name string
+		mk   func() trace.Generator
+	}{
+		{"single-sided", func() trace.Generator { return workload.S3(0, mid, acts) }},
+		{"double-sided", func() trace.Generator { return workload.DoubleSided(0, mid, acts) }},
+		{"4-sided", func() trace.Generator { return workload.ManySided(0, mid, 4, acts) }},
+		{"16-sided", func() trace.Generator { return workload.ManySided(0, mid, 16, acts) }},
+		{"S1-10", func() trace.Generator { return workload.S1(0, rows, 10, acts) }},
+		{"S2", func() trace.Generator { return workload.S2(0, rows, 10, 0.2, acts, 7) }},
+		{"S4", func() trace.Generator { return workload.S4(0, rows, mid, 0.5, acts, 7) }},
+		{"fig7a", func() trace.Generator { return workload.ProHITPattern(0, mid, acts) }},
+		{"fig7b", func() trace.Generator { return workload.MRLocPattern(0, mid, 5, acts) }},
+		{"edge-row", func() trace.Generator { return workload.S3(0, 0, acts) }},
+		{"rotate-table-size", func() trace.Generator { return workload.RotateRows("rot", 0, 64, 3, 120, acts) }},
+	}
+
+	for _, schemeName := range []string{"graphene", "twice", "cbt", "cra", "perrow"} {
+		factory, display, err := BuildScheme(schemeName, trh, 2, 1, rows, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", schemeName, err)
+		}
+		for _, atk := range attacks {
+			t.Run(fmt.Sprintf("%s/%s", schemeName, atk.name), func(t *testing.T) {
+				res, err := memctrl.Run(memctrl.Config{
+					Geometry: sc.Geometry, Timing: timing,
+					Factory: factory, TRH: trh,
+				}, atk.mk())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Flips) != 0 {
+					t.Errorf("%s vs %s: %d bit flips (first: %v)", display, atk.name, len(res.Flips), res.Flips[0])
+				}
+				if res.MaxDisturbance >= float64(trh) {
+					t.Errorf("%s vs %s: disturbance reached %g / %d", display, atk.name, res.MaxDisturbance, trh)
+				}
+			})
+		}
+	}
+}
+
+// The probabilistic schemes, in contrast, must NOT be sound against their
+// tailored patterns — otherwise our attacks are toothless and the matrix
+// above proves nothing.
+func TestTailoredAttacksActuallyBite(t *testing.T) {
+	timing := dram.Timing{
+		TREFI: 244 * dram.Nanosecond, TRFC: 20 * dram.Nanosecond,
+		TRC: 45 * dram.Nanosecond, TRCD: 13300, TRP: 13300, TCL: 13300,
+		TREFW: 2 * dram.Millisecond,
+	}
+	const (
+		rows = 8192
+		trh  = 1200
+	)
+	acts := timing.MaxACTs(timing.TREFW)
+	geo := dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 1, RowsPerBank: rows}
+
+	// Unprotected: every attack flips.
+	res, err := memctrl.Run(memctrl.Config{Geometry: geo, Timing: timing, TRH: trh},
+		workload.ManySided(0, rows/2, 8, acts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flips) == 0 {
+		t.Error("8-sided attack on unprotected bank did not flip")
+	}
+}
+
+// Defense in depth: a TRR sampler stacked under Graphene inherits
+// Graphene's soundness while the TRR layer's own refreshes only help.
+func TestStackedTRRPlusGrapheneSound(t *testing.T) {
+	timing := dram.Timing{
+		TREFI: 244 * dram.Nanosecond, TRFC: 20 * dram.Nanosecond,
+		TRC: 45 * dram.Nanosecond, TRCD: 13300, TRP: 13300, TCL: 13300,
+		TREFW: 2 * dram.Millisecond,
+	}
+	const (
+		rows = 8192
+		trh  = 1200
+	)
+	acts := timing.MaxACTs(timing.TREFW)
+	stack := mitigation.StackFactory(
+		trr.Factory(trr.Config{SamplerEntries: 2, SampleP: 0.5, RefreshEvery: 64, Rows: rows, Seed: 2}),
+		graphene.Factory(graphene.Config{TRH: trh, K: 2, Rows: rows, Timing: timing}),
+	)
+	for _, mk := range []func() trace.Generator{
+		func() trace.Generator { return workload.ManySided(0, rows/2, 16, acts) },
+		func() trace.Generator { return workload.DoubleSided(0, rows/2, acts) },
+	} {
+		res, err := memctrl.Run(memctrl.Config{
+			Geometry: dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 1, RowsPerBank: rows},
+			Timing:   timing, Factory: stack, TRH: trh,
+		}, mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Flips) != 0 {
+			t.Errorf("stacked TRR+Graphene flipped %d bits", len(res.Flips))
+		}
+		if res.Scheme != "trr-2+graphene-k2" {
+			t.Errorf("scheme = %q", res.Scheme)
+		}
+	}
+}

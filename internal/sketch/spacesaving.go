@@ -1,0 +1,169 @@
+package sketch
+
+import (
+	"fmt"
+
+	"graphene/internal/dram"
+	"graphene/internal/mitigation"
+)
+
+// SSConfig selects a Space-Saving tracker for one bank.
+type SSConfig struct {
+	TRH      int64
+	K        int // reset window divisor (default 2)
+	Entries  int // 0 derives ⌈W/T⌉ (the Space-Saving ε = T/W bound)
+	Rows     int
+	Distance int
+	Timing   dram.Timing
+}
+
+func (c SSConfig) withDefaults() SSConfig {
+	if c.K == 0 {
+		c.K = 2
+	}
+	if c.Rows == 0 {
+		c.Rows = 64 * 1024
+	}
+	if c.Distance == 0 {
+		c.Distance = 1
+	}
+	if c.Timing == (dram.Timing{}) {
+		c.Timing = dram.DDR4()
+	}
+	return c
+}
+
+// SpaceSaving is the per-bank Space-Saving tracker (Metwally et al., ICDT
+// 2005): on a miss with a full table, the minimum-count entry is replaced
+// and the newcomer inherits min+1. Like Misra-Gries, estimates only ever
+// overshoot actual counts, so triggering at multiples of T is sound; the
+// structural difference is a min search instead of Misra-Gries' equality
+// search against a spillover register. It implements mitigation.Mitigator.
+type SpaceSaving struct {
+	cfg     SSConfig
+	t       int64
+	w       int64
+	nentry  int
+	counts  map[int]int64 // row -> estimate
+	trigger map[int]int64 // row -> estimate at last trigger
+
+	window    dram.Time
+	windowEnd dram.Time
+
+	refreshes int64
+}
+
+var _ mitigation.Mitigator = (*SpaceSaving)(nil)
+
+// NewSpaceSaving builds a Space-Saving tracker from cfg.
+func NewSpaceSaving(cfg SSConfig) (*SpaceSaving, error) {
+	cfg = cfg.withDefaults()
+	if cfg.TRH <= 0 {
+		return nil, fmt.Errorf("sketch: TRH must be positive, got %d", cfg.TRH)
+	}
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	t := cfg.TRH / int64(2*(cfg.K+1))
+	if t < 1 {
+		return nil, fmt.Errorf("sketch: TRH %d too small for K %d", cfg.TRH, cfg.K)
+	}
+	window := cfg.Timing.TREFW / dram.Time(cfg.K)
+	w := cfg.Timing.MaxACTs(window)
+	nentry := cfg.Entries
+	if nentry == 0 {
+		// Space-Saving error bound: overestimate ≤ W/Entries; choosing
+		// Entries ≥ W/T bounds it by T. (Misra-Gries needs the same
+		// asymptotics: the two structures are duals.)
+		nentry = int((w + t - 1) / t)
+	}
+	if nentry < 1 {
+		return nil, fmt.Errorf("sketch: derived entries < 1")
+	}
+	return &SpaceSaving{
+		cfg: cfg, t: t, w: w, nentry: nentry,
+		counts:  make(map[int]int64, nentry),
+		trigger: make(map[int]int64, nentry),
+		window:  window, windowEnd: window,
+	}, nil
+}
+
+// Name implements mitigation.Mitigator.
+func (s *SpaceSaving) Name() string { return fmt.Sprintf("spacesaving-%d", s.nentry) }
+
+// T returns the trigger threshold.
+func (s *SpaceSaving) T() int64 { return s.t }
+
+// Entries returns the table capacity.
+func (s *SpaceSaving) Entries() int { return s.nentry }
+
+// VictimRefreshes returns the NRR commands issued.
+func (s *SpaceSaving) VictimRefreshes() int64 { return s.refreshes }
+
+// Estimate returns the tracked estimate for row (0 when untracked).
+func (s *SpaceSaving) Estimate(row int) int64 { return s.counts[row] }
+
+// OnActivate implements mitigation.Mitigator.
+func (s *SpaceSaving) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
+	for now >= s.windowEnd {
+		s.resetWindow()
+		s.windowEnd += s.window
+	}
+	if _, ok := s.counts[row]; ok {
+		s.counts[row]++
+	} else if len(s.counts) < s.nentry {
+		s.counts[row] = 1
+	} else {
+		// Replace the minimum; the newcomer inherits min+1 (the defining
+		// Space-Saving move — overestimates, never underestimates).
+		minRow, minCount := -1, int64(0)
+		for r, c := range s.counts {
+			if minRow < 0 || c < minCount {
+				minRow, minCount = r, c
+			}
+		}
+		delete(s.counts, minRow)
+		delete(s.trigger, minRow)
+		s.counts[row] = minCount + 1
+	}
+	est := s.counts[row]
+	if est < s.t || est < s.trigger[row]+s.t {
+		return nil
+	}
+	s.trigger[row] = est
+	s.refreshes++
+	return []mitigation.VictimRefresh{{Aggressor: row, Distance: s.cfg.Distance}}
+}
+
+// Tick implements mitigation.Mitigator.
+func (s *SpaceSaving) Tick(now dram.Time) []mitigation.VictimRefresh { return nil }
+
+func (s *SpaceSaving) resetWindow() {
+	clear(s.counts)
+	clear(s.trigger)
+}
+
+// Reset implements mitigation.Mitigator.
+func (s *SpaceSaving) Reset() {
+	s.resetWindow()
+	s.windowEnd = s.window
+	s.refreshes = 0
+}
+
+// Cost implements mitigation.Mitigator: entries × (address CAM + count up
+// to W). Without Misra-Gries' spillover/pinning structure the overflow-bit
+// compression does not apply, so each count field is full width — the
+// §VI area argument for choosing Misra-Gries.
+func (s *SpaceSaving) Cost() mitigation.HardwareCost {
+	addr := mitigation.Bits(s.cfg.Rows)
+	count := mitigation.Bits(int(s.w) + 1)
+	return mitigation.HardwareCost{
+		Entries: s.nentry,
+		CAMBits: s.nentry * (addr + count),
+	}
+}
+
+// SSFactory returns a mitigation.Factory building identical trackers.
+func SSFactory(cfg SSConfig) mitigation.Factory {
+	return func() (mitigation.Mitigator, error) { return NewSpaceSaving(cfg) }
+}

@@ -1,0 +1,74 @@
+// Package stats holds the small streaming-statistics helpers the experiment
+// layer shares: running mean/max accumulation and percentage formatting for
+// the figure tables.
+package stats
+
+import "fmt"
+
+// Running accumulates a stream of float64 samples.
+type Running struct {
+	n          int64
+	sum        float64
+	min, max   float64
+	hasExtrema bool
+}
+
+// Add records one sample.
+func (r *Running) Add(x float64) {
+	r.n++
+	r.sum += x
+	if !r.hasExtrema || x < r.min {
+		r.min = x
+	}
+	if !r.hasExtrema || x > r.max {
+		r.max = x
+	}
+	r.hasExtrema = true
+}
+
+// N returns the sample count.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the sample mean (0 when empty).
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// Min returns the smallest sample (0 when empty).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample (0 when empty).
+func (r *Running) Max() float64 { return r.max }
+
+// Sum returns the sample sum.
+func (r *Running) Sum() float64 { return r.sum }
+
+// Pct formats a ratio as a percentage with sensible precision for the
+// report tables ("0.3400%" style for tiny overheads, "5.10%" for larger).
+func Pct(ratio float64) string {
+	p := 100 * ratio
+	switch {
+	case p == 0:
+		return "0%"
+	case p < 0.01:
+		return fmt.Sprintf("%.4f%%", p)
+	case p < 1:
+		return fmt.Sprintf("%.3f%%", p)
+	default:
+		return fmt.Sprintf("%.2f%%", p)
+	}
+}
+
+// WeightedSpeedupLoss converts a completion-time slowdown into the paper's
+// "speedup reduction" metric: with every program in the mix slowed by the
+// same memory-side factor, the weighted speedup falls by slowdown/(1 +
+// slowdown).
+func WeightedSpeedupLoss(slowdown float64) float64 {
+	if slowdown <= 0 {
+		return 0
+	}
+	return slowdown / (1 + slowdown)
+}

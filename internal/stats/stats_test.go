@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.N() != 0 {
+		t.Error("empty Running not zero")
+	}
+	for _, x := range []float64{1, 2, 3, 4} {
+		r.Add(x)
+	}
+	if r.N() != 4 || r.Mean() != 2.5 || r.Min() != 1 || r.Max() != 4 || r.Sum() != 10 {
+		t.Errorf("Running = n%d mean%g min%g max%g sum%g", r.N(), r.Mean(), r.Min(), r.Max(), r.Sum())
+	}
+}
+
+func TestRunningNegatives(t *testing.T) {
+	var r Running
+	r.Add(-5)
+	r.Add(5)
+	if r.Min() != -5 || r.Max() != 5 || r.Mean() != 0 {
+		t.Errorf("min %g max %g mean %g", r.Min(), r.Max(), r.Mean())
+	}
+}
+
+func TestRunningProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var r Running
+		sum := 0.0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			x = math.Mod(x, 1e6) // keep sums well away from overflow
+			r.Add(x)
+			sum += x
+		}
+		if len(xs) == 0 {
+			return r.N() == 0
+		}
+		return r.N() == int64(len(xs)) && r.Min() <= r.Max() &&
+			math.Abs(r.Sum()-sum) <= math.Abs(sum)*1e-9+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPctFormatting(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0%"},
+		{0.0034, "0.340%"},
+		{0.051, "5.10%"},
+		{0.000034, "0.0034%"},
+	}
+	for _, tc := range cases {
+		if got := Pct(tc.in); got != tc.want {
+			t.Errorf("Pct(%g) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWeightedSpeedupLoss(t *testing.T) {
+	if got := WeightedSpeedupLoss(0); got != 0 {
+		t.Errorf("loss(0) = %g", got)
+	}
+	if got := WeightedSpeedupLoss(-0.1); got != 0 {
+		t.Errorf("loss(<0) = %g", got)
+	}
+	// 5.26% slowdown ≈ 5% speedup loss.
+	if got := WeightedSpeedupLoss(0.0526); math.Abs(got-0.05) > 0.001 {
+		t.Errorf("loss(0.0526) = %g, want ≈ 0.05", got)
+	}
+}

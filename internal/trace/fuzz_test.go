@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadFrom hardens the trace parser: arbitrary input must either parse
+// cleanly or return an error — never panic — and whatever parses must
+// survive a write/read round trip.
+func FuzzReadFrom(f *testing.F) {
+	f.Add("# trace x\n0 5 0\n1 6 100\n")
+	f.Add("0 5")
+	f.Add("")
+	f.Add("# only comments\n\n#\n")
+	f.Add("999999999999999999999 2 3\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		gen, err := ReadFrom(strings.NewReader(src), "fuzz")
+		if err != nil {
+			return
+		}
+		accs := Collect(gen)
+		for _, a := range accs {
+			if a.Bank < 0 || a.Row < 0 || a.Gap < 0 {
+				t.Fatalf("parser admitted negative field: %+v", a)
+			}
+		}
+		// Round trip.
+		var sb strings.Builder
+		n, err := WriteTo(&sb, FromSlice("rt", accs))
+		if err != nil || n != int64(len(accs)) {
+			t.Fatalf("write failed: n=%d err=%v", n, err)
+		}
+		back, err := ReadFrom(strings.NewReader(sb.String()), "rt")
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		got := Collect(back)
+		if len(got) != len(accs) {
+			t.Fatalf("round trip changed length: %d vs %d", len(got), len(accs))
+		}
+		for i := range got {
+			if got[i] != accs[i] {
+				t.Fatalf("round trip changed access %d: %+v vs %+v", i, got[i], accs[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"graphene/internal/dram"
+)
+
+// The on-disk trace format is line-oriented text, one access per line:
+//
+//	bank row gap_ps
+//
+// with '#' comment lines and blank lines ignored. The first comment line
+// written by WriteTo records the trace name.
+
+// WriteTo drains gen into w in the text trace format and returns the
+// number of accesses written.
+func WriteTo(w io.Writer, gen Generator) (n int64, err error) {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# trace %s\n", gen.Name()); err != nil {
+		return 0, err
+	}
+	for {
+		a, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", a.Bank, a.Row, int64(a.Gap)); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom parses a text trace from r. The generator's name is taken from
+// a leading "# trace <name>" comment when present, else fallbackName.
+func ReadFrom(r io.Reader, fallbackName string) (Generator, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	name := fallbackName
+	var accs []Access
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if rest, ok := strings.CutPrefix(text, "# trace "); ok && line == 1 {
+				name = strings.TrimSpace(rest)
+			}
+			continue
+		}
+		var bank, row int
+		var gap int64
+		if _, err := fmt.Sscanf(text, "%d %d %d", &bank, &row, &gap); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %q: %w", line, text, err)
+		}
+		if bank < 0 || row < 0 || gap < 0 {
+			return nil, fmt.Errorf("trace: line %d: negative field in %q", line, text)
+		}
+		accs = append(accs, Access{Bank: bank, Row: row, Gap: dram.Time(gap)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return FromSlice(name, accs), nil
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"graphene/internal/dram"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	in := []Access{
+		{Bank: 0, Row: 100, Gap: 0},
+		{Bank: 3, Row: 65535, Gap: 45000},
+		{Bank: 1, Row: 0, Gap: 7_800_000},
+	}
+	var sb strings.Builder
+	n, err := WriteTo(&sb, FromSlice("mytrace", in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("wrote %d accesses, want 3", n)
+	}
+	gen, err := ReadFrom(strings.NewReader(sb.String()), "fallback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Name() != "mytrace" {
+		t.Errorf("name = %q, want mytrace", gen.Name())
+	}
+	out := Collect(gen)
+	if len(out) != len(in) {
+		t.Fatalf("read %d accesses, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("access %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadFromSkipsCommentsAndBlanks(t *testing.T) {
+	src := `
+# a comment
+0 5 0
+
+# another
+1 6 100
+`
+	gen, err := ReadFrom(strings.NewReader(src), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Collect(gen)
+	if len(out) != 2 || out[1].Row != 6 || out[1].Gap != dram.Time(100) {
+		t.Errorf("parsed %+v", out)
+	}
+	if gen.Name() != "x" {
+		t.Errorf("fallback name = %q", gen.Name())
+	}
+}
+
+func TestReadFromRejectsMalformedLines(t *testing.T) {
+	for _, src := range []string{
+		"0 5", // too few fields
+		"a b c",
+		"-1 5 0", // negative bank
+		"0 -5 0",
+		"0 5 -1",
+	} {
+		if _, err := ReadFrom(strings.NewReader(src), "x"); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestWriteToEmptyTrace(t *testing.T) {
+	var sb strings.Builder
+	n, err := WriteTo(&sb, FromSlice("empty", nil))
+	if err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	gen, err := ReadFrom(strings.NewReader(sb.String()), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Collect(gen); len(got) != 0 {
+		t.Errorf("empty round trip yielded %d accesses", len(got))
+	}
+	if gen.Name() != "empty" {
+		t.Errorf("name = %q", gen.Name())
+	}
+}

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"graphene/internal/trace"
+)
+
+// Adversarial patterns of §V-B ("synthetic benchmarks (S1, S2, S3, S4) to
+// mimic possible adversarial attack patterns") and §V-A (Fig. 7). All
+// target a single bank at the maximum activation rate (Gap 0), the most
+// hostile intensity the DRAM timing admits.
+
+// S1 repeats N arbitrarily selected rows in round-robin order (paper: N =
+// 10, 20). Rows are spread across the bank so their victim sets are
+// disjoint.
+func S1(bank, rows, n int, total int64) trace.Generator {
+	name := fmt.Sprintf("S1-N%d", n)
+	stride := rows / (n + 1)
+	if stride < 3 {
+		stride = 3
+	}
+	var i int64
+	return trace.FromFunc(name, func() (trace.Access, bool) {
+		if i >= total {
+			return trace.Access{}, false
+		}
+		row := (int(i%int64(n))*stride + stride/2) % rows
+		i++
+		return trace.Access{Bank: bank, Row: row}, true
+	})
+}
+
+// S2 is S1 with occasional random rows interleaved ("occasionally has
+// random rows in between the repeating rows"): a fraction randFrac of
+// accesses go to uniformly random rows.
+func S2(bank, rows, n int, randFrac float64, total, seed int64) trace.Generator {
+	name := fmt.Sprintf("S2-N%d", n)
+	rng := rand.New(rand.NewSource(seed))
+	base := S1(bank, rows, n, total)
+	return trace.FromFunc(name, func() (trace.Access, bool) {
+		a, ok := base.Next()
+		if !ok {
+			return trace.Access{}, false
+		}
+		if rng.Float64() < randFrac {
+			a.Row = rng.Intn(rows)
+		}
+		return a, true
+	})
+}
+
+// S3 is the straightforward Row Hammer attack: one row, repeated.
+func S3(bank, row int, total int64) trace.Generator {
+	var i int64
+	return trace.FromFunc("S3", func() (trace.Access, bool) {
+		if i >= total {
+			return trace.Access{}, false
+		}
+		i++
+		return trace.Access{Bank: bank, Row: row}, true
+	})
+}
+
+// S4 mixes S3 with random row accesses ("a mixture of S3 and random row
+// accesses"): a fraction randFrac of accesses are random.
+func S4(bank, rows, row int, randFrac float64, total, seed int64) trace.Generator {
+	rng := rand.New(rand.NewSource(seed))
+	var i int64
+	return trace.FromFunc("S4", func() (trace.Access, bool) {
+		if i >= total {
+			return trace.Access{}, false
+		}
+		i++
+		r := row
+		if rng.Float64() < randFrac {
+			r = rng.Intn(rows)
+		}
+		return trace.Access{Bank: bank, Row: r}, true
+	})
+}
+
+// ProHITPattern is Fig. 7(a): the repeating aggressor sequence
+// {x−4, x−2, x−2, x, x, x, x+2, x+2, x+4}. Victims x±1, x±3 are hit
+// often and dominate PRoHIT's history tables, while x±5 — victims only of
+// the rarely-activated x±4 — are starved of refreshes yet still hammered.
+func ProHITPattern(bank, x int, total int64) trace.Generator {
+	seq := []int{x - 4, x - 2, x - 2, x, x, x, x + 2, x + 2, x + 4}
+	var i int64
+	return trace.FromFunc("prohit-pattern", func() (trace.Access, bool) {
+		if i >= total {
+			return trace.Access{}, false
+		}
+		row := seq[i%int64(len(seq))]
+		i++
+		return trace.Access{Bank: bank, Row: row}, true
+	})
+}
+
+// MRLocPattern is Fig. 7(b): eight distinct, non-adjacent aggressors
+// {x1 … x8} cycled in order. Their 16 distinct victims overflow MRLoc's
+// 15-entry history queue, so every victim is evicted before it recurs and
+// MRLoc degenerates to PARA.
+func MRLocPattern(bank, base, stride int, total int64) trace.Generator {
+	if stride < 3 {
+		stride = 3
+	}
+	var i int64
+	return trace.FromFunc("mrloc-pattern", func() (trace.Access, bool) {
+		if i >= total {
+			return trace.Access{}, false
+		}
+		row := base + int(i%8)*stride
+		i++
+		return trace.Access{Bank: bank, Row: row}, true
+	})
+}
+
+// RotateRows hammers n rows round-robin — with n chosen near a
+// counter-based scheme's table size this maximizes its false-positive
+// victim refreshes (the worst-case pattern behind Fig. 6 and the Graphene
+// bars of Fig. 8(b)).
+func RotateRows(name string, bank, base, stride, n int, total int64) trace.Generator {
+	if stride < 3 {
+		stride = 3
+	}
+	var i int64
+	return trace.FromFunc(name, func() (trace.Access, bool) {
+		if i >= total {
+			return trace.Access{}, false
+		}
+		row := base + int(i%int64(n))*stride
+		i++
+		return trace.Access{Bank: bank, Row: row}, true
+	})
+}
+
+// DoubleSided alternates between the two aggressors sandwiching a victim
+// (victim−1, victim+1) — the concurrent-disturbance worst case that forces
+// the TRH/2 factor in the paper's Inequality 2.
+func DoubleSided(bank, victim int, total int64) trace.Generator {
+	var i int64
+	return trace.FromFunc("double-sided", func() (trace.Access, bool) {
+		if i >= total {
+			return trace.Access{}, false
+		}
+		row := victim - 1
+		if i%2 == 1 {
+			row = victim + 1
+		}
+		i++
+		return trace.Access{Bank: bank, Row: row}, true
+	})
+}
+
+// ManySided hammers n aggressor rows at stride 2 in round-robin — the
+// TRRespass-style many-sided pattern ([16] Frigo et al., S&P 2020) that
+// defeats in-DRAM TRR samplers by spreading activations over many
+// aggressors. Every odd row between two aggressors is hammered from both
+// sides at 2/n of the stream rate.
+func ManySided(bank, base, n int, total int64) trace.Generator {
+	if n < 2 {
+		n = 2
+	}
+	name := fmt.Sprintf("%d-sided", n)
+	var i int64
+	return trace.FromFunc(name, func() (trace.Access, bool) {
+		if i >= total {
+			return trace.Access{}, false
+		}
+		row := base + int(i%int64(n))*2
+		i++
+		return trace.Access{Bank: bank, Row: row}, true
+	})
+}
+
+// TRRespassPattern interleaves n aggressors (stride 2, as in ManySided)
+// with dummy-row activations that pollute small in-DRAM TRR samplers
+// ([16]): dummyFrac of the accesses go to a rotating set of decoy rows far
+// from the victims, crowding the real aggressors out of the sampler while
+// the aggressors still accumulate disturbance.
+func TRRespassPattern(bank, base, n int, dummyFrac float64, total, seed int64) trace.Generator {
+	if n < 2 {
+		n = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	many := ManySided(bank, base, n, total)
+	decoy := 0
+	return trace.FromFunc(fmt.Sprintf("trrespass-%d", n), func() (trace.Access, bool) {
+		a, ok := many.Next()
+		if !ok {
+			return trace.Access{}, false
+		}
+		if rng.Float64() < dummyFrac {
+			// Decoys live at half the base row, well away from the
+			// aggressor range, so they disturb no victim of interest; 64
+			// rotating decoys defeat count-based samplers too.
+			a.Row = base/2 + 3*decoy
+			decoy = (decoy + 1) % 64
+		}
+		return a, true
+	})
+}

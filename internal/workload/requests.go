@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"graphene/internal/dram"
+	"graphene/internal/pagepolicy"
+)
+
+// GenerateRequests builds a column-level request stream for the profile,
+// for use behind a page-policy front end (internal/pagepolicy). Each chosen
+// row receives a burst of sequential column accesses whose length is
+// uniform in [1, 2·meanBurst-1] (mean meanBurst) — the row locality that
+// open-row policies exploit.
+func (p Profile) GenerateRequests(g dram.Geometry, timing dram.Timing, total int64, seed int64, meanBurst int) (pagepolicy.RequestGenerator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if meanBurst < 1 {
+		return nil, fmt.Errorf("workload %s: meanBurst must be >= 1, got %d", p.Name, meanBurst)
+	}
+	if p.HotRows+p.ColdRows > g.RowsPerBank {
+		return nil, fmt.Errorf("workload %s: footprint %d exceeds bank rows %d", p.Name, p.HotRows+p.ColdRows, g.RowsPerBank)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	banks := g.Banks()
+	var emitted int64
+	var bank, row, col, left int
+	return requestFunc{
+		name: p.Name + "-reqs",
+		next: func() (pagepolicy.Request, bool) {
+			if emitted >= total {
+				return pagepolicy.Request{}, false
+			}
+			emitted++
+			if left == 0 {
+				bank = rng.Intn(banks)
+				if rng.Float64() < p.HotFrac {
+					row = rng.Intn(p.HotRows)
+				} else {
+					row = p.HotRows + rng.Intn(p.ColdRows)
+				}
+				col = 0
+				left = 1 + rng.Intn(2*meanBurst-1)
+			}
+			left--
+			col++
+			gap := dram.Time(p.GapTRCs * (0.5 + rng.Float64()) * float64(timing.TRC))
+			return pagepolicy.Request{Bank: bank, Row: row, Col: col, Gap: gap}, true
+		},
+	}, nil
+}
+
+// AttackRequests returns a request stream alternating between two aggressor
+// rows — the access pattern real Row Hammer exploits use precisely because
+// it forces a row-buffer conflict (and hence an ACT) on every request,
+// defeating open-row policies (§II-B).
+func AttackRequests(bank, rowA, rowB int, total int64) pagepolicy.RequestGenerator {
+	var i int64
+	return requestFunc{
+		name: "alternating-attack",
+		next: func() (pagepolicy.Request, bool) {
+			if i >= total {
+				return pagepolicy.Request{}, false
+			}
+			row := rowA
+			if i%2 == 1 {
+				row = rowB
+			}
+			i++
+			return pagepolicy.Request{Bank: bank, Row: row}, true
+		},
+	}
+}
+
+// requestFunc adapts a closure into a pagepolicy.RequestGenerator.
+type requestFunc struct {
+	name string
+	next func() (pagepolicy.Request, bool)
+}
+
+func (r requestFunc) Name() string                     { return r.name }
+func (r requestFunc) Next() (pagepolicy.Request, bool) { return r.next() }

@@ -1,0 +1,344 @@
+package workload
+
+import (
+	"testing"
+
+	"graphene/internal/dram"
+	"graphene/internal/trace"
+)
+
+func TestProfilesCoverPaperWorkloads(t *testing.T) {
+	// §V-B: nine SPEC-high + two mixes + five multithreaded = 16.
+	ps := Profiles()
+	if len(ps) != 16 {
+		t.Fatalf("%d profiles, want 16", len(ps))
+	}
+	want := []string{"mcf", "milc", "leslie3d", "soplex", "GemsFDTD", "libquantum",
+		"lbm", "sphinx3", "omnetpp", "mix-high", "mix-blend",
+		"mica", "pagerank", "radix", "fft", "canneal"}
+	for i, name := range want {
+		if ps[i].Name != name {
+			t.Errorf("profile %d = %q, want %q", i, ps[i].Name, name)
+		}
+		if err := ps[i].Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("mcf")
+	if err != nil || p.Name != "mcf" {
+		t.Errorf("ProfileByName(mcf) = %+v, %v", p, err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("accepted unknown profile")
+	}
+}
+
+func TestGenerateRespectsFootprintAndLength(t *testing.T) {
+	g := dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 2, RowsPerBank: 64 * 1024}
+	p, _ := ProfileByName("mcf")
+	gen, err := p.Generate(g, dram.DDR4(), 10_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := trace.Collect(gen)
+	if len(accs) != 10_000 {
+		t.Fatalf("generated %d accesses, want 10000", len(accs))
+	}
+	foot := p.HotRows + p.ColdRows
+	banks := map[int]bool{}
+	for _, a := range accs {
+		if a.Row < 0 || a.Row >= foot {
+			t.Fatalf("row %d outside footprint %d", a.Row, foot)
+		}
+		if a.Bank < 0 || a.Bank >= 2 {
+			t.Fatalf("bank %d out of range", a.Bank)
+		}
+		if a.Gap < 0 {
+			t.Fatalf("negative gap %v", a.Gap)
+		}
+		banks[a.Bank] = true
+	}
+	if len(banks) != 2 {
+		t.Error("accesses did not spread over both banks")
+	}
+}
+
+func TestGenerateHotFraction(t *testing.T) {
+	g := dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 1, RowsPerBank: 64 * 1024}
+	p, _ := ProfileByName("libquantum") // HotFrac 0.8
+	gen, err := p.Generate(g, dram.DDR4(), 50_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	total := 0
+	for {
+		a, ok := gen.Next()
+		if !ok {
+			break
+		}
+		total++
+		if a.Row < p.HotRows {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(total)
+	if frac < 0.78 || frac > 0.82 {
+		t.Errorf("hot fraction = %g, want ≈ 0.8", frac)
+	}
+}
+
+func TestGenerateRejectsOversizedFootprint(t *testing.T) {
+	g := dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 1, RowsPerBank: 100}
+	p, _ := ProfileByName("mcf")
+	if _, err := p.Generate(g, dram.DDR4(), 10, 1); err == nil {
+		t.Error("accepted footprint larger than bank")
+	}
+}
+
+func TestGenerateDeterministicBySeed(t *testing.T) {
+	g := dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 2, RowsPerBank: 64 * 1024}
+	p, _ := ProfileByName("fft")
+	g1, _ := p.Generate(g, dram.DDR4(), 1000, 7)
+	g2, _ := p.Generate(g, dram.DDR4(), 1000, 7)
+	a1, a2 := trace.Collect(g1), trace.Collect(g2)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("divergence at %d: %+v vs %+v", i, a1[i], a2[i])
+		}
+	}
+}
+
+func TestS1RotatesNRows(t *testing.T) {
+	gen := S1(0, 1<<16, 10, 100)
+	accs := trace.Collect(gen)
+	if len(accs) != 100 {
+		t.Fatalf("S1 yielded %d", len(accs))
+	}
+	rows := map[int]bool{}
+	for _, a := range accs {
+		rows[a.Row] = true
+		if a.Bank != 0 || a.Gap != 0 {
+			t.Fatalf("S1 access %+v, want bank 0 gap 0", a)
+		}
+	}
+	if len(rows) != 10 {
+		t.Errorf("S1-10 used %d distinct rows, want 10", len(rows))
+	}
+	// Round-robin: the same row recurs every 10 accesses.
+	for i := 10; i < 100; i++ {
+		if accs[i].Row != accs[i-10].Row {
+			t.Fatalf("S1 not round-robin at %d", i)
+		}
+	}
+}
+
+func TestS2InjectsRandomRows(t *testing.T) {
+	gen := S2(0, 1<<16, 10, 0.3, 10_000, 1)
+	rows := map[int]bool{}
+	for _, a := range trace.Collect(gen) {
+		rows[a.Row] = true
+	}
+	if len(rows) <= 10 {
+		t.Errorf("S2 used %d distinct rows, want > 10 (random injections)", len(rows))
+	}
+}
+
+func TestS3SingleRow(t *testing.T) {
+	for _, a := range trace.Collect(S3(0, 42, 50)) {
+		if a.Row != 42 {
+			t.Fatalf("S3 accessed row %d", a.Row)
+		}
+	}
+}
+
+func TestS4MixesRandomRows(t *testing.T) {
+	accs := trace.Collect(S4(0, 1<<16, 42, 0.5, 10_000, 2))
+	onRow := 0
+	for _, a := range accs {
+		if a.Row == 42 {
+			onRow++
+		}
+	}
+	frac := float64(onRow) / float64(len(accs))
+	if frac < 0.45 || frac > 0.56 {
+		t.Errorf("S4 hammered target %g of the time, want ≈ 0.5", frac)
+	}
+}
+
+func TestProHITPatternShape(t *testing.T) {
+	accs := trace.Collect(ProHITPattern(0, 1000, 18))
+	want := []int{996, 998, 998, 1000, 1000, 1000, 1002, 1002, 1004}
+	for i, a := range accs {
+		if a.Row != want[i%9] {
+			t.Fatalf("access %d = row %d, want %d (Fig. 7(a))", i, a.Row, want[i%9])
+		}
+	}
+}
+
+func TestMRLocPatternEightAggressors(t *testing.T) {
+	accs := trace.Collect(MRLocPattern(0, 500, 5, 80))
+	rows := map[int]bool{}
+	for _, a := range accs {
+		rows[a.Row] = true
+	}
+	if len(rows) != 8 {
+		t.Errorf("MRLoc pattern used %d rows, want 8 (Fig. 7(b))", len(rows))
+	}
+	// Victims must be distinct: stride >= 3 gives 16 distinct victims.
+	victims := map[int]bool{}
+	for r := range rows {
+		victims[r-1] = true
+		victims[r+1] = true
+	}
+	if len(victims) != 16 {
+		t.Errorf("%d distinct victims, want 16", len(victims))
+	}
+}
+
+func TestRotateRows(t *testing.T) {
+	accs := trace.Collect(RotateRows("w", 0, 100, 4, 5, 25))
+	rows := map[int]bool{}
+	for _, a := range accs {
+		rows[a.Row] = true
+	}
+	if len(rows) != 5 {
+		t.Errorf("RotateRows used %d rows, want 5", len(rows))
+	}
+}
+
+func TestDoubleSidedAlternates(t *testing.T) {
+	accs := trace.Collect(DoubleSided(0, 100, 10))
+	for i, a := range accs {
+		want := 99
+		if i%2 == 1 {
+			want = 101
+		}
+		if a.Row != want {
+			t.Fatalf("access %d = row %d, want %d", i, a.Row, want)
+		}
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bad := []Profile{
+		{Name: "x", HotRows: 0, ColdRows: 10, HotFrac: 0.5},
+		{Name: "x", HotRows: 1, ColdRows: -1, HotFrac: 0.5},
+		{Name: "x", HotRows: 1, ColdRows: 1, HotFrac: 1.5},
+		{Name: "x", HotRows: 1, ColdRows: 1, HotFrac: 0.5, GapTRCs: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: accepted %+v", i, p)
+		}
+	}
+}
+
+func TestManySidedSharedVictims(t *testing.T) {
+	accs := trace.Collect(ManySided(0, 100, 4, 40))
+	rows := map[int]bool{}
+	for _, a := range accs {
+		rows[a.Row] = true
+	}
+	want := map[int]bool{100: true, 102: true, 104: true, 106: true}
+	if len(rows) != len(want) {
+		t.Fatalf("aggressors %v, want %v", rows, want)
+	}
+	for r := range want {
+		if !rows[r] {
+			t.Errorf("missing aggressor %d", r)
+		}
+	}
+	// n < 2 clamps to 2.
+	accs = trace.Collect(ManySided(0, 100, 1, 10))
+	rows = map[int]bool{}
+	for _, a := range accs {
+		rows[a.Row] = true
+	}
+	if len(rows) != 2 {
+		t.Errorf("clamped pattern used %d rows, want 2", len(rows))
+	}
+}
+
+func TestZipfSkewConcentratesHotRows(t *testing.T) {
+	g := dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 1, RowsPerBank: 64 * 1024}
+	base, _ := ProfileByName("mcf")
+	skewed := base
+	skewed.Name = "mcf-zipf"
+	skewed.Skew = 1.5
+
+	counts := func(p Profile) map[int]int {
+		gen, err := p.Generate(g, dram.DDR4(), 50_000, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[int]int{}
+		for {
+			a, ok := gen.Next()
+			if !ok {
+				return out
+			}
+			if a.Row < p.HotRows {
+				out[a.Row]++
+			}
+		}
+	}
+	uni := counts(base)
+	zip := counts(skewed)
+	maxOf := func(m map[int]int) int {
+		max := 0
+		for _, c := range m {
+			if c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	if maxOf(zip) < 3*maxOf(uni) {
+		t.Errorf("zipf top row %d not much hotter than uniform top %d", maxOf(zip), maxOf(uni))
+	}
+}
+
+func TestValidateRejectsBadSkew(t *testing.T) {
+	p := Profile{Name: "x", HotRows: 8, ColdRows: 8, HotFrac: 0.5, Skew: 0.5}
+	if err := p.Validate(); err == nil {
+		t.Error("accepted skew in (0,1]")
+	}
+	p.Skew = 1.0
+	if err := p.Validate(); err == nil {
+		t.Error("accepted skew == 1")
+	}
+}
+
+func TestMixInterleavesComponents(t *testing.T) {
+	g := dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 2, RowsPerBank: 64 * 1024}
+	var gens []trace.Generator
+	for _, name := range []string{"mcf", "lbm", "omnetpp"} {
+		p, _ := ProfileByName(name)
+		gen, err := p.Generate(g, dram.DDR4(), 3_000, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens = append(gens, gen)
+	}
+	mix, err := Mix("mix3", 7, gens...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := trace.Collect(mix)
+	if len(accs) != 9_000 {
+		t.Fatalf("mix yielded %d accesses, want all 9000", len(accs))
+	}
+	if mix.Name() != "mix3" {
+		t.Errorf("Name = %q", mix.Name())
+	}
+	// Early slice should already contain accesses from multiple components
+	// (different gap scales betray different profiles; just check rows
+	// differ enough that it is not a single stream).
+	if _, err := Mix("empty", 1); err == nil {
+		t.Error("accepted empty mix")
+	}
+}

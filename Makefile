@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench fuzz tables security examples check
+.PHONY: all build vet test test-race test-short bench fuzz race tables security examples check
 
 all: check
 
@@ -24,10 +24,17 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Race detector over the packages that run per-bank goroutines. -short
+# skips the tens-of-seconds full-scale run, which would dominate `make
+# check` under the race detector's overhead.
+race:
+	$(GO) test -race -short ./internal/memctrl/... ./internal/sim/...
+
 # Short exploratory fuzz passes over the core invariants.
 fuzz:
 	$(GO) test ./internal/graphene -fuzz=FuzzTableInvariants -fuzztime=30s -run xxx
 	$(GO) test ./internal/graphene -fuzz=FuzzBankNeverMissesTheorem -fuzztime=30s -run xxx
+	$(GO) test ./internal/graphene -fuzz=FuzzTableMatchesReference -fuzztime=30s -run xxx
 
 tables:
 	$(GO) run ./cmd/rhtables -all
@@ -43,4 +50,4 @@ examples:
 	$(GO) run ./examples/pagepolicy
 	$(GO) run ./examples/observability
 
-check: build vet test
+check: build vet test race

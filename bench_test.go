@@ -346,6 +346,33 @@ func BenchmarkScheme_OnActivate(b *testing.B) {
 	}
 }
 
+// BenchmarkTrackerFullScaleAdversarial drives the paper-scale K=1 bank
+// (Nentry 108, T 12.5K) with an all-distinct churn stream at the maximum
+// activation rate — the adversarial mix that makes nearly every ACT a miss
+// and forced the pre-bucket-index tracker through its full linear scan,
+// crossing real reset-window boundaries as simulated time advances. It
+// reports the software cost (sw-ns/act) next to the modeled hardware
+// table-update time for the same observed path mix (hw-ns/act via
+// CAMTiming.Aggregate) — the EXPERIMENTS.md full-scale row.
+func BenchmarkTrackerFullScaleAdversarial(b *testing.B) {
+	eng, err := grapheneimpl.New(grapheneimpl.Config{TRH: 50000, K: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	timing := dram.DDR4()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.OnActivate(i&0xffff, dram.Time(i)*timing.TRC)
+	}
+	b.StopTimer()
+	s := eng.Table().Stats()
+	if paths := s.Hits + s.Replacements + s.Spills; paths > 0 {
+		hw := grapheneimpl.DefaultCAMTiming().Aggregate(s)
+		b.ReportMetric(float64(hw)/float64(dram.Nanosecond)/float64(paths), "hw-ns/act")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "sw-ns/act")
+}
+
 // BenchmarkOracle_Activate measures the ground-truth oracle's per-ACT cost.
 func BenchmarkOracle_Activate(b *testing.B) {
 	for _, dist := range []int{1, 2, 4} {

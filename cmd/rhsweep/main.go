@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -70,7 +71,10 @@ func main() {
 
 // emitJSON runs the sweep into an in-memory CSV and re-encodes it as an
 // array of {header: value} objects, so every sweep gets JSON for free.
-func emitJSON(out *os.File, run func(*csv.Writer) error) error {
+// Cells are re-typed: numeric columns are emitted as JSON numbers and
+// boolean columns as booleans, so downstream consumers see `"trh": 50000`,
+// not `"trh": "50000"`.
+func emitJSON(out io.Writer, run func(*csv.Writer) error) error {
 	var sb strings.Builder
 	w := csv.NewWriter(&sb)
 	if err := run(w); err != nil {
@@ -85,17 +89,34 @@ func emitJSON(out *os.File, run func(*csv.Writer) error) error {
 		return fmt.Errorf("empty sweep")
 	}
 	header := records[0]
-	rows := make([]map[string]string, 0, len(records)-1)
+	rows := make([]map[string]any, 0, len(records)-1)
 	for _, rec := range records[1:] {
-		m := make(map[string]string, len(header))
+		m := make(map[string]any, len(header))
 		for i, h := range header {
-			m[h] = rec[i]
+			m[h] = typedCell(rec[i])
 		}
 		rows = append(rows, m)
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rows)
+}
+
+// typedCell converts a CSV cell to the value emitJSON encodes: booleans
+// for true/false, json.Number for anything that is both a parseable number
+// and valid JSON number syntax (ruling out NaN/Inf/hex and leading-zero
+// forms), and the original string otherwise.
+func typedCell(s string) any {
+	switch s {
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	if _, err := strconv.ParseFloat(s, 64); err == nil && json.Valid([]byte(s)) {
+		return json.Number(s)
+	}
+	return s
 }
 
 func sweepK(w *csv.Writer, trh int64) error {

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"encoding/csv"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -61,6 +63,78 @@ func TestSweepCBT(t *testing.T) {
 	// CBT-128: 10 levels, burst 130 contiguous / 256 remapped.
 	if rows[2][0] != "128" || rows[2][1] != "10" || rows[2][4] != "130" || rows[2][5] != "256" {
 		t.Errorf("CBT-128 row: %v", rows[2])
+	}
+}
+
+func TestTypedCell(t *testing.T) {
+	cases := []struct {
+		in   string
+		want any
+	}{
+		{"true", true},
+		{"false", false},
+		{"50000", json.Number("50000")},
+		{"0.00145", json.Number("0.00145")},
+		{"-3.5e2", json.Number("-3.5e2")},
+		{"uniform", "uniform"}, // plain text stays a string
+		{"NaN", "NaN"},         // parseable float, invalid JSON
+		{"0x10", "0x10"},       // hex parses via ParseFloat, invalid JSON
+		{"007", "007"},         // leading zeros are invalid JSON numbers
+		{"inverse-square", "inverse-square"},
+	}
+	for _, c := range cases {
+		if got := typedCell(c.in); got != c.want {
+			t.Errorf("typedCell(%q) = %#v (%T), want %#v (%T)", c.in, got, got, c.want, c.want)
+		}
+	}
+}
+
+// decodeJSON decodes emitJSON output with UseNumber so numeric cells stay
+// distinguishable from strings.
+func decodeJSON(t *testing.T, f func(*csv.Writer) error) []map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := emitJSON(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&buf)
+	dec.UseNumber()
+	var rows []map[string]any
+	if err := dec.Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestEmitJSONTypesNumericColumns(t *testing.T) {
+	rows := decodeJSON(t, func(w *csv.Writer) error { return sweepK(w, 50000) })
+	if len(rows) != 10 { // k=1..10, header folded into keys
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Every sweepK column is numeric; none may come back as a string.
+	for col, v := range rows[0] {
+		if _, ok := v.(json.Number); !ok {
+			t.Errorf("column %q = %#v (%T), want json.Number", col, v, v)
+		}
+	}
+	if got := rows[0]["T"]; got != json.Number("12500") {
+		t.Errorf("k=1 T = %#v, want 12500", got)
+	}
+	if n, ok := rows[1]["nentry"].(json.Number); !ok || n != "81" {
+		t.Errorf("k=2 nentry = %#v, want 81", rows[1]["nentry"])
+	}
+}
+
+func TestEmitJSONKeepsTextColumnsAsStrings(t *testing.T) {
+	rows := decodeJSON(t, func(w *csv.Writer) error { return sweepDistance(w, 50000) })
+	if len(rows) != 16 { // 2 models × 8 distances
+		t.Fatalf("%d rows", len(rows))
+	}
+	if mu, ok := rows[0]["mu_model"].(string); !ok || mu != "uniform" {
+		t.Errorf("mu_model = %#v, want the string \"uniform\"", rows[0]["mu_model"])
+	}
+	if _, ok := rows[1]["amp_factor"].(json.Number); !ok {
+		t.Errorf("amp_factor = %#v (%T), want json.Number", rows[1]["amp_factor"], rows[1]["amp_factor"])
 	}
 }
 

@@ -51,6 +51,25 @@ func (c CAMTiming) HitPath() dram.Time {
 	return c.SearchLatency + c.WriteLatency
 }
 
+// SpillPath returns the miss-without-candidate latency: both CAM searches
+// come back empty and only the spillover count register increments (a flip-
+// flop update hidden inside the second search cycle — no CAM write).
+func (c CAMTiming) SpillPath() dram.Time {
+	return 2 * c.SearchLatency
+}
+
+// Aggregate returns the total modeled hardware table-update time for a
+// stream whose Observe calls broke down as s: hits take HitPath, entry
+// replacements the full CriticalPath, spillover bumps SpillPath. Dividing
+// by the ACT count gives the hardware ns/ACT that the software hot path is
+// benchmarked against (the ROADMAP's "as fast as the hardware allows"
+// yardstick).
+func (c CAMTiming) Aggregate(s TableStats) dram.Time {
+	return dram.Time(s.Hits)*c.HitPath() +
+		dram.Time(s.Replacements)*c.CriticalPath() +
+		dram.Time(s.Spills)*c.SpillPath()
+}
+
 // HiddenWithin reports whether the critical path fits inside the budget
 // (normally tRC: consecutive ACTs to one bank cannot arrive faster, so a
 // table update that fits never delays a command).

@@ -37,6 +37,51 @@ func TestDefaultCAMTimingHiddenWithinTRC(t *testing.T) {
 	}
 }
 
+func TestCAMSpillPathBetweenHitAndCritical(t *testing.T) {
+	c := CAMTiming{SearchLatency: 3 * dram.Nanosecond, WriteLatency: 2 * dram.Nanosecond}
+	// Miss-without-candidate: two searches, no CAM write.
+	if got, want := c.SpillPath(), 6*dram.Nanosecond; got != want {
+		t.Errorf("spill path = %v, want %v", got, want)
+	}
+	if c.SpillPath() >= c.CriticalPath() {
+		t.Error("spill path must be shorter than the replacement path (no write)")
+	}
+}
+
+func TestCAMAggregateMatchesPathArithmetic(t *testing.T) {
+	c := CAMTiming{SearchLatency: 3 * dram.Nanosecond, WriteLatency: 2 * dram.Nanosecond}
+	s := TableStats{Hits: 10, Replacements: 4, Spills: 5}
+	want := 10*c.HitPath() + 4*c.CriticalPath() + 5*c.SpillPath()
+	if got := c.Aggregate(s); got != want {
+		t.Errorf("Aggregate(%+v) = %v, want %v", s, got, want)
+	}
+	if c.Aggregate(TableStats{}) != 0 {
+		t.Error("empty stats must aggregate to zero")
+	}
+}
+
+// TestAggregateOfObservedStreamHidesWithinWindow ties the pieces together:
+// replaying a full adversarial window through a real table, the modeled
+// hardware time for the observed path mix stays under the window's length
+// — the §V-B "hidden within tRC" argument summed over a window.
+func TestAggregateOfObservedStreamHidesWithinWindow(t *testing.T) {
+	p, err := Config{TRH: 50000, K: 2}.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := mustTable(t, p.NEntry, p.T)
+	for i := int64(0); i < p.W; i++ {
+		tb.Observe(int(i % 4096)) // all-miss churn: the worst path mix
+	}
+	s := tb.Stats()
+	if got := s.Hits + s.Replacements + s.Spills; got != p.W {
+		t.Fatalf("paths sum to %d, want W = %d", got, p.W)
+	}
+	if hw := DefaultCAMTiming().Aggregate(s); hw > p.Window {
+		t.Errorf("modeled hardware time %v exceeds the reset window %v", hw, p.Window)
+	}
+}
+
 func TestCAMTimingValidate(t *testing.T) {
 	bad := []CAMTiming{
 		{SearchLatency: 0, WriteLatency: 1},

@@ -7,6 +7,7 @@ package graphene
 
 import (
 	"fmt"
+	"math"
 
 	"graphene/internal/dram"
 	"graphene/internal/mitigation"
@@ -107,6 +108,15 @@ func (c Config) Derive() (Params, error) {
 	}
 	if c.Distance < 1 {
 		return Params{}, fmt.Errorf("graphene: Distance must be >= 1, got %d", c.Distance)
+	}
+	if c.Rows < 1 {
+		return Params{}, fmt.Errorf("graphene: Rows must be >= 1, got %d", c.Rows)
+	}
+	if int64(c.Rows) > math.MaxInt32 {
+		// The table narrows rows to its int32 address CAM; a larger bank
+		// would silently alias rows onto shared counters (Observe also
+		// panics on out-of-range rows as a second line of defense).
+		return Params{}, fmt.Errorf("graphene: Rows %d exceeds the int32 row address space (%d)", c.Rows, math.MaxInt32)
 	}
 	if err := c.Timing.Validate(); err != nil {
 		return Params{}, err

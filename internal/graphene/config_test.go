@@ -2,6 +2,7 @@ package graphene
 
 import (
 	"math"
+	"math/bits"
 	"testing"
 
 	"graphene/internal/dram"
@@ -156,11 +157,22 @@ func TestDeriveRejectsBadConfig(t *testing.T) {
 		{TRH: 4, K: 10}, // T would be < 1
 		{TRH: 50000, Distance: 2, Mu: func(i int) float64 { return 2 }},    // μ1 != 1
 		{TRH: 50000, Distance: 3, Mu: func(i int) float64 { return -0.1 }}, // μ out of range
+		{TRH: 50000, Rows: -1},
+	}
+	if bits.UintSize > 32 {
+		// A bank wider than the int32 address CAM would silently alias rows
+		// onto shared counters in Observe; Derive must reject it. (The
+		// conversion keeps 32-bit builds compiling; the guard skips them.)
+		cases = append(cases, Config{TRH: 50000, Rows: int(int64(math.MaxInt32) + 1)})
 	}
 	for i, cfg := range cases {
 		if _, err := cfg.Derive(); err == nil {
 			t.Errorf("case %d: Derive accepted %+v", i, cfg)
 		}
+	}
+	// The boundary itself stays valid.
+	if _, err := (Config{TRH: 50000, Rows: math.MaxInt32}).Derive(); err != nil {
+		t.Errorf("Derive rejected Rows = MaxInt32: %v", err)
 	}
 }
 

@@ -39,6 +39,45 @@ func FuzzTableInvariants(f *testing.F) {
 	})
 }
 
+// FuzzTableMatchesReference is the differential fuzz target behind the
+// count-bucket optimization: an arbitrary byte-encoded stream is replayed
+// against the optimized Table and the naive ReferenceTable, asserting
+// byte-identical triggers, spillover, and EstimatedCount/Tracked views at
+// every step. resetPeriod > 0 resets both tables on that cadence so window
+// boundaries are exercised; the seed corpus covers the window-boundary,
+// spillover-alert, and overflow-pinned regimes.
+func FuzzTableMatchesReference(f *testing.F) {
+	// Window boundaries: resets every 5 steps across a skewed stream.
+	f.Add(uint8(4), uint8(20), uint16(5), []byte{1, 1, 1, 2, 3, 1, 1, 9, 9, 1, 1, 1, 2, 3})
+	// Spillover alert: 1-entry table, threshold 2, all-distinct stream
+	// drives the spillover count past T.
+	f.Add(uint8(0), uint8(1), uint16(0), []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	// Overflow pinning: threshold 3, hot rows reach T and pin, then churn.
+	f.Add(uint8(2), uint8(2), uint16(0), []byte{7, 7, 7, 8, 8, 8, 0, 1, 2, 3, 4, 7, 8, 5, 6})
+	f.Fuzz(func(t *testing.T, nentrySeed, thrSeed uint8, resetPeriod uint16, stream []byte) {
+		nentry := int(nentrySeed%12) + 1
+		thr := int64(thrSeed%80) + 1
+		reset := int(resetPeriod % 64)
+		opt, err := NewTable(nentry, thr)
+		if err != nil {
+			t.Fatalf("NewTable(%d, %d): %v", nentry, thr, err)
+		}
+		ref, err := NewReferenceTable(nentry, thr)
+		if err != nil {
+			t.Fatalf("NewReferenceTable(%d, %d): %v", nentry, thr, err)
+		}
+		for i, b := range stream {
+			if reset > 0 && i > 0 && i%reset == 0 {
+				opt.Reset()
+				ref.Reset()
+			}
+			row := int(b)
+			got, want := opt.Observe(row), ref.Observe(row)
+			mustMatchStep(t, "fuzz", i, row, opt, ref, got, want)
+		}
+	})
+}
+
 // FuzzBankNeverMissesTheorem replays arbitrary streams against a bank-level
 // engine sized by Derive, asserting the §III-C theorem: no row gains T ACTs
 // within a window without a victim refresh.

@@ -1,6 +1,9 @@
 package graphene
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // entry is one Misra-Gries counter-table slot. It models the paired
 // Address-CAM / Count-CAM entry of Fig. 4.
@@ -24,12 +27,21 @@ type entry struct {
 // estimated count reaches a multiple of T, and the caller (Bank) turns that
 // into victim refreshes. It has no notion of time; reset-window management
 // also lives in Bank.
+//
+// The miss path is O(1): the count-bucket index (bucketindex.go) answers
+// the Count-CAM search — "is there a non-overflow entry whose count equals
+// the spillover count, and which has the lowest slot index?" — with one
+// head-bucket compare and two find-first-set operations, where the
+// hardware uses a parallel CAM and ReferenceTable a linear scan. Both
+// implementations are byte-identical in every observable; the equivalence
+// tests and fuzz targets prove it.
 type Table struct {
 	t        int64
 	entries  []entry
-	index    map[int32]int // row address -> entry slot, mirrors the CAM search
-	spill    int64         // spillover count register
-	observed int64         // ACTs observed since the last reset
+	index    *addrIndex   // row address -> entry slot, mirrors the Address-CAM
+	idx      *bucketIndex // count -> slot buckets, mirrors the Count-CAM
+	spill    int64        // spillover count register
+	observed int64        // ACTs observed since the last reset
 
 	// windowTriggers counts threshold hits since the last reset; it keeps
 	// the count-conservation invariant checkable across window resets.
@@ -47,7 +59,11 @@ func NewTable(nentry int, t int64) (*Table, error) {
 	if t < 1 {
 		return nil, fmt.Errorf("graphene: threshold must be >= 1, got %d", t)
 	}
-	tb := &Table{t: t, entries: make([]entry, nentry), index: make(map[int32]int, nentry)}
+	tb := &Table{
+		t: t, entries: make([]entry, nentry),
+		index: newAddrIndex(nentry),
+		idx:   newBucketIndex(nentry),
+	}
 	tb.Reset()
 	return tb, nil
 }
@@ -58,7 +74,8 @@ func (tb *Table) Reset() {
 	for i := range tb.entries {
 		tb.entries[i] = entry{addr: -1}
 	}
-	clear(tb.index)
+	tb.index.clear()
+	tb.idx.reset()
 	tb.spill = 0
 	tb.observed = 0
 	tb.windowTriggers = 0
@@ -89,6 +106,22 @@ func (tb *Table) Alert() bool { return tb.spill >= tb.t }
 // T since construction (not cleared by Reset; it feeds overhead stats).
 func (tb *Table) Triggers() int64 { return tb.triggers }
 
+// TableStats breaks Observe calls down by path taken. The counters span
+// the table's lifetime (Reset does not clear them); CAMTiming.Aggregate
+// converts them into the modeled hardware table-update time for the same
+// stream.
+type TableStats struct {
+	Hits         int64 // address hit: count increment
+	Replacements int64 // miss with a replacement candidate: entry replace
+	Spills       int64 // miss without a candidate: spillover bump
+	Triggers     int64 // threshold hits (subset of Hits+Replacements)
+}
+
+// Stats returns the per-path Observe counters since construction.
+func (tb *Table) Stats() TableStats {
+	return TableStats{Hits: tb.hits, Replacements: tb.replacements, Spills: tb.spills, Triggers: tb.triggers}
+}
+
 // Observe processes one activation of row following Fig. 1/Fig. 5:
 //
 //   - address hit: increment the entry's estimated count;
@@ -102,14 +135,18 @@ func (tb *Table) Triggers() int64 { return tb.triggers }
 // (§III-B). Entries whose overflow bit is set are never evicted: by Lemma 2
 // their true count strictly exceeds the spillover count for the rest of the
 // window, so they can never be a replacement candidate (§IV-B).
+//
+// Rows must fit the int32 address CAM; Config.Derive rejects banks with
+// more than 2^31 rows, and Observe panics rather than silently truncating
+// a row that would alias another row's counter.
 func (tb *Table) Observe(row int) (trigger bool) {
-	if row < 0 {
-		panic(fmt.Sprintf("graphene: negative row %d", row))
+	if row < 0 || row > math.MaxInt32 {
+		panic(fmt.Sprintf("graphene: row %d outside the int32 address space", row))
 	}
 	tb.observed++
 	addr := int32(row)
 
-	if i, ok := tb.index[addr]; ok { // row address HIT
+	if i, ok := tb.index.get(addr); ok { // row address HIT
 		tb.hits++
 		e := &tb.entries[i]
 		e.count++
@@ -117,38 +154,45 @@ func (tb *Table) Observe(row int) (trigger bool) {
 			// Estimated count reached (a multiple of) T: reset the stored
 			// count, keep the overflow bit high until the window ends.
 			e.count = 0
-			e.overflow = true
+			if !e.overflow {
+				e.overflow = true
+				tb.idx.pin(i)
+			}
 			e.triggers++
 			tb.triggers++
 			tb.windowTriggers++
 			return true
+		}
+		if !e.overflow {
+			tb.idx.increment(i)
 		}
 		return false
 	}
 
-	// Row address MISS: search for an entry whose estimated count equals
-	// the spillover count (single Count-CAM search in hardware, Fig. 5).
-	for i := range tb.entries {
-		e := &tb.entries[i]
-		if e.overflow || e.count != tb.spill {
-			continue
-		}
+	// Row address MISS: the single Count-CAM search of Fig. 5, answered in
+	// O(1) by the head bucket of the count index (every non-overflow count
+	// is >= the spillover count, so a candidate exists iff the minimum
+	// count equals it).
+	if i, ok := tb.idx.candidate(tb.spill); ok {
 		// Entry replace: carry the old count over, +1 for this ACT.
 		tb.replacements++
+		e := &tb.entries[i]
 		if e.addr >= 0 {
-			delete(tb.index, e.addr)
+			tb.index.del(e.addr)
 		}
 		e.addr = addr
 		e.count++
-		tb.index[addr] = i
+		tb.index.put(addr, i)
 		if e.count == tb.t {
 			e.count = 0
 			e.overflow = true
+			tb.idx.pin(i)
 			e.triggers++
 			tb.triggers++
 			tb.windowTriggers++
 			return true
 		}
+		tb.idx.increment(i)
 		return false
 	}
 
@@ -164,7 +208,10 @@ func (tb *Table) Observe(row int) (trigger bool) {
 // back out through the shadow trigger counter (the hardware never needs
 // this value — it only compares against T — but verification does).
 func (tb *Table) EstimatedCount(row int) (count int64, ok bool) {
-	i, ok := tb.index[int32(row)]
+	if row < 0 || row > math.MaxInt32 {
+		return 0, false
+	}
+	i, ok := tb.index.get(int32(row))
 	if !ok {
 		return 0, false
 	}
@@ -175,10 +222,12 @@ func (tb *Table) EstimatedCount(row int) (count int64, ok bool) {
 // Tracked returns every row currently in the table with its stored count
 // and overflow flag, for inspection in tests and tools.
 func (tb *Table) Tracked() []TrackedRow {
-	out := make([]TrackedRow, 0, len(tb.index))
-	for addr, i := range tb.index {
-		e := tb.entries[i]
-		out = append(out, TrackedRow{Row: int(addr), Count: e.count, Overflow: e.overflow, Triggers: e.triggers})
+	out := make([]TrackedRow, 0, tb.index.n)
+	for _, e := range tb.entries {
+		if e.addr < 0 {
+			continue
+		}
+		out = append(out, TrackedRow{Row: int(e.addr), Count: e.count, Overflow: e.overflow, Triggers: e.triggers})
 	}
 	return out
 }
@@ -203,11 +252,17 @@ type TrackedRow struct {
 //     that Inequality 1 sizing guarantees (spill <= W/(Nentry+1) < T). An
 //     undersized table (tests build them deliberately) may drive the
 //     spillover past T, where pinning deviates from pure Misra-Gries by
-//     design, so the clause is only enforced below T.
+//     design, so the clause is only enforced below T;
+//   - count-bucket index consistency: every non-overflow slot sits in
+//     exactly the bucket of its stored count, buckets are strictly sorted,
+//     and the bitmaps agree with their population counters.
 //
 // It returns a descriptive error on the first violation. Tests call it
 // after every step of randomized streams.
 func (tb *Table) CheckInvariants() error {
+	if err := tb.idx.check(tb.entries); err != nil {
+		return err
+	}
 	sum := tb.spill
 	for _, e := range tb.entries {
 		sum += e.count
@@ -216,6 +271,19 @@ func (tb *Table) CheckInvariants() error {
 	sum += tb.windowTriggers * tb.t
 	if sum != tb.observed {
 		return fmt.Errorf("graphene: count conservation violated: spill+counts+T·triggers = %d, observed = %d", sum, tb.observed)
+	}
+	live := 0
+	for i, e := range tb.entries {
+		if e.addr < 0 {
+			continue
+		}
+		live++
+		if j, ok := tb.index.get(e.addr); !ok || j != i {
+			return fmt.Errorf("graphene: address index lost row %d (slot %d, found %d, %v)", e.addr, i, j, ok)
+		}
+	}
+	if live != tb.index.n {
+		return fmt.Errorf("graphene: address index holds %d keys, table has %d live entries", tb.index.n, live)
 	}
 	for _, e := range tb.entries {
 		if e.addr < 0 {

@@ -1,6 +1,8 @@
 package graphene
 
 import (
+	"math"
+	"math/bits"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -309,6 +311,57 @@ func TestObservePanicsOnNegativeRow(t *testing.T) {
 		}
 	}()
 	tb.Observe(-1)
+}
+
+func TestObservePanicsBeyondInt32Rows(t *testing.T) {
+	// A row >= 2^31 used to truncate silently into the int32 address CAM,
+	// aliasing another row's counter; now it panics (and Config.Derive
+	// rejects such banks up front).
+	if bits.UintSize == 32 {
+		t.Skip("rows beyond int32 not representable on 32-bit int")
+	}
+	for _, tb := range []interface{ Observe(int) bool }{
+		mustTable(t, 2, 5),
+		mustRefTable(t, 2, 5),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%T.Observe(2^31) did not panic", tb)
+				}
+			}()
+			tb.Observe(int(int64(math.MaxInt32) + 1))
+		}()
+		// The boundary row itself remains valid.
+		tb.Observe(math.MaxInt32)
+	}
+}
+
+func mustRefTable(t *testing.T, nentry int, thresh int64) *ReferenceTable {
+	t.Helper()
+	tb, err := NewReferenceTable(nentry, thresh)
+	if err != nil {
+		t.Fatalf("NewReferenceTable: %v", err)
+	}
+	return tb
+}
+
+func TestStatsBreakDownByPath(t *testing.T) {
+	tb := mustTable(t, 2, 1<<40)
+	tb.Observe(1) // replace (empty slot)
+	tb.Observe(1) // hit
+	tb.Observe(2) // replace
+	tb.Observe(3) // miss, no candidate at spill 0? entry 2 has count 1... spill stays 0
+	// After filling both slots (counts 2 and 1), row 3 misses: slot for row
+	// 2 has count 1 != 0 and slot for row 1 has count 2 != 0 -> spill.
+	s := tb.Stats()
+	want := TableStats{Hits: 1, Replacements: 2, Spills: 1}
+	if s != want {
+		t.Errorf("Stats = %+v, want %+v", s, want)
+	}
+	if total := s.Hits + s.Replacements + s.Spills; total != tb.Observed() {
+		t.Errorf("paths sum to %d, observed %d", total, tb.Observed())
+	}
 }
 
 func TestQuickInvariantsHoldOnRandomStreams(t *testing.T) {

@@ -23,7 +23,7 @@ func (b *Bank) snapshotWindow() {
 		ACTs:         b.table.Observed(),
 		Triggers:     b.table.windowTriggers,
 		MaxSpillover: b.table.Spillover(),
-		Tracked:      len(b.table.index),
+		Tracked:      b.table.index.n,
 		Alert:        b.table.Alert(),
 	}
 	b.history = append(b.history, ws)

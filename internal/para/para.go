@@ -11,6 +11,8 @@ package para
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"graphene/internal/dram"
 	"graphene/internal/mitigation"
@@ -67,9 +69,19 @@ func New(cfg Config) (*Para, error) {
 	return &Para{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
 }
 
-// Name implements mitigation.Mitigator.
+// Name implements mitigation.Mitigator. Classic ±1 PARA keeps the
+// historical "para-<p>" label; a multi-distance configuration lists every
+// per-distance probability ("para-0.0015+0.0007" for ±2), so a ±n sweep
+// row can no longer be mistaken for classic PARA at p_1.
 func (p *Para) Name() string {
-	return fmt.Sprintf("para-%g", p.cfg.Probabilities[0])
+	if len(p.cfg.Probabilities) == 1 {
+		return fmt.Sprintf("para-%g", p.cfg.Probabilities[0])
+	}
+	parts := make([]string, len(p.cfg.Probabilities))
+	for d, prob := range p.cfg.Probabilities {
+		parts[d] = strconv.FormatFloat(prob, 'g', -1, 64)
+	}
+	return "para-" + strings.Join(parts, "+")
 }
 
 // VictimRefreshes returns the number of rows refreshed so far.

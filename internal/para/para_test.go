@@ -158,6 +158,35 @@ func TestResetReseeds(t *testing.T) {
 	}
 }
 
+func TestNameKeepsClassicLabel(t *testing.T) {
+	eng, err := New(Classic(0.00145, 1024, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Name(); got != "para-0.00145" {
+		t.Errorf("classic name = %q, want para-0.00145", got)
+	}
+}
+
+func TestNameListsEveryDistanceProbability(t *testing.T) {
+	// The ±n configurations of §V-D must not report only p_1: two sweeps
+	// with equal p_1 but different tails would collapse into one label.
+	eng, err := New(Config{Probabilities: []float64{0.0015, 0.0007}, Rows: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Name(); got != "para-0.0015+0.0007" {
+		t.Errorf("±2 name = %q, want para-0.0015+0.0007", got)
+	}
+	eng3, err := New(Config{Probabilities: []float64{0.2, 0.1, 0.05}, Rows: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng3.Name(); got != "para-0.2+0.1+0.05" {
+		t.Errorf("±3 name = %q, want para-0.2+0.1+0.05", got)
+	}
+}
+
 func TestCostIsZero(t *testing.T) {
 	eng, _ := New(Classic(0.001, 64, 0))
 	if c := eng.Cost(); c != (mitigation.HardwareCost{}) {

@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"math"
 	"testing"
 
 	"graphene/internal/dram"
@@ -86,6 +87,129 @@ func TestSpaceSavingEntriesMatchMisraGries(t *testing.T) {
 	// Misra-Gries table has 81.
 	if s.Entries() < 78 || s.Entries() > 85 {
 		t.Errorf("entries = %d, want ≈ 82", s.Entries())
+	}
+}
+
+// ssRef is a naive deterministic Space-Saving oracle: a counts map plus a
+// stamp recording when each row's estimate last changed. The stream-summary
+// evicts the oldest row in the minimum bucket, which is exactly the row with
+// the lexicographically smallest (count, stamp) pair — so a linear scan over
+// both maps reproduces the optimized structure's victim choice.
+type ssRef struct {
+	t       int64
+	nentry  int
+	seq     int64
+	counts  map[int]int64
+	stamp   map[int]int64
+	trigger map[int]int64
+}
+
+func newSSRef(nentry int, t int64) *ssRef {
+	return &ssRef{t: t, nentry: nentry,
+		counts: map[int]int64{}, stamp: map[int]int64{}, trigger: map[int]int64{}}
+}
+
+func (r *ssRef) observe(row int) bool {
+	r.seq++
+	var est int64
+	if c, ok := r.counts[row]; ok {
+		est = c + 1
+	} else if len(r.counts) < r.nentry {
+		est = 1
+	} else {
+		victim, vc, vs := -1, int64(math.MaxInt64), int64(math.MaxInt64)
+		for rr, c := range r.counts {
+			if s := r.stamp[rr]; c < vc || (c == vc && s < vs) {
+				victim, vc, vs = rr, c, s
+			}
+		}
+		delete(r.counts, victim)
+		delete(r.stamp, victim)
+		delete(r.trigger, victim)
+		est = vc + 1
+	}
+	r.counts[row], r.stamp[row] = est, r.seq
+	if est < r.t || est < r.trigger[row]+r.t {
+		return false
+	}
+	r.trigger[row] = est
+	return true
+}
+
+// TestSpaceSavingMatchesNaiveReference replays tie-heavy streams against the
+// stream-summary tracker and the ssRef oracle, asserting identical triggers,
+// estimates, and tracked-row sets at every step.
+func TestSpaceSavingMatchesNaiveReference(t *testing.T) {
+	const nentry = 8
+	streams := map[string]func(i int) int{
+		"round-robin-ties": func(i int) int { return i % (3 * nentry) }, // all-equal counts, pure ties
+		"skewed-reuse":     func(i int) int { return (i*i + i) % 40 },   // mixed hits and evictions
+		"hot-set-then-churn": func(i int) int {
+			if i < 2000 {
+				return i % 4
+			}
+			return 100 + i%32
+		},
+	}
+	for name, rowAt := range streams {
+		t.Run(name, func(t *testing.T) {
+			s, err := NewSpaceSaving(SSConfig{TRH: 60, Entries: nentry, Timing: smallTiming(), Rows: 1 << 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := newSSRef(nentry, s.T())
+			for i := 0; i < 6000; i++ {
+				row := rowAt(i)
+				got := len(s.OnActivate(row, 0)) > 0 // now=0: no window resets
+				if want := ref.observe(row); got != want {
+					t.Fatalf("step %d row %d: trigger %v, reference %v", i, row, got, want)
+				}
+				if len(s.rows) != len(ref.counts) {
+					t.Fatalf("step %d: tracking %d rows, reference %d", i, len(s.rows), len(ref.counts))
+				}
+				for rr, c := range ref.counts {
+					if est := s.Estimate(rr); est != c {
+						t.Fatalf("step %d: estimate(%d) = %d, reference %d", i, rr, est, c)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSpaceSavingDeterministicUnderTies locks in the stream-summary fix for
+// the old map-scan eviction: two trackers fed the same tie-heavy stream must
+// make identical eviction decisions (the map scan broke ties by Go's
+// randomized iteration order).
+func TestSpaceSavingDeterministicUnderTies(t *testing.T) {
+	mk := func() *SpaceSaving {
+		s, err := NewSpaceSaving(SSConfig{TRH: 60, Entries: 6, Timing: smallTiming(), Rows: 1 << 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 20_000; i++ {
+		row := (i * 7) % 24 // 4× capacity: every miss evicts among ties
+		if ga, gb := len(a.OnActivate(row, 0)), len(b.OnActivate(row, 0)); ga != gb {
+			t.Fatalf("step %d row %d: %d refreshes vs %d", i, row, ga, gb)
+		}
+	}
+	if len(a.rows) != len(b.rows) {
+		t.Fatalf("diverged: %d rows vs %d", len(a.rows), len(b.rows))
+	}
+	for row, n := range a.rows {
+		nb, ok := b.rows[row]
+		if !ok {
+			t.Fatalf("row %d tracked by one instance only", row)
+		}
+		if n.bucket.count != nb.bucket.count {
+			t.Fatalf("row %d: estimate %d vs %d", row, n.bucket.count, nb.bucket.count)
+		}
+	}
+	if a.refreshes != b.refreshes {
+		t.Fatalf("refreshes diverged: %d vs %d", a.refreshes, b.refreshes)
 	}
 }
 

@@ -2,6 +2,7 @@ package sketch
 
 import (
 	"fmt"
+	"math"
 
 	"graphene/internal/dram"
 	"graphene/internal/mitigation"
@@ -33,19 +34,50 @@ func (c SSConfig) withDefaults() SSConfig {
 	return c
 }
 
+// ssNode is one tracked row. Nodes of equal estimate form a doubly-linked
+// FIFO within their bucket: head = oldest at this count (evicted first),
+// tail = newest.
+type ssNode struct {
+	row        int
+	bucket     *ssBucket
+	prev, next *ssNode
+}
+
+// ssBucket is one count-equivalence class, linked in strictly increasing
+// count order; the list head holds the minimum estimate.
+type ssBucket struct {
+	count      int64
+	head, tail *ssNode
+	prev, next *ssBucket
+}
+
 // SpaceSaving is the per-bank Space-Saving tracker (Metwally et al., ICDT
 // 2005): on a miss with a full table, the minimum-count entry is replaced
 // and the newcomer inherits min+1. Like Misra-Gries, estimates only ever
 // overshoot actual counts, so triggering at multiples of T is sound; the
 // structural difference is a min search instead of Misra-Gries' equality
 // search against a spillover register. It implements mitigation.Mitigator.
+//
+// Internally it uses the stream-summary layout from the original paper:
+// buckets keyed by estimate in a sorted doubly-linked list, each holding
+// its rows in arrival order. The minimum lives at the list head, so the
+// miss path is O(1) — previously it scanned the whole row map, which was
+// both O(Entries) and, because Go map iteration order is randomized,
+// nondeterministic in which of several equal-minimum rows it evicted.
+// Stream-summary eviction is deterministic: the row that has held the
+// minimum estimate the longest goes first.
 type SpaceSaving struct {
-	cfg     SSConfig
-	t       int64
-	w       int64
-	nentry  int
-	counts  map[int]int64 // row -> estimate
-	trigger map[int]int64 // row -> estimate at last trigger
+	cfg    SSConfig
+	t      int64
+	w      int64
+	nentry int
+
+	rows    map[int]*ssNode // row -> its node
+	head    *ssBucket       // bucket with the minimum estimate
+	trigger map[int]int64   // row -> estimate at last trigger
+
+	freeN *ssNode   // node pool (linked through next)
+	freeB *ssBucket // bucket pool (linked through next)
 
 	window    dram.Time
 	windowEnd dram.Time
@@ -60,6 +92,9 @@ func NewSpaceSaving(cfg SSConfig) (*SpaceSaving, error) {
 	cfg = cfg.withDefaults()
 	if cfg.TRH <= 0 {
 		return nil, fmt.Errorf("sketch: TRH must be positive, got %d", cfg.TRH)
+	}
+	if int64(cfg.Rows) > math.MaxInt32 {
+		return nil, fmt.Errorf("sketch: Rows %d exceeds the int32 row address space", cfg.Rows)
 	}
 	if err := cfg.Timing.Validate(); err != nil {
 		return nil, err
@@ -82,7 +117,7 @@ func NewSpaceSaving(cfg SSConfig) (*SpaceSaving, error) {
 	}
 	return &SpaceSaving{
 		cfg: cfg, t: t, w: w, nentry: nentry,
-		counts:  make(map[int]int64, nentry),
+		rows:    make(map[int]*ssNode, nentry),
 		trigger: make(map[int]int64, nentry),
 		window:  window, windowEnd: window,
 	}, nil
@@ -101,7 +136,13 @@ func (s *SpaceSaving) Entries() int { return s.nentry }
 func (s *SpaceSaving) VictimRefreshes() int64 { return s.refreshes }
 
 // Estimate returns the tracked estimate for row (0 when untracked).
-func (s *SpaceSaving) Estimate(row int) int64 { return s.counts[row] }
+func (s *SpaceSaving) Estimate(row int) int64 {
+	n, ok := s.rows[row]
+	if !ok {
+		return 0
+	}
+	return n.bucket.count
+}
 
 // OnActivate implements mitigation.Mitigator.
 func (s *SpaceSaving) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
@@ -109,24 +150,25 @@ func (s *SpaceSaving) OnActivate(row int, now dram.Time) []mitigation.VictimRefr
 		s.resetWindow()
 		s.windowEnd += s.window
 	}
-	if _, ok := s.counts[row]; ok {
-		s.counts[row]++
-	} else if len(s.counts) < s.nentry {
-		s.counts[row] = 1
+	var est int64
+	if n, ok := s.rows[row]; ok {
+		est = s.bump(n)
+	} else if len(s.rows) < s.nentry {
+		est = 1
+		s.insert(row, 1)
 	} else {
 		// Replace the minimum; the newcomer inherits min+1 (the defining
-		// Space-Saving move — overestimates, never underestimates).
-		minRow, minCount := -1, int64(0)
-		for r, c := range s.counts {
-			if minRow < 0 || c < minCount {
-				minRow, minCount = r, c
-			}
-		}
-		delete(s.counts, minRow)
-		delete(s.trigger, minRow)
-		s.counts[row] = minCount + 1
+		// Space-Saving move — overestimates, never underestimates). The
+		// victim is the oldest row in the head bucket: O(1), and unlike a
+		// map scan, deterministic under ties.
+		victim := s.head.head
+		min := s.head.count
+		delete(s.rows, victim.row)
+		delete(s.trigger, victim.row)
+		s.removeNode(victim)
+		est = min + 1
+		s.insert(row, est)
 	}
-	est := s.counts[row]
 	if est < s.t || est < s.trigger[row]+s.t {
 		return nil
 	}
@@ -135,11 +177,159 @@ func (s *SpaceSaving) OnActivate(row int, now dram.Time) []mitigation.VictimRefr
 	return []mitigation.VictimRefresh{{Aggressor: row, Distance: s.cfg.Distance}}
 }
 
+// bump moves n to the count+1 bucket and returns the new estimate.
+func (s *SpaceSaving) bump(n *ssNode) int64 {
+	b := n.bucket
+	c := b.count + 1
+	nb := b.next
+	if nb == nil || nb.count != c {
+		nb = s.insertBucketAfter(b, c)
+	}
+	s.detach(n)
+	s.append(nb, n)
+	if b.head == nil {
+		s.unlinkBucket(b)
+	}
+	return c
+}
+
+// insert places row with the given estimate; count is either 1 (table not
+// full) or head.count+1 (after an eviction), so the target bucket is at or
+// adjacent to the list head.
+func (s *SpaceSaving) insert(row int, count int64) {
+	var b *ssBucket
+	switch {
+	case s.head != nil && s.head.count == count:
+		b = s.head
+	case s.head != nil && s.head.count < count:
+		// Eviction path: count == old head.count + 1.
+		if s.head.next != nil && s.head.next.count == count {
+			b = s.head.next
+		} else {
+			b = s.insertBucketAfter(s.head, count)
+		}
+	default:
+		// New minimum (empty list, or count 1 below every existing bucket).
+		b = s.allocBucket(count)
+		b.next = s.head
+		if s.head != nil {
+			s.head.prev = b
+		}
+		s.head = b
+	}
+	n := s.allocNode(row)
+	s.append(b, n)
+	s.rows[row] = n
+}
+
+func (s *SpaceSaving) append(b *ssBucket, n *ssNode) {
+	n.bucket = b
+	n.prev, n.next = b.tail, nil
+	if b.tail != nil {
+		b.tail.next = n
+	} else {
+		b.head = n
+	}
+	b.tail = n
+}
+
+// detach removes n from its bucket's FIFO without freeing it; the caller
+// unlinks the bucket if it emptied.
+func (s *SpaceSaving) detach(n *ssNode) {
+	b := n.bucket
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		b.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		b.tail = n.prev
+	}
+	n.prev, n.next, n.bucket = nil, nil, nil
+}
+
+// removeNode detaches n, frees it, and unlinks its bucket if empty.
+func (s *SpaceSaving) removeNode(n *ssNode) {
+	b := n.bucket
+	s.detach(n)
+	n.next = s.freeN
+	s.freeN = n
+	if b.head == nil {
+		s.unlinkBucket(b)
+	}
+}
+
+func (s *SpaceSaving) allocNode(row int) *ssNode {
+	n := s.freeN
+	if n != nil {
+		s.freeN = n.next
+		n.next = nil
+	} else {
+		n = &ssNode{}
+	}
+	n.row = row
+	return n
+}
+
+func (s *SpaceSaving) allocBucket(count int64) *ssBucket {
+	b := s.freeB
+	if b != nil {
+		s.freeB = b.next
+		b.next = nil
+	} else {
+		b = &ssBucket{}
+	}
+	b.count = count
+	b.prev, b.next, b.head, b.tail = nil, nil, nil, nil
+	return b
+}
+
+func (s *SpaceSaving) insertBucketAfter(b *ssBucket, count int64) *ssBucket {
+	nb := s.allocBucket(count)
+	nb.prev, nb.next = b, b.next
+	if b.next != nil {
+		b.next.prev = nb
+	}
+	b.next = nb
+	return nb
+}
+
+func (s *SpaceSaving) unlinkBucket(b *ssBucket) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		s.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	}
+	b.prev, b.head, b.tail = nil, nil, nil
+	b.next = s.freeB
+	s.freeB = b
+}
+
 // Tick implements mitigation.Mitigator.
 func (s *SpaceSaving) Tick(now dram.Time) []mitigation.VictimRefresh { return nil }
 
 func (s *SpaceSaving) resetWindow() {
-	clear(s.counts)
+	for b := s.head; b != nil; {
+		next := b.next
+		for n := b.head; n != nil; {
+			nn := n.next
+			n.prev, n.bucket = nil, nil
+			n.next = s.freeN
+			s.freeN = n
+			n = nn
+		}
+		b.prev, b.head, b.tail = nil, nil, nil
+		b.next = s.freeB
+		s.freeB = b
+		b = next
+	}
+	s.head = nil
+	clear(s.rows)
 	clear(s.trigger)
 }
 

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench fuzz race tables security examples check
+.PHONY: all build vet test test-race test-short bench bench-sweep fuzz race tables security examples check
 
 all: check
 
@@ -24,17 +24,25 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Race detector over the packages that run per-bank goroutines. -short
-# skips the tens-of-seconds full-scale run, which would dominate `make
-# check` under the race detector's overhead.
+# One smoke pass over the sweep scheduler and the streaming replay path:
+# a single iteration each of the jobs-1 vs jobs-max grid and the
+# streaming-vs-buffered full-scale replay (with allocation counts).
+bench-sweep:
+	$(GO) test -run xxx -bench 'BenchmarkSweepScheduler' -benchtime 1x -benchmem .
+	$(GO) test -run xxx -bench 'BenchmarkReplayFullScaleAdversarial' -benchtime 1x -benchmem ./internal/memctrl
+
+# Race detector over the packages that run per-bank goroutines and the
+# sweep worker pool. -short skips the tens-of-seconds full-scale run,
+# which would dominate `make check` under the race detector's overhead.
 race:
-	$(GO) test -race -short ./internal/memctrl/... ./internal/sim/...
+	$(GO) test -race -short ./internal/memctrl/... ./internal/sim/... ./internal/sched/...
 
 # Short exploratory fuzz passes over the core invariants.
 fuzz:
 	$(GO) test ./internal/graphene -fuzz=FuzzTableInvariants -fuzztime=30s -run xxx
 	$(GO) test ./internal/graphene -fuzz=FuzzBankNeverMissesTheorem -fuzztime=30s -run xxx
 	$(GO) test ./internal/graphene -fuzz=FuzzTableMatchesReference -fuzztime=30s -run xxx
+	$(GO) test ./internal/memctrl -fuzz=FuzzStreamingMatchesBuffered -fuzztime=30s -run xxx
 
 tables:
 	$(GO) run ./cmd/rhtables -all
@@ -50,4 +58,4 @@ examples:
 	$(GO) run ./examples/pagepolicy
 	$(GO) run ./examples/observability
 
-check: build vet test race
+check: build vet test race bench-sweep

@@ -15,6 +15,7 @@ import (
 	"graphene/internal/hammer"
 	"graphene/internal/memctrl"
 	"graphene/internal/prohit"
+	"graphene/internal/sched"
 	"graphene/internal/security"
 	"graphene/internal/sim"
 	"graphene/internal/sketch"
@@ -371,6 +372,37 @@ func BenchmarkTrackerFullScaleAdversarial(b *testing.B) {
 		b.ReportMetric(float64(hw)/float64(dram.Nanosecond)/float64(paths), "hw-ns/act")
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "sw-ns/act")
+}
+
+// BenchmarkSweepScheduler measures the sweep pool end to end: the whole
+// Fig. 9(c) adversarial scaling grid (3 thresholds × 5 patterns × 4 schemes
+// + 5 shared baselines) at -jobs 1 versus every core. The jobs-max/jobs-1
+// wall-clock ratio is the speedup EXPERIMENTS.md's sweep-throughput table
+// reports; on a single-core runner the two converge by construction.
+func BenchmarkSweepScheduler(b *testing.B) {
+	sc := benchScale()
+	sc.AdversarialWindows = 0.1
+	trhs := []int64{50000, 25000, 12500}
+	for _, jobs := range []int{1, 0} {
+		name := "jobs-1"
+		if jobs == 0 {
+			name = "jobs-max"
+		}
+		b.Run(name, func(b *testing.B) {
+			var stats sched.MemoStats
+			for i := 0; i < b.N; i++ {
+				rows, err := sim.ScalingAdversarialOpts(sc, trhs, sim.Options{Jobs: jobs, BaselineStats: &stats})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != len(trhs) {
+					b.Fatalf("got %d scaling rows", len(rows))
+				}
+			}
+			b.ReportMetric(float64(stats.Misses), "baseline-runs")
+			b.ReportMetric(float64(stats.Hits), "baseline-hits")
+		})
+	}
 }
 
 // BenchmarkOracle_Activate measures the ground-truth oracle's per-ACT cost.

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ import (
 	"graphene/internal/energy"
 	"graphene/internal/memctrl"
 	"graphene/internal/mitigation"
+	"graphene/internal/sched"
 	"graphene/internal/sim"
 	"graphene/internal/stats"
 )
@@ -34,6 +36,8 @@ type options struct {
 	acts     int64
 	windows  float64
 	seed     int64
+	jobs     int
+	progress bool
 }
 
 func main() {
@@ -46,6 +50,8 @@ func main() {
 	flag.Int64Var(&o.acts, "acts", 500_000, "trace length for profile workloads")
 	flag.Float64Var(&o.windows, "windows", 0.5, "refresh windows sustained by attack patterns")
 	flag.Int64Var(&o.seed, "seed", 1, "generator seed")
+	flag.IntVar(&o.jobs, "jobs", 0, "concurrent simulation runs (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.progress, "progress", true, "live run progress on stderr")
 	flag.Parse()
 
 	flipped, err := run(os.Stdout, o)
@@ -79,17 +85,38 @@ func run(w io.Writer, o options) (flipped bool, err error) {
 		return false, err
 	}
 
-	// Baseline first (slowdown reference), then the protected run.
+	// The unprotected baseline (slowdown reference) and the protected run
+	// are independent simulations, so they go through the scheduler: with
+	// -jobs >= 2 they replay concurrently, and the progress line on stderr
+	// reports both.
 	baseGen, _, _ := sim.BuildWorkload(o.workload, sc, o.trh)
-	base, err := memctrl.Run(memctrl.Config{Geometry: geo, Timing: sc.Timing}, baseGen)
-	if err != nil {
-		return false, fmt.Errorf("baseline: %w", err)
+	var base, res memctrl.Result
+	jobs := []sched.Job{
+		{Label: o.workload + "/baseline", Do: func(context.Context) error {
+			r, err := memctrl.Run(memctrl.Config{Geometry: geo, Timing: sc.Timing}, baseGen)
+			if err != nil {
+				return fmt.Errorf("baseline: %w", err)
+			}
+			base = r
+			return nil
+		}},
+		{Label: o.workload + "/" + name, Do: func(context.Context) error {
+			r, err := memctrl.Run(memctrl.Config{
+				Geometry: geo, Timing: sc.Timing,
+				Factory: factory, TRH: o.trh, OracleDistance: o.distance,
+			}, gen)
+			if err != nil {
+				return err
+			}
+			res = r
+			return nil
+		}},
 	}
-	res, err := memctrl.Run(memctrl.Config{
-		Geometry: geo, Timing: sc.Timing,
-		Factory: factory, TRH: o.trh, OracleDistance: o.distance,
-	}, gen)
-	if err != nil {
+	opts := sched.Options{Jobs: o.jobs}
+	if o.progress {
+		opts.Progress = sched.Reporter(os.Stderr)
+	}
+	if err := sched.Run(opts, jobs); err != nil {
 		return false, err
 	}
 

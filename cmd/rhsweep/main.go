@@ -7,6 +7,15 @@
 //	rhsweep -sweep trh        # threshold scaling study (Fig. 9(a) + §V-A)
 //	rhsweep -sweep distance   # non-adjacent ±n study (§III-D)
 //	rhsweep -sweep cbt        # CBT pool-size study (§II-C / §V-C)
+//
+// The simulation sweeps replay the full workload × scheme (× threshold)
+// grid on the cell-parallel scheduler; -jobs bounds the worker pool and a
+// live progress line goes to stderr (never into the stdout CSV/JSON):
+//
+//	rhsweep -sweep normal                      # Fig. 8(a)/(c) grid
+//	rhsweep -sweep adversarial                 # Fig. 8(b) attack suite
+//	rhsweep -sweep scaling-normal -trhs 50000,25000,12500   # Fig. 9(b)/(d)
+//	rhsweep -sweep scaling-adversarial -jobs 4 # Fig. 9(c)
 package main
 
 import (
@@ -24,17 +33,71 @@ import (
 	"graphene/internal/dram"
 	"graphene/internal/graphene"
 	"graphene/internal/model"
+	"graphene/internal/sched"
 	"graphene/internal/security"
 	"graphene/internal/sim"
 )
 
+// options carries the simulation-sweep knobs shared by the -sweep modes
+// that replay traces (normal, adversarial, scaling-*).
+type options struct {
+	trh      int64
+	trhs     []int64
+	jobs     int
+	acts     int64
+	windows  float64
+	seed     int64
+	full     bool
+	progress bool
+}
+
+// scale resolves the simulation sizing: the test-friendly Quick scale with
+// the trace-length knobs applied, or the paper-scale Full configuration.
+func (o options) scale() sim.Scale {
+	sc := sim.Quick()
+	if o.full {
+		sc = sim.Full()
+	}
+	sc.WorkloadAccesses = o.acts
+	sc.AdversarialWindows = o.windows
+	sc.Seed = o.seed
+	return sc
+}
+
+// simOpts builds the scheduler options: bounded jobs plus the stderr
+// progress line, kept off the stdout table.
+func (o options) simOpts() sim.Options {
+	opt := sim.Options{Jobs: o.jobs}
+	if o.progress {
+		opt.Progress = sched.Reporter(os.Stderr)
+	}
+	return opt
+}
+
 func main() {
 	var (
-		sweep  = flag.String("sweep", "k", "sweep: k, trh, distance, cbt")
-		trh    = flag.Int64("trh", 50000, "Row Hammer threshold")
-		format = flag.String("format", "csv", "output format: csv or json")
+		sweep    = flag.String("sweep", "k", "sweep: k, trh, distance, cbt, normal, adversarial, scaling-normal, scaling-adversarial")
+		trh      = flag.Int64("trh", 50000, "Row Hammer threshold")
+		format   = flag.String("format", "csv", "output format: csv or json")
+		trhsFlag = flag.String("trhs", "50000,25000,12500", "comma-separated thresholds for the scaling sweeps")
+		jobs     = flag.Int("jobs", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
+		acts     = flag.Int64("acts", 200_000, "trace length for profile workloads (simulation sweeps)")
+		windows  = flag.Float64("windows", 0.25, "refresh windows sustained by attack patterns (simulation sweeps)")
+		seed     = flag.Int64("seed", 1, "generator seed (simulation sweeps)")
+		full     = flag.Bool("full", false, "paper-scale Table III geometry for the simulation sweeps")
+		progress = flag.Bool("progress", true, "live cell progress on stderr (simulation sweeps)")
 	)
 	flag.Parse()
+
+	trhs, err := parseTRHs(*trhsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhsweep:", err)
+		os.Exit(2)
+	}
+	o := options{
+		trh: *trh, trhs: trhs, jobs: *jobs, acts: *acts,
+		windows: *windows, seed: *seed, full: *full, progress: *progress,
+	}
 
 	var run func(*csv.Writer) error
 	switch *sweep {
@@ -46,12 +109,19 @@ func main() {
 		run = func(w *csv.Writer) error { return sweepDistance(w, *trh) }
 	case "cbt":
 		run = func(w *csv.Writer) error { return sweepCBT(w, *trh) }
+	case "normal":
+		run = func(w *csv.Writer) error { return sweepNormal(w, o) }
+	case "adversarial":
+		run = func(w *csv.Writer) error { return sweepAdversarial(w, o) }
+	case "scaling-normal":
+		run = func(w *csv.Writer) error { return sweepScalingNormal(w, o) }
+	case "scaling-adversarial":
+		run = func(w *csv.Writer) error { return sweepScalingAdversarial(w, o) }
 	default:
-		fmt.Fprintf(os.Stderr, "rhsweep: unknown sweep %q (k|trh|distance|cbt)\n", *sweep)
+		fmt.Fprintf(os.Stderr, "rhsweep: unknown sweep %q (k|trh|distance|cbt|normal|adversarial|scaling-normal|scaling-adversarial)\n", *sweep)
 		os.Exit(2)
 	}
 
-	var err error
 	switch *format {
 	case "csv":
 		w := csv.NewWriter(os.Stdout)
@@ -236,6 +306,106 @@ func sweepCBT(w *csv.Writer, trh int64) error {
 		}
 	}
 	return nil
+}
+
+// parseTRHs parses the -trhs comma list.
+func parseTRHs(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -trhs entry %q (want positive integers)", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// cellHeader is the per-cell CSV schema shared by the workload-grid sweeps.
+var cellHeader = []string{"workload", "scheme", "refresh_overhead_pct", "slowdown_pct", "victim_rows", "nrr_commands", "flips"}
+
+func writeCells(w *csv.Writer, rows []sim.Row) error {
+	for _, row := range rows {
+		for _, c := range row.Cells {
+			if err := w.Write([]string{
+				row.Workload, c.Scheme,
+				fmt.Sprintf("%.4f", 100*c.RefreshOverhead),
+				fmt.Sprintf("%.4f", 100*c.Slowdown),
+				strconv.FormatInt(c.VictimRows, 10),
+				strconv.FormatInt(c.NRRCommands, 10),
+				strconv.Itoa(c.Flips),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sweepNormal replays the Fig. 8(a)/(c) grid: every realistic workload
+// under every counter scheme at one threshold.
+func sweepNormal(w *csv.Writer, o options) error {
+	if err := w.Write(cellHeader); err != nil {
+		return err
+	}
+	rows, err := sim.NormalSweepOpts(o.scale(), o.trh, o.simOpts())
+	if err != nil {
+		return err
+	}
+	return writeCells(w, rows)
+}
+
+// sweepAdversarial replays the Fig. 8(b) grid: the S1–S4 attack suite
+// under every counter scheme at one threshold.
+func sweepAdversarial(w *csv.Writer, o options) error {
+	if err := w.Write(cellHeader); err != nil {
+		return err
+	}
+	rows, err := sim.AdversarialSweepOpts(o.scale(), o.trh, o.simOpts())
+	if err != nil {
+		return err
+	}
+	return writeCells(w, rows)
+}
+
+func writeScaling(w *csv.Writer, rows []sim.ScalingRow) error {
+	if err := w.Write([]string{"trh", "scheme", "refresh_overhead_pct", "slowdown_pct", "victim_rows", "flips"}); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		for _, c := range row.Cells {
+			if err := w.Write([]string{
+				strconv.FormatInt(row.TRH, 10), c.Scheme,
+				fmt.Sprintf("%.4f", 100*c.RefreshOverhead),
+				fmt.Sprintf("%.4f", 100*c.Slowdown),
+				strconv.FormatInt(c.VictimRows, 10),
+				strconv.Itoa(c.Flips),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sweepScalingNormal replays the Fig. 9(b)/(d) threshold sweep: averaged
+// per-scheme overheads on the representative workloads across -trhs.
+func sweepScalingNormal(w *csv.Writer, o options) error {
+	rows, err := sim.ScalingNormalOpts(o.scale(), o.trhs, o.simOpts())
+	if err != nil {
+		return err
+	}
+	return writeScaling(w, rows)
+}
+
+// sweepScalingAdversarial replays the Fig. 9(c) threshold sweep: averaged
+// per-scheme overheads under the attack suite across -trhs.
+func sweepScalingAdversarial(w *csv.Writer, o options) error {
+	rows, err := sim.ScalingAdversarialOpts(o.scale(), o.trhs, o.simOpts())
+	if err != nil {
+		return err
+	}
+	return writeScaling(w, rows)
 }
 
 // cbtLevels mirrors the default level derivation (log2(counters) + 3).

@@ -1,0 +1,52 @@
+package memctrl
+
+import (
+	"testing"
+
+	"graphene/internal/dram"
+	"graphene/internal/graphene"
+	"graphene/internal/workload"
+)
+
+// benchmarkReplay drives one full-scale refresh window of the S1 attack
+// against a protected bank through the chosen replay path. The B/op column
+// is the point of the comparison: the streaming path recycles a bounded set
+// of chunk buffers, the buffered path materializes the whole window
+// (timing.MaxACTs(TREFW) ≈ 1.36M accesses).
+func benchmarkReplay(b *testing.B, buffered bool) {
+	const rows = 64 * 1024
+	const trh = 50000
+	timing := dram.DDR4()
+	geo := oneBank(rows)
+	total := timing.MaxACTs(timing.TREFW)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := Config{
+			Geometry: geo, Timing: timing,
+			Factory: graphene.Factory(graphene.Config{TRH: trh, K: 2, Rows: rows, Timing: timing}),
+			TRH:     trh,
+		}
+		gen := workload.S1(0, rows, 10, total)
+		var res Result
+		var err error
+		if buffered {
+			res, err = runBuffered(cfg, gen)
+		} else {
+			res, err = Run(cfg, gen)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ACTs != total {
+			b.Fatalf("replayed %d ACTs, want %d", res.ACTs, total)
+		}
+	}
+}
+
+func BenchmarkReplayFullScaleAdversarial(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-scale window; skipped in -short")
+	}
+	b.Run("streaming", func(b *testing.B) { benchmarkReplay(b, false) })
+	b.Run("buffered", func(b *testing.B) { benchmarkReplay(b, true) })
+}

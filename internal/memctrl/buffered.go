@@ -1,0 +1,48 @@
+package memctrl
+
+import (
+	"sync"
+
+	"graphene/internal/trace"
+)
+
+// replayBuffered materializes the whole activation stream into per-bank
+// slices before replaying — O(total ACTs) memory. It predates the
+// streaming path and is kept (unexported) as the differential oracle:
+// TestStreamingMatchesBuffered and the replay benchmarks pin the streaming
+// path to it.
+func replayBuffered(cfg Config, gen trace.Generator, states []*bankState) ([]bankOut, error) {
+	nbanks := len(states)
+	perBank := make([][]trace.Access, nbanks)
+	for {
+		a, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := validateAccess(cfg, nbanks, a); err != nil {
+			return nil, err
+		}
+		perBank[a.Bank] = append(perBank[a.Bank], a)
+	}
+
+	outs := make([]bankOut, nbanks)
+	var wg sync.WaitGroup
+	for bi, accs := range perBank {
+		if len(accs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(bi int, accs []trace.Access) {
+			defer wg.Done()
+			s, out := states[bi], &outs[bi]
+			for _, a := range accs {
+				if err := s.replayOne(a, bi, out); err != nil {
+					out.err = err
+					return
+				}
+			}
+		}(bi, accs)
+	}
+	wg.Wait()
+	return outs, nil
+}

@@ -16,7 +16,6 @@ package memctrl
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"graphene/internal/dram"
 	"graphene/internal/hammer"
@@ -157,8 +156,44 @@ func (s *bankState) phys(row int) int {
 	return s.remap.ToPhysical(row)
 }
 
-// Run replays gen to completion under cfg.
+// Run replays gen to completion under cfg. The trace is streamed into the
+// per-bank replay goroutines through bounded chunked channels (stream.go),
+// so memory stays O(banks × chunk) regardless of trace length.
 func Run(cfg Config, gen trace.Generator) (Result, error) {
+	return run(cfg, gen, replayStreaming)
+}
+
+// runBuffered replays through the original O(total ACTs)-memory path that
+// materialized the whole stream into per-bank slices before replaying. The
+// differential tests keep it as the oracle for the streaming path.
+func runBuffered(cfg Config, gen trace.Generator) (Result, error) {
+	return run(cfg, gen, replayBuffered)
+}
+
+// replayFunc partitions gen across the per-bank goroutines and replays it,
+// returning one bankOut per bank. Implementations must preserve the
+// per-bank access order and must not touch states after returning.
+type replayFunc func(cfg Config, gen trace.Generator, states []*bankState) ([]bankOut, error)
+
+// bankOut is one bank goroutine's share of the run.
+type bankOut struct {
+	acts  int64
+	flips []BankFlip
+	err   error
+}
+
+// validateAccess bounds-checks one access against the configured geometry.
+func validateAccess(cfg Config, nbanks int, a trace.Access) error {
+	if a.Bank < 0 || a.Bank >= nbanks {
+		return fmt.Errorf("memctrl: access to bank %d out of range [0,%d)", a.Bank, nbanks)
+	}
+	if a.Row < 0 || a.Row >= cfg.Geometry.RowsPerBank {
+		return fmt.Errorf("memctrl: access to row %d out of range [0,%d)", a.Row, cfg.Geometry.RowsPerBank)
+	}
+	return nil
+}
+
+func run(cfg Config, gen trace.Generator, replay replayFunc) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Geometry.Validate(); err != nil {
 		return Result{}, err
@@ -201,92 +236,14 @@ func Run(cfg Config, gen trace.Generator) (Result, error) {
 		res.CostPerBank = states[0].mit.Cost()
 	}
 
-	// Partition the stream by bank, preserving per-bank order. Banks are
-	// timing-independent in this model, so each bank replays its own
-	// sub-stream.
-	perBank := make([][]trace.Access, nbanks)
-	for {
-		a, ok := gen.Next()
-		if !ok {
-			break
-		}
-		if a.Bank < 0 || a.Bank >= nbanks {
-			return Result{}, fmt.Errorf("memctrl: access to bank %d out of range [0,%d)", a.Bank, nbanks)
-		}
-		if a.Row < 0 || a.Row >= cfg.Geometry.RowsPerBank {
-			return Result{}, fmt.Errorf("memctrl: access to row %d out of range [0,%d)", a.Row, cfg.Geometry.RowsPerBank)
-		}
-		perBank[a.Bank] = append(perBank[a.Bank], a)
-	}
-
 	// Banks are timing-independent in this model, so their timelines replay
-	// concurrently; results merge deterministically in bank order below.
-	type bankOut struct {
-		acts  int64
-		flips []BankFlip
-		err   error
+	// concurrently; the replay strategy partitions the stream (preserving
+	// per-bank order) and results merge deterministically in bank order
+	// below.
+	outs, err := replay(cfg, gen, states)
+	if err != nil {
+		return Result{}, err
 	}
-	outs := make([]bankOut, nbanks)
-	var wg sync.WaitGroup
-	for bi, accs := range perBank {
-		if len(accs) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(bi int, accs []trace.Access) {
-			defer wg.Done()
-			s := states[bi]
-			out := &outs[bi]
-			for _, a := range accs {
-				s.now += a.Gap
-				if err := s.catchUpREF(); err != nil {
-					out.err = err
-					return
-				}
-
-				start := s.now
-				if bu := s.bank.BusyUntil(); bu > start {
-					start = bu
-				}
-				physRow := s.phys(a.Row)
-				done, err := s.bank.Activate(physRow, s.now)
-				if err != nil {
-					out.err = err
-					return
-				}
-				out.acts++
-
-				if s.oracle != nil {
-					// The oracle lives in physical space: disturbance
-					// follows word-line adjacency, not controller
-					// addressing.
-					for _, f := range s.oracle.Activate(physRow, start) {
-						out.flips = append(out.flips, BankFlip{Bank: bi, Flip: f})
-					}
-				}
-				if s.mit != nil {
-					if err := s.apply(s.mit.OnActivate(a.Row, start), done); err != nil {
-						out.err = err
-						return
-					}
-					if s.extraFn != nil {
-						// Charge the scheme's extra DRAM traffic (counter
-						// reads/writebacks) as bank occupancy, one column
-						// access (tCL) per transfer.
-						if delta := s.extraFn() - s.lastExtra; delta > 0 {
-							s.lastExtra += delta
-							if _, err := s.bank.Stall(done, dram.Time(delta)*cfg.Timing.TCL); err != nil {
-								out.err = err
-								return
-							}
-						}
-					}
-				}
-				s.now = done
-			}
-		}(bi, accs)
-	}
-	wg.Wait()
 	for bi := range outs {
 		if outs[bi].err != nil {
 			return Result{}, outs[bi].err
@@ -347,6 +304,54 @@ func Run(cfg Config, gen trace.Generator) (Result, error) {
 		res.TopVictims = res.TopVictims[:3]
 	}
 	return res, nil
+}
+
+// replayOne advances one bank's timeline by a single access: the think-time
+// gap, any auto-refreshes that came due, the activation itself, oracle
+// disturbance, and the scheme's victim refreshes plus extra-traffic stall.
+// Counters and flips accumulate into out.
+func (s *bankState) replayOne(a trace.Access, bi int, out *bankOut) error {
+	s.now += a.Gap
+	if err := s.catchUpREF(); err != nil {
+		return err
+	}
+
+	start := s.now
+	if bu := s.bank.BusyUntil(); bu > start {
+		start = bu
+	}
+	physRow := s.phys(a.Row)
+	done, err := s.bank.Activate(physRow, s.now)
+	if err != nil {
+		return err
+	}
+	out.acts++
+
+	if s.oracle != nil {
+		// The oracle lives in physical space: disturbance follows
+		// word-line adjacency, not controller addressing.
+		for _, f := range s.oracle.Activate(physRow, start) {
+			out.flips = append(out.flips, BankFlip{Bank: bi, Flip: f})
+		}
+	}
+	if s.mit != nil {
+		if err := s.apply(s.mit.OnActivate(a.Row, start), done); err != nil {
+			return err
+		}
+		if s.extraFn != nil {
+			// Charge the scheme's extra DRAM traffic (counter
+			// reads/writebacks) as bank occupancy, one column access (tCL)
+			// per transfer.
+			if delta := s.extraFn() - s.lastExtra; delta > 0 {
+				s.lastExtra += delta
+				if _, err := s.bank.Stall(done, dram.Time(delta)*s.bank.Timing().TCL); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	s.now = done
+	return nil
 }
 
 // catchUpREF issues every auto-refresh command due at or before s.now,

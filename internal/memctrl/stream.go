@@ -1,0 +1,118 @@
+package memctrl
+
+import (
+	"sync"
+
+	"graphene/internal/trace"
+)
+
+const (
+	// streamChunk is the number of accesses handed from the partitioner to
+	// a bank's replay goroutine at a time. Large enough to amortize channel
+	// synchronization across thousands of accesses, small enough that
+	// per-bank buffering stays in cache.
+	streamChunk = 2048
+
+	// streamDepth is how many filled chunks may queue per bank before the
+	// partitioner blocks (backpressure). Peak replay memory is therefore
+	// O(banks × streamChunk × (streamDepth+2)) accesses — a few MB at the
+	// paper's 16-bank geometry — instead of the O(total ACTs) the buffered
+	// path needed (~1.36M accesses per bank for a full-scale window).
+	streamDepth = 4
+)
+
+// bankStream is one bank's bounded conduit from the partitioner to its
+// replay goroutine. Chunks recycle through free once replayed, so
+// steady-state allocation is a handful of buffers per bank regardless of
+// trace length.
+type bankStream struct {
+	data chan []trace.Access
+	free chan []trace.Access
+	made int            // buffers allocated so far (≤ streamDepth+2)
+	fill []trace.Access // chunk currently being filled by the partitioner
+}
+
+// buffer returns an empty chunk, recycling a replayed one when available
+// and allocating only up to the bounded buffer budget.
+func (st *bankStream) buffer() []trace.Access {
+	select {
+	case b := <-st.free:
+		return b
+	default:
+	}
+	if st.made < streamDepth+2 {
+		st.made++
+		return make([]trace.Access, 0, streamChunk)
+	}
+	return <-st.free
+}
+
+// replayStreaming partitions gen into bounded per-bank chunk channels while
+// the bank goroutines replay concurrently. Per-bank access order — the only
+// order the timing model observes — is preserved exactly, so results are
+// byte-identical to the buffered path.
+func replayStreaming(cfg Config, gen trace.Generator, states []*bankState) ([]bankOut, error) {
+	nbanks := len(states)
+	outs := make([]bankOut, nbanks)
+	streams := make([]*bankStream, nbanks)
+	var wg sync.WaitGroup
+	for bi := range states {
+		st := &bankStream{
+			data: make(chan []trace.Access, streamDepth),
+			free: make(chan []trace.Access, streamDepth+2),
+		}
+		streams[bi] = st
+		wg.Add(1)
+		go func(bi int, st *bankStream) {
+			defer wg.Done()
+			s, out := states[bi], &outs[bi]
+			for chunk := range st.data {
+				if out.err == nil {
+					for _, a := range chunk {
+						if err := s.replayOne(a, bi, out); err != nil {
+							out.err = err
+							break
+						}
+					}
+				}
+				// Recycle even after an error: the partitioner may be
+				// blocked waiting for a free buffer.
+				st.free <- chunk[:0]
+			}
+		}(bi, st)
+	}
+
+	var perr error
+	for {
+		a, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if perr = validateAccess(cfg, nbanks, a); perr != nil {
+			break
+		}
+		st := streams[a.Bank]
+		if st.fill == nil {
+			st.fill = st.buffer()
+		}
+		st.fill = append(st.fill, a)
+		if len(st.fill) == streamChunk {
+			st.data <- st.fill
+			st.fill = nil
+		}
+	}
+	for _, st := range streams {
+		if perr == nil && len(st.fill) > 0 {
+			st.data <- st.fill
+		}
+		close(st.data)
+	}
+	wg.Wait()
+	if perr != nil {
+		// Match the buffered path's contract: an out-of-range access fails
+		// the run with the partitioner's error, regardless of how far the
+		// banks replayed.
+		return nil, perr
+	}
+	return outs, nil
+}

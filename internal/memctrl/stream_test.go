@@ -1,0 +1,260 @@
+package memctrl
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"graphene/internal/dram"
+	"graphene/internal/graphene"
+	"graphene/internal/mitigation"
+	"graphene/internal/para"
+	"graphene/internal/remap"
+	"graphene/internal/trace"
+	"graphene/internal/workload"
+)
+
+// diffCase is one differential fixture: mkCfg/mkGen rebuild the config and
+// generator fresh per run, since generators are single-use and some
+// factories (PARA) are stateful across Factory() calls.
+type diffCase struct {
+	name  string
+	mkCfg func() Config
+	mkGen func() trace.Generator
+}
+
+// grapheneFactory builds a fresh Graphene factory for the given scale.
+func grapheneFactory(trh int64, rows int, timing dram.Timing) mitigation.Factory {
+	return graphene.Factory(graphene.Config{TRH: trh, K: 2, Rows: rows, Timing: timing})
+}
+
+// diffCases covers the shapes the streaming rework could plausibly break:
+// the adversarial suite on one bank, multi-bank mixed workloads, remapped
+// geometry, a stateful-seed scheme, and chunk-boundary trace lengths.
+func diffCases(t *testing.T) []diffCase {
+	t.Helper()
+	timing := smallTiming()
+	const rows = 1 << 12
+	const trh = 2000
+	attackTotal := int64(80_000)
+
+	var cases []diffCase
+
+	// The §V-B attack suite, single bank, Graphene + oracle — the sweep's
+	// hot path.
+	attacks := []struct {
+		name string
+		mk   func() trace.Generator
+	}{
+		{"S1-10", func() trace.Generator { return workload.S1(0, rows, 10, attackTotal) }},
+		{"S1-20", func() trace.Generator { return workload.S1(0, rows, 20, attackTotal) }},
+		{"S2", func() trace.Generator { return workload.S2(0, rows, 10, 0.2, attackTotal, 1) }},
+		{"S3", func() trace.Generator { return workload.S3(0, rows/2, attackTotal) }},
+		{"S4", func() trace.Generator { return workload.S4(0, rows, rows/2, 0.5, attackTotal, 1) }},
+	}
+	for _, a := range attacks {
+		a := a
+		cases = append(cases, diffCase{
+			name: "attack/" + a.name,
+			mkCfg: func() Config {
+				return Config{
+					Geometry: oneBank(rows), Timing: timing,
+					Factory: grapheneFactory(trh, rows, timing), TRH: trh,
+				}
+			},
+			mkGen: a.mk,
+		})
+	}
+
+	// Multi-bank mixed profile workload: two profiles interleaved over
+	// 8 banks, protected + oracle.
+	multi := dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 8, RowsPerBank: 1 << 14}
+	cases = append(cases, diffCase{
+		name: "multibank/mix",
+		mkCfg: func() Config {
+			return Config{
+				Geometry: multi, Timing: timing,
+				Factory: grapheneFactory(trh, multi.RowsPerBank, timing), TRH: trh,
+			}
+		},
+		mkGen: func() trace.Generator {
+			a, err := workload.Profiles()[0].Generate(multi, timing, 40_000, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := workload.Profiles()[10].Generate(multi, timing, 40_000, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mix, err := workload.Mix("mix", 3, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return mix
+		},
+	})
+
+	// Remapped geometry: the remapper sits between the controller's logical
+	// addresses and the physical disturbance/refresh machinery.
+	rm, err := remap.Permutation(rows, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, diffCase{
+		name: "remap/S1-10",
+		mkCfg: func() Config {
+			return Config{
+				Geometry: oneBank(rows), Timing: timing,
+				Factory: grapheneFactory(trh, rows, timing), TRH: trh,
+				Remap: rm,
+			}
+		},
+		mkGen: func() trace.Generator { return workload.S1(0, rows, 10, attackTotal) },
+	})
+
+	// Stateful factory (PARA derives each bank's RNG seed from a closure
+	// counter): run() must call Factory() the same number of times in the
+	// same order on both paths.
+	cases = append(cases, diffCase{
+		name: "para/multibank",
+		mkCfg: func() Config {
+			return Config{
+				Geometry: multi, Timing: timing,
+				Factory: para.Factory(para.Classic(0.01, multi.RowsPerBank, 7)), TRH: trh,
+			}
+		},
+		mkGen: func() trace.Generator {
+			var i int64
+			return trace.FromFunc("rr", func() (trace.Access, bool) {
+				if i >= 60_000 {
+					return trace.Access{}, false
+				}
+				i++
+				return trace.Access{Bank: int(i % 8), Row: int((i * 17) % rows)}, true
+			})
+		},
+	})
+
+	// Chunk-boundary lengths: empty trace, one access, one access around a
+	// full chunk, and several chunks plus a partial tail.
+	for _, n := range []int{0, 1, streamChunk - 1, streamChunk, streamChunk + 1, 3*streamChunk + 7} {
+		n := n
+		cases = append(cases, diffCase{
+			name: fmt.Sprintf("boundary/%d", n),
+			mkCfg: func() Config {
+				return Config{
+					Geometry: oneBank(rows), Timing: timing,
+					Factory: grapheneFactory(trh, rows, timing), TRH: trh,
+				}
+			},
+			mkGen: func() trace.Generator {
+				accs := make([]trace.Access, n)
+				for i := range accs {
+					accs[i] = trace.Access{Bank: 0, Row: (i * 13) % rows}
+				}
+				return trace.FromSlice("boundary", accs)
+			},
+		})
+	}
+	return cases
+}
+
+func TestStreamingMatchesBuffered(t *testing.T) {
+	for _, tc := range diffCases(t) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := runBuffered(tc.mkCfg(), tc.mkGen())
+			if err != nil {
+				t.Fatalf("buffered: %v", err)
+			}
+			got, err := Run(tc.mkCfg(), tc.mkGen())
+			if err != nil {
+				t.Fatalf("streaming: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("streaming result diverges from buffered:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestStreamingErrorBehaviorMatchesBuffered(t *testing.T) {
+	cfg := Config{Geometry: oneBank(64), Timing: smallTiming()}
+	bad := []struct {
+		name string
+		accs []trace.Access
+	}{
+		{"bank", []trace.Access{{Bank: 0, Row: 1}, {Bank: 5, Row: 0}}},
+		{"row", []trace.Access{{Bank: 0, Row: 1}, {Bank: 0, Row: 64}}},
+		// The invalid access arrives mid-chunk while earlier chunks are
+		// already replaying: the partition error must still win.
+		{"late", func() []trace.Access {
+			accs := make([]trace.Access, 3*streamChunk)
+			for i := range accs {
+				accs[i] = trace.Access{Bank: 0, Row: i % 64}
+			}
+			accs[len(accs)-1].Row = -1
+			return accs
+		}()},
+	}
+	for _, tc := range bad {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, berr := runBuffered(cfg, trace.FromSlice("bad", tc.accs))
+			_, serr := Run(cfg, trace.FromSlice("bad", tc.accs))
+			if berr == nil || serr == nil {
+				t.Fatalf("invalid access accepted: buffered=%v streaming=%v", berr, serr)
+			}
+			if berr.Error() != serr.Error() {
+				t.Errorf("error text diverges:\n buffered:  %v\n streaming: %v", berr, serr)
+			}
+		})
+	}
+}
+
+// FuzzStreamingMatchesBuffered drives both replay paths with a generated
+// trace shape and requires identical Results (or identical failure).
+func FuzzStreamingMatchesBuffered(f *testing.F) {
+	f.Add(int64(1), uint8(1), uint16(500), uint16(3))
+	f.Add(int64(2), uint8(4), uint16(5000), uint16(97))
+	f.Add(int64(3), uint8(8), uint16(2*streamChunk+5), uint16(13))
+	f.Add(int64(4), uint8(2), uint16(0), uint16(1))
+	f.Fuzz(func(t *testing.T, seed int64, banks uint8, total uint16, stride uint16) {
+		nbanks := int(banks%8) + 1
+		rows := 1 << 10
+		timing := smallTiming()
+		geo := dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: nbanks, RowsPerBank: rows}
+		mkGen := func() trace.Generator {
+			var i int64
+			return trace.FromFunc("fuzz", func() (trace.Access, bool) {
+				if i >= int64(total) {
+					return trace.Access{}, false
+				}
+				i++
+				x := i*int64(stride) + seed
+				return trace.Access{
+					Bank: int(uint64(x) % uint64(nbanks)),
+					Row:  int(uint64(x*31) % uint64(rows)),
+					Gap:  dram.Time(uint64(x) % 3000),
+				}, true
+			})
+		}
+		mkCfg := func() Config {
+			return Config{
+				Geometry: geo, Timing: timing,
+				Factory: grapheneFactory(2000, rows, timing), TRH: 2000,
+			}
+		}
+		want, berr := runBuffered(mkCfg(), mkGen())
+		got, serr := Run(mkCfg(), mkGen())
+		if (berr == nil) != (serr == nil) {
+			t.Fatalf("error divergence: buffered=%v streaming=%v", berr, serr)
+		}
+		if berr != nil {
+			return
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("streaming diverges from buffered:\n got %+v\nwant %+v", got, want)
+		}
+	})
+}

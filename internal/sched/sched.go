@@ -1,0 +1,136 @@
+// Package sched is the sweep execution engine: it runs independent
+// simulation cells (workload × scheme × threshold jobs) on a bounded worker
+// pool and reassembles their results deterministically.
+//
+// The contract that makes parallel sweeps safe is in the caller's hands:
+// each Job writes only into slots it owns (pre-allocated result cells), so
+// output order is fixed at submission time and execution order never shows
+// through. The pool adds cancellation — the first failing job cancels the
+// shared context and the remaining queued jobs are skipped, exactly like a
+// serial loop returning early — and a progress callback for live CLI
+// reporting.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Progress is one completion notification: Done of Total cells have
+// finished, Cell names the one that just completed, and Elapsed is the
+// wall clock since Run started. Callbacks arrive serialized and Done is
+// strictly increasing, so a reporter can render a live status line without
+// its own locking.
+type Progress struct {
+	Done    int
+	Total   int
+	Cell    string
+	Elapsed time.Duration
+}
+
+// Options configures a pool run.
+type Options struct {
+	// Jobs bounds the number of workers; 0 (or negative) uses
+	// runtime.GOMAXPROCS(0). The worker count never affects results, only
+	// wall clock.
+	Jobs int
+
+	// Progress, when non-nil, is invoked after every completed job. It is
+	// called with the pool's bookkeeping lock held: keep it fast and never
+	// call back into the pool from it.
+	Progress func(Progress)
+}
+
+// Job is one independent unit of work. Do receives a context that is
+// cancelled when another job fails; long-running jobs waiting on shared
+// resources should select on ctx.Done() so an aborting pool cannot
+// deadlock.
+type Job struct {
+	Label string
+	Do    func(ctx context.Context) error
+}
+
+// Run executes the jobs on a bounded worker pool and blocks until every
+// started job has finished. Workers pull jobs in submission order, so with
+// Jobs = 1 execution is exactly the serial loop. On failure the
+// lowest-index error observed is returned, in-flight jobs run to
+// completion, and queued jobs are skipped.
+func Run(opts Options, jobs []Job) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	workers := opts.Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	queue := make(chan int, len(jobs))
+	for i := range jobs {
+		queue <- i
+	}
+	close(queue)
+
+	var (
+		mu       sync.Mutex
+		done     int
+		errIdx   = len(jobs)
+		firstErr error
+		start    = time.Now()
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				if ctx.Err() != nil {
+					return // aborted: skip everything still queued
+				}
+				err := jobs[i].Do(ctx)
+				mu.Lock()
+				if err != nil {
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					cancel()
+					continue
+				}
+				done++
+				if opts.Progress != nil {
+					opts.Progress(Progress{
+						Done: done, Total: len(jobs),
+						Cell: jobs[i].Label, Elapsed: time.Since(start),
+					})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Reporter returns a Progress callback rendering a live single-line status
+// to w (stderr in the CLIs): the line is redrawn in place with \r and
+// finished with a newline when the last cell completes, so it never mixes
+// into stdout table or JSON output.
+func Reporter(w io.Writer) func(Progress) {
+	return func(p Progress) {
+		fmt.Fprintf(w, "\r%d/%d cells  %-44.44s  %s ",
+			p.Done, p.Total, p.Cell, p.Elapsed.Round(time.Millisecond))
+		if p.Done == p.Total {
+			fmt.Fprintln(w)
+		}
+	}
+}

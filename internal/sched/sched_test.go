@@ -1,0 +1,204 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// squareJobs builds n jobs writing i*i into out[i].
+func squareJobs(out []int) []Job {
+	jobs := make([]Job, len(out))
+	for i := range out {
+		i := i
+		jobs[i] = Job{Label: fmt.Sprintf("cell-%d", i), Do: func(context.Context) error {
+			out[i] = i * i
+			return nil
+		}}
+	}
+	return jobs
+}
+
+func TestRunAssemblesInSubmissionOrder(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 0} {
+		out := make([]int, 100)
+		if err := Run(Options{Jobs: jobs}, squareJobs(out)); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("jobs=%d: out[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	if err := Run(Options{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, 1)
+	if err := Run(Options{Jobs: 16}, squareJobs(out)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstErrorAbortsQueuedJobs(t *testing.T) {
+	const n = 64
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Label: fmt.Sprintf("cell-%d", i), Do: func(context.Context) error {
+			ran.Add(1)
+			if i == 3 {
+				return boom
+			}
+			return nil
+		}}
+	}
+	err := Run(Options{Jobs: 2}, jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The pool stops pulling after the failure: with 2 workers at most a
+	// handful of jobs past the failing one can already be in flight.
+	if got := ran.Load(); got > 8 {
+		t.Errorf("%d jobs ran after early failure; pool did not abort", got)
+	}
+}
+
+func TestErrorCancelsContextForInFlightJobs(t *testing.T) {
+	// One job blocks on the context; another fails. The blocked job must be
+	// released — a deadlock here hangs the test (and the sweep it models).
+	release := make(chan struct{})
+	jobs := []Job{
+		{Label: "waiter", Do: func(ctx context.Context) error {
+			close(release)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(30 * time.Second):
+				return errors.New("never cancelled")
+			}
+		}},
+		{Label: "failer", Do: func(context.Context) error {
+			<-release // ensure the waiter is already in flight
+			return errors.New("boom")
+		}},
+	}
+	err := Run(Options{Jobs: 2}, jobs)
+	if err == nil || err.Error() != "boom" && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want boom or context.Canceled", err)
+	}
+}
+
+func TestJobsOneIsSerialSubmissionOrder(t *testing.T) {
+	var order []int
+	jobs := make([]Job, 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Do: func(context.Context) error {
+			order = append(order, i) // safe: single worker
+			return nil
+		}}
+	}
+	if err := Run(Options{Jobs: 1}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("execution order %v not submission order", order)
+		}
+	}
+}
+
+func TestProgressCallbacksAreOrderedAndComplete(t *testing.T) {
+	const n = 50
+	var got []Progress
+	out := make([]int, n)
+	err := Run(Options{Jobs: 8, Progress: func(p Progress) { got = append(got, p) }}, squareJobs(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("%d progress callbacks, want %d", len(got), n)
+	}
+	for i, p := range got {
+		if p.Done != i+1 || p.Total != n {
+			t.Fatalf("callback %d: Done/Total = %d/%d", i, p.Done, p.Total)
+		}
+		if !strings.HasPrefix(p.Cell, "cell-") {
+			t.Fatalf("callback %d: Cell = %q", i, p.Cell)
+		}
+	}
+}
+
+func TestReporterEndsLineOnLastCell(t *testing.T) {
+	var sb strings.Builder
+	rep := Reporter(&sb)
+	rep(Progress{Done: 1, Total: 2, Cell: "a"})
+	if strings.Contains(sb.String(), "\n") {
+		t.Error("newline before the last cell")
+	}
+	rep(Progress{Done: 2, Total: 2, Cell: "b"})
+	if !strings.HasSuffix(sb.String(), "\n") {
+		t.Error("missing final newline")
+	}
+	if !strings.Contains(sb.String(), "2/2 cells") {
+		t.Errorf("unexpected reporter output %q", sb.String())
+	}
+}
+
+func TestMemoSingleFlight(t *testing.T) {
+	var m Memo[string, int]
+	var computes atomic.Int64
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := m.Do("base", func() (int, error) {
+				computes.Add(1)
+				time.Sleep(time.Millisecond)
+				return 42, nil
+			})
+			if v != 42 || err != nil {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if computes.Load() != 1 {
+		t.Errorf("computed %d times, want 1", computes.Load())
+	}
+	st := m.Stats()
+	if st.Misses != 1 || st.Hits != callers-1 {
+		t.Errorf("stats = %+v, want 1 miss / %d hits", st, callers-1)
+	}
+}
+
+func TestMemoCachesErrors(t *testing.T) {
+	var m Memo[int, int]
+	boom := errors.New("boom")
+	var computes int
+	for i := 0; i < 3; i++ {
+		_, err := m.Do(7, func() (int, error) { computes++; return 0, boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("call %d: err = %v", i, err)
+		}
+	}
+	if computes != 1 {
+		t.Errorf("failed compute retried %d times", computes)
+	}
+	if v, err := m.Do(8, func() (int, error) { return 8, nil }); v != 8 || err != nil {
+		t.Errorf("independent key poisoned: %d, %v", v, err)
+	}
+}

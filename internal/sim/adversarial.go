@@ -27,43 +27,9 @@ func AdversarialPatterns(sc Scale) []func() trace.Generator {
 // AdversarialSweep measures the counter schemes and PARA under the attack
 // suite: the data behind Fig. 8(b). Attacks run on a single bank (the
 // refresh-overhead ratio is bank-local, as in the paper's accounting).
+// Cells run on the sched pool (see Options).
 func AdversarialSweep(sc Scale, trh int64) ([]Row, error) {
-	// Single-bank geometry: adversarial patterns saturate one bank.
-	oneBank := sc
-	oneBank.Geometry = dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 1, RowsPerBank: sc.Geometry.RowsPerBank}
-
-	schemes, err := CounterSchemes(trh, oneBank)
-	if err != nil {
-		return nil, err
-	}
-
-	var rows []Row
-	for _, mk := range AdversarialPatterns(oneBank) {
-		base, err := memctrl.Run(memctrl.Config{Geometry: oneBank.Geometry, Timing: oneBank.Timing}, mk())
-		if err != nil {
-			return nil, err
-		}
-		row := Row{Workload: mk().Name()}
-		for _, spec := range schemes {
-			res, err := memctrl.Run(memctrl.Config{
-				Geometry: oneBank.Geometry, Timing: oneBank.Timing,
-				Factory: spec.Factory, TRH: trh,
-			}, mk())
-			if err != nil {
-				return nil, fmt.Errorf("sim: %s/%s: %w", row.Workload, spec.Name, err)
-			}
-			row.Cells = append(row.Cells, Cell{
-				Scheme:          spec.Name,
-				RefreshOverhead: res.RefreshOverhead(),
-				Slowdown:        res.SlowdownVs(base),
-				VictimRows:      res.RowsVictim,
-				NRRCommands:     res.NRRCommands,
-				Flips:           len(res.Flips),
-			})
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return AdversarialSweepOpts(sc, trh, Options{})
 }
 
 // RunAttack replays one attack generator under one scheme on a single-bank

@@ -67,34 +67,18 @@ func ScalingWorkloads() []workload.Profile {
 
 // ScalingNormal measures the Fig. 9(b)/(d) sweep: average refresh-energy
 // overhead and performance loss on normal workloads across thresholds.
+// The whole grid runs as one pool of cells, sharing each workload's
+// unprotected baseline across thresholds (see Options).
 func ScalingNormal(sc Scale, trhs []int64) ([]ScalingRow, error) {
-	var out []ScalingRow
-	for _, trh := range trhs {
-		schemes, err := CounterSchemes(trh, sc)
-		if err != nil {
-			return nil, err
-		}
-		rows, err := SweepProfiles(sc, trh, ScalingWorkloads(), schemes)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, average(trh, rows))
-	}
-	return out, nil
+	return ScalingNormalOpts(sc, trhs, Options{})
 }
 
 // ScalingAdversarial measures the Fig. 9(c) sweep: average refresh-energy
-// overhead under the attack suite across thresholds.
+// overhead under the attack suite across thresholds. The whole grid runs
+// as one pool of cells, sharing each pattern's unprotected baseline across
+// thresholds (see Options).
 func ScalingAdversarial(sc Scale, trhs []int64) ([]ScalingRow, error) {
-	var out []ScalingRow
-	for _, trh := range trhs {
-		rows, err := AdversarialSweep(sc, trh)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, average(trh, rows))
-	}
-	return out, nil
+	return ScalingAdversarialOpts(sc, trhs, Options{})
 }
 
 // average folds per-workload rows into one averaged cell per scheme.

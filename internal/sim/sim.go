@@ -154,56 +154,16 @@ type Row struct {
 // NormalSweep measures every realistic workload under every counter scheme:
 // the data behind Fig. 8(a) (refresh-energy overhead) and Fig. 8(c)
 // (performance loss). The oracle runs throughout; sound schemes must
-// report zero flips.
+// report zero flips. Cells run on the sched pool (see Options).
 func NormalSweep(sc Scale, trh int64) ([]Row, error) {
-	schemes, err := CounterSchemes(trh, sc)
-	if err != nil {
-		return nil, err
-	}
-	return SweepProfiles(sc, trh, workload.Profiles(), schemes)
+	return NormalSweepOpts(sc, trh, Options{})
 }
 
 // SweepProfiles measures an explicit workload × scheme matrix: each profile
-// runs once unprotected (the slowdown baseline) and once per scheme with
-// the oracle enabled.
+// runs once unprotected (the slowdown baseline, shared by every scheme via
+// memoization) and once per scheme with the oracle enabled.
 func SweepProfiles(sc Scale, trh int64, profiles []workload.Profile, schemes []Spec) ([]Row, error) {
-	var rows []Row
-	for _, prof := range profiles {
-		row := Row{Workload: prof.Name}
-
-		baseGen, err := prof.Generate(sc.Geometry, sc.Timing, sc.WorkloadAccesses, sc.Seed)
-		if err != nil {
-			return nil, err
-		}
-		base, err := memctrl.Run(memctrl.Config{Geometry: sc.Geometry, Timing: sc.Timing}, baseGen)
-		if err != nil {
-			return nil, fmt.Errorf("sim: baseline %s: %w", prof.Name, err)
-		}
-
-		for _, spec := range schemes {
-			gen, err := prof.Generate(sc.Geometry, sc.Timing, sc.WorkloadAccesses, sc.Seed)
-			if err != nil {
-				return nil, err
-			}
-			res, err := memctrl.Run(memctrl.Config{
-				Geometry: sc.Geometry, Timing: sc.Timing,
-				Factory: spec.Factory, TRH: trh,
-			}, gen)
-			if err != nil {
-				return nil, fmt.Errorf("sim: %s/%s: %w", prof.Name, spec.Name, err)
-			}
-			row.Cells = append(row.Cells, Cell{
-				Scheme:          spec.Name,
-				RefreshOverhead: res.RefreshOverhead(),
-				Slowdown:        res.SlowdownVs(base),
-				VictimRows:      res.RowsVictim,
-				NRRCommands:     res.NRRCommands,
-				Flips:           len(res.Flips),
-			})
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return SweepProfilesOpts(sc, trh, profiles, schemes, Options{})
 }
 
 // SeedVariance runs one workload × scheme pair across several seeds and

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench bench-sweep fuzz race tables security examples check
+.PHONY: all build vet test test-race test-short bench bench-sweep bench-obs fuzz race tables security examples check
 
 all: check
 
@@ -30,6 +30,13 @@ bench:
 bench-sweep:
 	$(GO) test -run xxx -bench 'BenchmarkSweepScheduler' -benchtime 1x -benchmem .
 	$(GO) test -run xxx -bench 'BenchmarkReplayFullScaleAdversarial' -benchtime 1x -benchmem ./internal/memctrl
+
+# Observability smoke pass: a short replay on the full-scale Table III
+# geometry with -metrics/-events-style file output enabled, asserting the
+# event stream is non-empty valid JSON lines whose totals match the run's
+# summary counters (DESIGN.md §7 contract).
+bench-obs:
+	$(GO) test -run 'TestObsSmoke' -v .
 
 # Race detector over the packages that run per-bank goroutines and the
 # sweep worker pool. -short skips the tens-of-seconds full-scale run,

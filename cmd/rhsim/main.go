@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 
@@ -21,6 +22,7 @@ import (
 	"graphene/internal/energy"
 	"graphene/internal/memctrl"
 	"graphene/internal/mitigation"
+	"graphene/internal/obs"
 	"graphene/internal/sched"
 	"graphene/internal/sim"
 	"graphene/internal/stats"
@@ -38,6 +40,9 @@ type options struct {
 	seed     int64
 	jobs     int
 	progress bool
+	metrics  string
+	events   string
+	pprof    string
 }
 
 func main() {
@@ -52,9 +57,25 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "generator seed")
 	flag.IntVar(&o.jobs, "jobs", 0, "concurrent simulation runs (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.progress, "progress", true, "live run progress on stderr")
+	flag.StringVar(&o.metrics, "metrics", "", "write a JSON metrics snapshot to this file at exit (stderr or - for standard error)")
+	flag.StringVar(&o.events, "events", "", "stream JSON-line mitigation events to this file (stderr or - for standard error; never stdout)")
+	flag.StringVar(&o.pprof, "pprof", "", "serve /debug/pprof/ and live /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	flipped, err := run(os.Stdout, o)
+	rec, closeObs, err := obs.NewFromPaths(o.metrics, o.events)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhsim:", err)
+		os.Exit(2)
+	}
+	if o.pprof != "" {
+		go func() {
+			fmt.Fprintln(os.Stderr, "rhsim: pprof:", http.ListenAndServe(o.pprof, obs.DebugMux(rec)))
+		}()
+	}
+	flipped, err := run(os.Stdout, rec, o)
+	if cerr := closeObs(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rhsim:", err)
 		os.Exit(2)
@@ -65,8 +86,9 @@ func main() {
 }
 
 // run executes the requested simulation, prints the report to w, and
-// reports whether the scheme suffered bit flips.
-func run(w io.Writer, o options) (flipped bool, err error) {
+// reports whether the scheme suffered bit flips. rec (nil = disabled)
+// receives metrics and mitigation events from both runs.
+func run(w io.Writer, rec *obs.Recorder, o options) (flipped bool, err error) {
 	sc := sim.Quick()
 	sc.Seed = o.seed
 	sc.WorkloadAccesses = o.acts
@@ -93,7 +115,7 @@ func run(w io.Writer, o options) (flipped bool, err error) {
 	var base, res memctrl.Result
 	jobs := []sched.Job{
 		{Label: o.workload + "/baseline", Do: func(context.Context) error {
-			r, err := memctrl.Run(memctrl.Config{Geometry: geo, Timing: sc.Timing}, baseGen)
+			r, err := memctrl.Run(memctrl.Config{Geometry: geo, Timing: sc.Timing, Obs: rec}, baseGen)
 			if err != nil {
 				return fmt.Errorf("baseline: %w", err)
 			}
@@ -104,6 +126,7 @@ func run(w io.Writer, o options) (flipped bool, err error) {
 			r, err := memctrl.Run(memctrl.Config{
 				Geometry: geo, Timing: sc.Timing,
 				Factory: factory, TRH: o.trh, OracleDistance: o.distance,
+				Obs: rec,
 			}, gen)
 			if err != nil {
 				return err
@@ -112,7 +135,7 @@ func run(w io.Writer, o options) (flipped bool, err error) {
 			return nil
 		}},
 	}
-	opts := sched.Options{Jobs: o.jobs}
+	opts := sched.Options{Jobs: o.jobs, Obs: rec}
 	if o.progress {
 		opts.Progress = sched.Reporter(os.Stderr)
 	}

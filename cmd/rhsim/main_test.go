@@ -7,7 +7,7 @@ import (
 
 func TestRunProtectedAttack(t *testing.T) {
 	var sb strings.Builder
-	flipped, err := run(&sb, options{
+	flipped, err := run(&sb, nil, options{
 		workload: "S3", scheme: "graphene", trh: 50000,
 		k: 2, distance: 1, acts: 10_000, windows: 0.05, seed: 1,
 	})
@@ -27,7 +27,7 @@ func TestRunProtectedAttack(t *testing.T) {
 
 func TestRunUnprotectedAttackFlips(t *testing.T) {
 	var sb strings.Builder
-	flipped, err := run(&sb, options{
+	flipped, err := run(&sb, nil, options{
 		workload: "S3", scheme: "none", trh: 50000,
 		k: 2, distance: 1, acts: 10_000, windows: 0.2, seed: 1,
 	})
@@ -44,7 +44,7 @@ func TestRunUnprotectedAttackFlips(t *testing.T) {
 
 func TestRunProfileWorkload(t *testing.T) {
 	var sb strings.Builder
-	flipped, err := run(&sb, options{
+	flipped, err := run(&sb, nil, options{
 		workload: "mix-blend", scheme: "twice", trh: 50000,
 		k: 2, distance: 1, acts: 20_000, windows: 0.1, seed: 1,
 	})
@@ -58,17 +58,17 @@ func TestRunProfileWorkload(t *testing.T) {
 
 func TestRunRejectsUnknownInputs(t *testing.T) {
 	var sb strings.Builder
-	if _, err := run(&sb, options{workload: "nope", scheme: "graphene", trh: 50000, k: 2, distance: 1, acts: 10, windows: 0.01, seed: 1}); err == nil {
+	if _, err := run(&sb, nil, options{workload: "nope", scheme: "graphene", trh: 50000, k: 2, distance: 1, acts: 10, windows: 0.01, seed: 1}); err == nil {
 		t.Error("accepted unknown workload")
 	}
-	if _, err := run(&sb, options{workload: "S3", scheme: "nope", trh: 50000, k: 2, distance: 1, acts: 10, windows: 0.01, seed: 1}); err == nil {
+	if _, err := run(&sb, nil, options{workload: "S3", scheme: "nope", trh: 50000, k: 2, distance: 1, acts: 10, windows: 0.01, seed: 1}); err == nil {
 		t.Error("accepted unknown scheme")
 	}
 }
 
 func TestRunCRAReportsExtraTraffic(t *testing.T) {
 	var sb strings.Builder
-	if _, err := run(&sb, options{
+	if _, err := run(&sb, nil, options{
 		workload: "S1-20", scheme: "cra", trh: 50000,
 		k: 2, distance: 1, acts: 10_000, windows: 0.02, seed: 1,
 	}); err != nil {

@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -33,6 +35,7 @@ import (
 	"graphene/internal/dram"
 	"graphene/internal/graphene"
 	"graphene/internal/model"
+	"graphene/internal/obs"
 	"graphene/internal/sched"
 	"graphene/internal/security"
 	"graphene/internal/sim"
@@ -49,6 +52,7 @@ type options struct {
 	seed     int64
 	full     bool
 	progress bool
+	rec      *obs.Recorder
 }
 
 // scale resolves the simulation sizing: the test-friendly Quick scale with
@@ -65,9 +69,10 @@ func (o options) scale() sim.Scale {
 }
 
 // simOpts builds the scheduler options: bounded jobs plus the stderr
-// progress line, kept off the stdout table.
+// progress line, kept off the stdout table, and the observability
+// recorder when -metrics/-events enabled it.
 func (o options) simOpts() sim.Options {
-	opt := sim.Options{Jobs: o.jobs}
+	opt := sim.Options{Jobs: o.jobs, Obs: o.rec}
 	if o.progress {
 		opt.Progress = sched.Reporter(os.Stderr)
 	}
@@ -86,6 +91,9 @@ func main() {
 		seed     = flag.Int64("seed", 1, "generator seed (simulation sweeps)")
 		full     = flag.Bool("full", false, "paper-scale Table III geometry for the simulation sweeps")
 		progress = flag.Bool("progress", true, "live cell progress on stderr (simulation sweeps)")
+		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit (stderr or - for standard error)")
+		events   = flag.String("events", "", "stream JSON-line mitigation events to this file (stderr or - for standard error; never stdout)")
+		pprof    = flag.String("pprof", "", "serve /debug/pprof/ and live /metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -94,9 +102,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rhsweep:", err)
 		os.Exit(2)
 	}
+	rec, closeObs, err := obs.NewFromPaths(*metrics, *events)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhsweep:", err)
+		os.Exit(2)
+	}
+	if *pprof != "" {
+		go func() {
+			fmt.Fprintln(os.Stderr, "rhsweep: pprof:", http.ListenAndServe(*pprof, obs.DebugMux(rec)))
+		}()
+	}
 	o := options{
 		trh: *trh, trhs: trhs, jobs: *jobs, acts: *acts,
 		windows: *windows, seed: *seed, full: *full, progress: *progress,
+		rec: rec,
 	}
 
 	var run func(*csv.Writer) error
@@ -132,6 +151,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "rhsweep: unknown format %q (csv|json)\n", *format)
 		os.Exit(2)
+	}
+	if cerr := closeObs(); cerr != nil && err == nil {
+		err = cerr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rhsweep:", err)
@@ -173,9 +195,11 @@ func emitJSON(out io.Writer, run func(*csv.Writer) error) error {
 }
 
 // typedCell converts a CSV cell to the value emitJSON encodes: booleans
-// for true/false, json.Number for anything that is both a parseable number
-// and valid JSON number syntax (ruling out NaN/Inf/hex and leading-zero
-// forms), and the original string otherwise.
+// for true/false, nil (JSON null) for NaN and ±Inf — which have no JSON
+// number representation, so a divide-by-zero metric can never corrupt the
+// output — json.Number for anything that is both a parseable number and
+// valid JSON number syntax (ruling out hex and leading-zero forms), and
+// the original string otherwise.
 func typedCell(s string) any {
 	switch s {
 	case "true":
@@ -183,8 +207,13 @@ func typedCell(s string) any {
 	case "false":
 		return false
 	}
-	if _, err := strconv.ParseFloat(s, 64); err == nil && json.Valid([]byte(s)) {
-		return json.Number(s)
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil
+		}
+		if json.Valid([]byte(s)) {
+			return json.Number(s)
+		}
 	}
 	return s
 }

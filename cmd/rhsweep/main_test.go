@@ -77,9 +77,13 @@ func TestTypedCell(t *testing.T) {
 		{"0.00145", json.Number("0.00145")},
 		{"-3.5e2", json.Number("-3.5e2")},
 		{"uniform", "uniform"}, // plain text stays a string
-		{"NaN", "NaN"},         // parseable float, invalid JSON
-		{"0x10", "0x10"},       // hex parses via ParseFloat, invalid JSON
-		{"007", "007"},         // leading zeros are invalid JSON numbers
+		{"NaN", nil},           // non-finite floats become JSON null…
+		{"nan", nil},
+		{"+Inf", nil},
+		{"-Inf", nil},
+		{"Infinity", nil}, // …in every spelling ParseFloat accepts
+		{"0x10", "0x10"},  // hex parses via ParseFloat, invalid JSON
+		{"007", "007"},    // leading zeros are invalid JSON numbers
 		{"inverse-square", "inverse-square"},
 	}
 	for _, c := range cases {
@@ -135,6 +139,27 @@ func TestEmitJSONKeepsTextColumnsAsStrings(t *testing.T) {
 	}
 	if _, ok := rows[1]["amp_factor"].(json.Number); !ok {
 		t.Errorf("amp_factor = %#v (%T), want json.Number", rows[1]["amp_factor"], rows[1]["amp_factor"])
+	}
+}
+
+// TestEmitJSONNonFiniteCells proves a sweep emitting NaN/Inf cells (e.g. a
+// 0/0 overhead ratio) still encodes: the cells come back as JSON null, and
+// the document round-trips through a strict decoder.
+func TestEmitJSONNonFiniteCells(t *testing.T) {
+	rows := decodeJSON(t, func(w *csv.Writer) error {
+		if err := w.Write([]string{"scheme", "ratio", "peak"}); err != nil {
+			return err
+		}
+		return w.Write([]string{"graphene", "NaN", "+Inf"})
+	})
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0]["scheme"] != "graphene" {
+		t.Errorf("scheme = %#v", rows[0]["scheme"])
+	}
+	if rows[0]["ratio"] != nil || rows[0]["peak"] != nil {
+		t.Errorf("non-finite cells = %#v / %#v, want null", rows[0]["ratio"], rows[0]["peak"])
 	}
 }
 

@@ -1,10 +1,13 @@
 // Observability: the monitoring surface a Graphene deployment exports —
 // per-window history (ACTs, triggers, spillover pressure, live entries),
-// the Fig. 4 spillover alert, and the closed-form guarantee margin.
+// the Fig. 4 spillover alert, the closed-form guarantee margin, and the
+// obs metrics/event layer the -metrics and -events CLI flags expose.
 //
 // The run plays three phases against one bank: a calm workload, a Row
 // Hammer attack, then an overload (activations faster than the
-// configuration was derived for) that raises the alert.
+// configuration was derived for) that raises the alert. An obs.Recorder
+// watches the whole run, so the same phases also show up as counters, a
+// table-occupancy histogram, and a structured event stream.
 //
 // Run with: go run ./examples/observability
 package main
@@ -13,11 +16,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"text/tabwriter"
 
 	"graphene/internal/dram"
 	"graphene/internal/graphene"
 	"graphene/internal/model"
+	"graphene/internal/obs"
 )
 
 func main() {
@@ -31,6 +36,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Attach the obs layer: counters and an in-memory event sink. The CLIs
+	// wire the same Recorder to files via -metrics/-events; a nil Recorder
+	// would disable all of this at the cost of one nil check per emission.
+	rec := obs.New()
+	sink := &obs.Collect{}
+	rec.SetSink(sink)
+	eng.SetRecorder(rec, 0)
 	p := eng.Params()
 	fmt.Printf("guarantee margin: worst-case victim disturbance %.0f vs TRH %d (margin %.0f ACTs, %.4f×)\n\n",
 		model.GrapheneMaxVictimDisturbance(p, 2), trh,
@@ -62,6 +75,34 @@ func main() {
 			ws.Index, ws.ACTs, ws.Triggers, ws.MaxSpillover, ws.Tracked, ws.Alert)
 	}
 	tw.Flush()
+
+	// The same run through the obs layer: aggregate counters, the bounded
+	// occupancy histogram, and the structured event stream per kind.
+	snap := rec.Snapshot()
+	fmt.Println("\nobs counters:")
+	for _, name := range rec.CounterNames() {
+		fmt.Printf("  %-34s %d\n", name, snap.Counters[name])
+	}
+	if h, ok := snap.Histograms["graphene_table_occupancy_at_reset"]; ok && h.Count > 0 {
+		fmt.Printf("table occupancy at reset: %d windows, min %d max %d (of %d entries)\n",
+			h.Count, h.Min, h.Max, p.NEntry)
+	}
+	fmt.Println("event stream by kind:")
+	kinds := sink.Kinds()
+	names := make([]string, 0, len(kinds))
+	for kind := range kinds {
+		names = append(names, kind)
+	}
+	sort.Strings(names)
+	for _, kind := range names {
+		fmt.Printf("  %-20s %d\n", kind, kinds[kind])
+	}
+	if alerts := sink.ByKind(obs.KindSpillAlert); len(alerts) > 0 {
+		e := alerts[0]
+		fmt.Printf("first spillover alert: t=%v spillover=%d (seq %d)\n",
+			dram.Time(e.Time), e.Value, e.Seq)
+	}
+
 	fmt.Println("\nReading: triggers only during the hammer phase; the alert only under")
 	fmt.Println("overload, where the ACT rate exceeds what Inequality 1 sized the table for.")
 }

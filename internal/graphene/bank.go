@@ -5,6 +5,7 @@ import (
 
 	"graphene/internal/dram"
 	"graphene/internal/mitigation"
+	"graphene/internal/obs"
 )
 
 // Bank is the per-bank Graphene protection engine: the Misra-Gries table of
@@ -21,9 +22,19 @@ type Bank struct {
 	alerts    int64 // windows in which the spillover alert fired (Fig. 4)
 
 	history []WindowStats // recent completed windows (observability)
+
+	// Observability attachment (nil = the no-op default). The event
+	// emission points are the rare edges — window reset, alert rising
+	// edge — so the per-ACT hot path pays at most one nil check.
+	rec       *obs.Recorder
+	obsBank   int
+	resetsC   *obs.Counter
+	alertsC   *obs.Counter
+	occupancy *obs.Histogram
 }
 
 var _ mitigation.Mitigator = (*Bank)(nil)
+var _ obs.Instrumentable = (*Bank)(nil)
 
 // New builds a Graphene engine for one bank from cfg.
 func New(cfg Config) (*Bank, error) {
@@ -60,6 +71,19 @@ func (b *Bank) VictimRefreshes() int64 { return b.refreshes }
 // configuration's Timing matches the device.
 func (b *Bank) Alerts() int64 { return b.alerts }
 
+// SetRecorder implements obs.Instrumentable: it attaches the
+// observability recorder (nil detaches) under which the engine emits
+// window-reset and spillover-alert events — and, through the table,
+// eviction events — tagged with the given flat bank index.
+func (b *Bank) SetRecorder(rec *obs.Recorder, bank int) {
+	b.rec = rec
+	b.obsBank = bank
+	b.resetsC = rec.Counter("graphene_window_resets_total")
+	b.alertsC = rec.Counter("graphene_spillover_alerts_total")
+	b.occupancy = rec.Histogram("graphene_table_occupancy_at_reset")
+	b.table.setRecorder(rec, bank, b.Name())
+}
+
 // OnActivate implements mitigation.Mitigator: it advances the reset window
 // to cover now, feeds the activation to the Misra-Gries table, and converts
 // a threshold trigger into a ±Distance victim refresh (§III-B, §III-D).
@@ -75,6 +99,13 @@ func (b *Bank) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
 		// Count the alert once per window, on its rising edge.
 		if !wasAlerting && b.table.Alert() {
 			b.alerts++
+			b.alertsC.Inc()
+			if b.rec != nil {
+				b.rec.Emit(obs.Event{
+					Kind: obs.KindSpillAlert, Scheme: b.Name(), Bank: b.obsBank,
+					Time: int64(now), Value: b.table.Spillover(),
+				})
+			}
 		}
 		return nil
 	}

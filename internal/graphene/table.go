@@ -3,6 +3,8 @@ package graphene
 import (
 	"fmt"
 	"math"
+
+	"graphene/internal/obs"
 )
 
 // entry is one Misra-Gries counter-table slot. It models the paired
@@ -49,6 +51,13 @@ type Table struct {
 
 	// stats (not cleared by Reset; they feed overhead accounting)
 	hits, replacements, spills, triggers int64
+
+	// Observability attachment (nil = the no-op default): eviction events
+	// cost one nil check, and only on the miss path.
+	rec       *obs.Recorder
+	obsBank   int
+	obsScheme string
+	evictions *obs.Counter
 }
 
 // NewTable builds a table with nentry slots and tracking threshold t.
@@ -79,6 +88,16 @@ func (tb *Table) Reset() {
 	tb.spill = 0
 	tb.observed = 0
 	tb.windowTriggers = 0
+}
+
+// setRecorder attaches the observability recorder (nil detaches) under
+// which replacement evictions are reported, tagged with the owning bank
+// index and scheme name. Bank.SetRecorder wires it.
+func (tb *Table) setRecorder(rec *obs.Recorder, bank int, scheme string) {
+	tb.rec = rec
+	tb.obsBank = bank
+	tb.obsScheme = scheme
+	tb.evictions = rec.Counter("graphene_evictions_total")
 }
 
 // T returns the tracking threshold.
@@ -179,6 +198,13 @@ func (tb *Table) Observe(row int) (trigger bool) {
 		e := &tb.entries[i]
 		if e.addr >= 0 {
 			tb.index.del(e.addr)
+			tb.evictions.Inc()
+			if tb.rec != nil {
+				tb.rec.Emit(obs.Event{
+					Kind: obs.KindEviction, Scheme: tb.obsScheme, Bank: tb.obsBank,
+					Row: int(e.addr), Value: e.count,
+				})
+			}
 		}
 		e.addr = addr
 		e.count++

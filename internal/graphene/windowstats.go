@@ -1,5 +1,7 @@
 package graphene
 
+import "graphene/internal/obs"
+
 // WindowStats summarizes one completed reset window — the observability
 // surface a deployment would export (per-bank counters a BMC or firmware
 // can poll to detect ongoing Row Hammer pressure).
@@ -29,6 +31,25 @@ func (b *Bank) snapshotWindow() {
 	b.history = append(b.history, ws)
 	if len(b.history) > windowHistoryLen {
 		b.history = b.history[len(b.history)-windowHistoryLen:]
+	}
+	b.resetsC.Inc()
+	b.occupancy.Observe(int64(ws.Tracked))
+	if b.rec != nil {
+		alert := int64(0)
+		if ws.Alert {
+			alert = 1
+		}
+		b.rec.Emit(obs.Event{
+			Kind: obs.KindWindowReset, Scheme: b.Name(), Bank: b.obsBank,
+			Time: int64(b.windowEnd), Value: ws.Index,
+			Fields: map[string]int64{
+				"acts":      ws.ACTs,
+				"triggers":  ws.Triggers,
+				"spillover": ws.MaxSpillover,
+				"tracked":   int64(ws.Tracked),
+				"alert":     alert,
+			},
+		})
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"graphene/internal/dram"
 	"graphene/internal/hammer"
 	"graphene/internal/mitigation"
+	"graphene/internal/obs"
 	"graphene/internal/remap"
 	"graphene/internal/trace"
 )
@@ -44,6 +45,15 @@ type Config struct {
 	// auto-refresh, and NRR neighbor resolution act on physical rows
 	// (§II-C, §IV-A).
 	Remap remap.Remapper
+
+	// Obs, when non-nil, enables the observability layer: every bank's
+	// mitigator is wrapped with the shared mitigation.Instrument hooks
+	// (NRR events and counters), engines that implement
+	// obs.Instrumentable additionally report scheme-internal events, and
+	// the replay emits per-bank progress and validate-failure events.
+	// The nil default costs one nil check per emission point (DESIGN.md
+	// §7) and leaves Results byte-identical.
+	Obs *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -183,14 +193,24 @@ type bankOut struct {
 }
 
 // validateAccess bounds-checks one access against the configured geometry.
+// A rejected access is also reported as a validate_fail event: a sweep
+// watching the event stream sees the failure the moment the partitioner
+// hits it, not when the run's error finally surfaces.
 func validateAccess(cfg Config, nbanks int, a trace.Access) error {
-	if a.Bank < 0 || a.Bank >= nbanks {
-		return fmt.Errorf("memctrl: access to bank %d out of range [0,%d)", a.Bank, nbanks)
+	err := func() error {
+		if a.Bank < 0 || a.Bank >= nbanks {
+			return fmt.Errorf("memctrl: access to bank %d out of range [0,%d)", a.Bank, nbanks)
+		}
+		if a.Row < 0 || a.Row >= cfg.Geometry.RowsPerBank {
+			return fmt.Errorf("memctrl: access to row %d out of range [0,%d)", a.Row, cfg.Geometry.RowsPerBank)
+		}
+		return nil
+	}()
+	if err != nil {
+		cfg.Obs.Counter("validate_failures_total").Inc()
+		cfg.Obs.Emit(obs.Event{Kind: obs.KindValidateFail, Bank: a.Bank, Row: a.Row, Detail: err.Error()})
 	}
-	if a.Row < 0 || a.Row >= cfg.Geometry.RowsPerBank {
-		return fmt.Errorf("memctrl: access to row %d out of range [0,%d)", a.Row, cfg.Geometry.RowsPerBank)
-	}
-	return nil
+	return err
 }
 
 func run(cfg Config, gen trace.Generator, replay replayFunc) (Result, error) {
@@ -215,11 +235,22 @@ func run(cfg Config, gen trace.Generator, replay replayFunc) (Result, error) {
 		}
 		s := &bankState{bank: b, nextREF: cfg.Timing.TREFI, remap: cfg.Remap}
 		if cfg.Factory != nil {
-			if s.mit, err = cfg.Factory(); err != nil {
+			m, err := cfg.Factory()
+			if err != nil {
 				return Result{}, err
 			}
-			if x, ok := s.mit.(interface{ ExtraDRAMAccesses() int64 }); ok {
+			// The optional extra-traffic counter is read off the bare
+			// engine, so the instrumentation wrapper below never changes
+			// which schemes get charged for counter traffic.
+			if x, ok := m.(interface{ ExtraDRAMAccesses() int64 }); ok {
 				s.extraFn = x.ExtraDRAMAccesses
+			}
+			s.mit = m
+			if cfg.Obs != nil {
+				if ir, ok := m.(obs.Instrumentable); ok {
+					ir.SetRecorder(cfg.Obs, i)
+				}
+				s.mit = mitigation.Instrument(m, cfg.Obs, i, cfg.Geometry.RowsPerBank)
 			}
 		}
 		if cfg.TRH > 0 {

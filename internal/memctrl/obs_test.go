@@ -1,0 +1,184 @@
+package memctrl
+
+import (
+	"reflect"
+	"testing"
+
+	"graphene/internal/obs"
+	"graphene/internal/trace"
+	"graphene/internal/workload"
+
+	"graphene/internal/dram"
+)
+
+// obsCase builds a fresh multi-bank Graphene run with enough pressure to
+// produce NRRs, window resets, and (at the adversarial single-bank scale)
+// spillover alerts.
+func obsCase(t *testing.T) (Config, func() trace.Generator) {
+	t.Helper()
+	timing := smallTiming()
+	const rows = 1 << 12
+	const trh = 2000
+	cfg := Config{
+		Geometry: oneBank(rows), Timing: timing,
+		Factory: grapheneFactory(trh, rows, timing), TRH: trh,
+	}
+	return cfg, func() trace.Generator { return workload.S1(0, rows, 10, 80_000) }
+}
+
+// TestObsEventsMatchSummary is the acceptance contract: with events
+// enabled, the per-scheme event totals must exactly equal the end-of-run
+// summary counters — one nrr event per NRRCommand with row values summing
+// to RowsVictim, and window_reset / spillover_alert event counts equal to
+// the Graphene metrics counters.
+func TestObsEventsMatchSummary(t *testing.T) {
+	cfg, mkGen := obsCase(t)
+	rec := obs.New()
+	sink := &obs.Collect{}
+	rec.SetSink(sink)
+	cfg.Obs = rec
+
+	res, err := Run(cfg, mkGen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NRRCommands == 0 {
+		t.Fatal("fixture issued no NRRs; the equality below would be vacuous")
+	}
+
+	nrrs := sink.ByKind(obs.KindNRR)
+	if int64(len(nrrs)) != res.NRRCommands {
+		t.Errorf("nrr events = %d, summary NRRCommands = %d", len(nrrs), res.NRRCommands)
+	}
+	var rowsVictim int64
+	for _, e := range nrrs {
+		rowsVictim += e.Value
+	}
+	if rowsVictim != res.RowsVictim {
+		t.Errorf("nrr event row sum = %d, summary RowsVictim = %d", rowsVictim, res.RowsVictim)
+	}
+
+	// The wrapper counters must agree with the same summary numbers.
+	if v := rec.Counter("nrr_commands_total").Value(); v != res.NRRCommands {
+		t.Errorf("nrr_commands_total = %d, want %d", v, res.NRRCommands)
+	}
+	if v := rec.Counter("victim_rows_total").Value(); v != res.RowsVictim {
+		t.Errorf("victim_rows_total = %d, want %d", v, res.RowsVictim)
+	}
+	if v := rec.Counter("acts_observed_total").Value(); v != res.ACTs {
+		t.Errorf("acts_observed_total = %d, summary ACTs = %d", v, res.ACTs)
+	}
+
+	// Graphene-internal events against the Graphene-internal counters.
+	kinds := sink.Kinds()
+	if resets := rec.Counter("graphene_window_resets_total").Value(); kinds[obs.KindWindowReset] != resets {
+		t.Errorf("window_reset events = %d, counter = %d", kinds[obs.KindWindowReset], resets)
+	}
+	if alerts := rec.Counter("graphene_spillover_alerts_total").Value(); kinds[obs.KindSpillAlert] != alerts {
+		t.Errorf("spillover_alert events = %d, counter = %d", kinds[obs.KindSpillAlert], alerts)
+	}
+	if kinds[obs.KindWindowReset] == 0 {
+		t.Error("fixture completed no reset windows; widen the trace")
+	}
+	if kinds[obs.KindReplayChunk] == 0 {
+		t.Error("no replay progress events emitted")
+	}
+
+	// Every event names the scheme (replay chunks and NRRs both label
+	// themselves), so per-scheme filtering downstream is lossless.
+	for _, e := range append(nrrs, sink.ByKind(obs.KindReplayChunk)...) {
+		if e.Scheme == "" {
+			t.Fatalf("event missing scheme: %+v", e)
+		}
+	}
+}
+
+// TestObsDoesNotChangeResults runs the identical simulation with and
+// without a Recorder attached and requires byte-identical Results: the
+// observability layer may watch, never steer.
+func TestObsDoesNotChangeResults(t *testing.T) {
+	cfg, mkGen := obsCase(t)
+	want, err := Run(cfg, mkGen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	rec.SetSink(&obs.Collect{})
+	cfg.Obs = rec
+	got, err := Run(cfg, mkGen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("observed run diverges from unobserved:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestObsValidateFailureEvent checks the rejected-access path: the failed
+// run emits one validate_fail event carrying the same message the error
+// returns, and bumps the failure counter.
+func TestObsValidateFailureEvent(t *testing.T) {
+	rec := obs.New()
+	sink := &obs.Collect{}
+	rec.SetSink(sink)
+	cfg := Config{Geometry: oneBank(64), Timing: smallTiming(), Obs: rec}
+	gen := trace.FromSlice("bad", []trace.Access{{Bank: 0, Row: 1}, {Bank: 0, Row: 64}})
+	_, err := Run(cfg, gen)
+	if err == nil {
+		t.Fatal("out-of-range access accepted")
+	}
+	fails := sink.ByKind(obs.KindValidateFail)
+	if len(fails) != 1 {
+		t.Fatalf("validate_fail events = %d, want 1", len(fails))
+	}
+	if fails[0].Detail != err.Error() {
+		t.Errorf("event detail %q, error %q", fails[0].Detail, err)
+	}
+	if v := rec.Counter("validate_failures_total").Value(); v != 1 {
+		t.Errorf("validate_failures_total = %d, want 1", v)
+	}
+}
+
+// TestObsMultiBank pins the per-bank attribution: on an 8-bank geometry
+// every NRR event's Bank is in range and at least two banks report.
+func TestObsMultiBank(t *testing.T) {
+	timing := smallTiming()
+	const rows = 1 << 10
+	const trh = 2000
+	geo := dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 8, RowsPerBank: rows}
+	rec := obs.New()
+	sink := &obs.Collect{}
+	rec.SetSink(sink)
+	cfg := Config{
+		Geometry: geo, Timing: timing,
+		Factory: grapheneFactory(trh, rows, timing), TRH: trh,
+		Obs: rec,
+	}
+	var i int64
+	gen := trace.FromFunc("hot-pairs", func() (trace.Access, bool) {
+		if i >= 120_000 {
+			return trace.Access{}, false
+		}
+		i++
+		// Hammer two rows per bank so every bank crosses the NRR threshold.
+		return trace.Access{Bank: int(i % 8), Row: int(100 + (i>>3)%2)}, true
+	})
+	res, err := Run(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nrrs := sink.ByKind(obs.KindNRR)
+	if int64(len(nrrs)) != res.NRRCommands {
+		t.Fatalf("nrr events = %d, summary = %d", len(nrrs), res.NRRCommands)
+	}
+	banks := map[int]bool{}
+	for _, e := range nrrs {
+		if e.Bank < 0 || e.Bank >= 8 {
+			t.Fatalf("nrr event with out-of-range bank: %+v", e)
+		}
+		banks[e.Bank] = true
+	}
+	if len(banks) < 2 {
+		t.Errorf("NRR events attributed to %d banks, want ≥2", len(banks))
+	}
+}

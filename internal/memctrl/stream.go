@@ -3,6 +3,7 @@ package memctrl
 import (
 	"sync"
 
+	"graphene/internal/obs"
 	"graphene/internal/trace"
 )
 
@@ -73,6 +74,19 @@ func replayStreaming(cfg Config, gen trace.Generator, states []*bankState) ([]ba
 							out.err = err
 							break
 						}
+					}
+					if cfg.Obs != nil {
+						// One progress event per drained chunk: coarse
+						// enough to stay off the per-ACT path, fine
+						// enough that a stuck sweep is visible mid-run.
+						scheme := "none"
+						if s.mit != nil {
+							scheme = s.mit.Name()
+						}
+						cfg.Obs.Emit(obs.Event{
+							Kind: obs.KindReplayChunk, Scheme: scheme,
+							Bank: bi, Time: int64(s.now), Value: out.acts,
+						})
 					}
 				}
 				// Recycle even after an error: the partitioner may be

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+	"time"
 
 	"graphene/internal/dram"
 	"graphene/internal/graphene"
@@ -209,6 +210,64 @@ func TestStreamingErrorBehaviorMatchesBuffered(t *testing.T) {
 				t.Errorf("error text diverges:\n buffered:  %v\n streaming: %v", berr, serr)
 			}
 		})
+	}
+}
+
+// TestStreamingPartitionerErrorDrains hits the partitioner's mid-trace
+// failure path at full streaming pressure: many banks with chunks already
+// queued, an out-of-range access in the middle of the trace, and a long
+// valid tail behind it. The run must fail with the partitioner's error,
+// the bank goroutines must drain without deadlock (chunks keep recycling
+// after close), and the error must match runBuffered's contract exactly.
+func TestStreamingPartitionerErrorDrains(t *testing.T) {
+	const nbanks = 8
+	const rows = 64
+	geo := dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: nbanks, RowsPerBank: rows}
+	cfg := Config{Geometry: geo, Timing: smallTiming()}
+	total := 20 * streamChunk
+	mkGen := func() trace.Generator {
+		var i int
+		return trace.FromFunc("midfail", func() (trace.Access, bool) {
+			if i >= total {
+				return trace.Access{}, false
+			}
+			i++
+			a := trace.Access{Bank: (i - 1) % nbanks, Row: (i - 1) % rows}
+			if i-1 == total/2 {
+				a.Row = rows // out of range mid-trace
+			}
+			return a, true
+		})
+	}
+
+	_, berr := runBuffered(cfg, mkGen())
+	if berr == nil {
+		t.Fatal("buffered path accepted the out-of-range access")
+	}
+
+	type outcome struct {
+		res Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := Run(cfg, mkGen())
+		done <- outcome{res, err}
+	}()
+	var got outcome
+	select {
+	case got = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("streaming replay deadlocked after partitioner error")
+	}
+	if got.err == nil {
+		t.Fatal("streaming path accepted the out-of-range access")
+	}
+	if got.err.Error() != berr.Error() {
+		t.Errorf("error text diverges:\n buffered:  %v\n streaming: %v", berr, got.err)
+	}
+	if !reflect.DeepEqual(got.res, Result{}) {
+		t.Errorf("failed run leaked a partial Result: %+v", got.res)
 	}
 }
 

@@ -1,0 +1,128 @@
+package mitigation
+
+import (
+	"graphene/internal/dram"
+	"graphene/internal/obs"
+)
+
+// Instrumented wraps any Mitigator with the shared observability hooks,
+// so every scheme — Graphene, PARA, TWiCe, TRR, CBT, stacks — reports the
+// same event vocabulary without per-scheme instrumentation:
+//
+//   - one obs.KindNRR event per victim-refresh command the scheme
+//     requests, from OnActivate and Tick alike;
+//   - the "nrr_commands_total" / "victim_rows_total" / "acts_observed_total"
+//     counters, which match the memory controller's end-of-run summary
+//     (Result.NRRCommands / Result.RowsVictim / Result.ACTs) exactly;
+//   - the "acts_between_nrrs" histogram: per bank, how many ACTs elapsed
+//     between consecutive victim-refresh commands — the live view of how
+//     hard the scheme is working.
+//
+// Scheme-internal events (Graphene's window resets, spillover alerts, and
+// table evictions) are emitted by the engines themselves through
+// obs.Instrumentable; the memory controller attaches the recorder before
+// wrapping.
+type Instrumented struct {
+	inner    Mitigator
+	rec      *obs.Recorder
+	bank     int
+	bankRows int
+	scheme   string
+
+	acts int64 // ACTs observed since the last NRR command
+
+	nrrs  *obs.Counter
+	rows  *obs.Counter
+	actsC *obs.Counter
+	gap   *obs.Histogram
+}
+
+var _ Mitigator = (*Instrumented)(nil)
+
+// Instrument wraps m so its mitigation decisions are reported to rec.
+// bank is the engine's flat bank index; bankRows sizes edge clamping for
+// the rows-refreshed accounting (matching dram.Bank's NRR row counts).
+// A nil rec yields a functional but silent wrapper; callers normally only
+// wrap when observability is enabled.
+func Instrument(m Mitigator, rec *obs.Recorder, bank, bankRows int) *Instrumented {
+	return &Instrumented{
+		inner: m, rec: rec, bank: bank, bankRows: bankRows,
+		scheme: m.Name(),
+		nrrs:   rec.Counter("nrr_commands_total"),
+		rows:   rec.Counter("victim_rows_total"),
+		actsC:  rec.Counter("acts_observed_total"),
+		gap:    rec.Histogram("acts_between_nrrs"),
+	}
+}
+
+// Unwrap returns the wrapped Mitigator.
+func (w *Instrumented) Unwrap() Mitigator { return w.inner }
+
+// Name implements Mitigator.
+func (w *Instrumented) Name() string { return w.inner.Name() }
+
+// OnActivate implements Mitigator: it forwards to the wrapped scheme and
+// reports whatever refreshes came back.
+func (w *Instrumented) OnActivate(row int, now dram.Time) []VictimRefresh {
+	w.actsC.Inc()
+	w.acts++
+	vrs := w.inner.OnActivate(row, now)
+	if len(vrs) > 0 {
+		w.report(vrs, now)
+	}
+	return vrs
+}
+
+// Tick implements Mitigator: refresh-time victim refreshes (TWiCe
+// pruning-triggered, PRoHIT piggybacked) report through the same path as
+// activation-triggered ones.
+func (w *Instrumented) Tick(now dram.Time) []VictimRefresh {
+	vrs := w.inner.Tick(now)
+	if len(vrs) > 0 {
+		w.report(vrs, now)
+	}
+	return vrs
+}
+
+// report emits one KindNRR event per victim-refresh command and feeds the
+// counters and the ACTs-between-NRRs histogram.
+func (w *Instrumented) report(vrs []VictimRefresh, now dram.Time) {
+	for _, vr := range vrs {
+		n := int64(vr.RowCount(w.bankRows))
+		w.nrrs.Inc()
+		w.rows.Add(n)
+		w.gap.Observe(w.acts)
+		w.acts = 0
+		ev := obs.Event{
+			Kind: obs.KindNRR, Scheme: w.scheme, Bank: w.bank,
+			Time: int64(now), Value: n,
+		}
+		if vr.Explicit() {
+			if len(vr.Rows) > 0 {
+				ev.Row = vr.Rows[0]
+			}
+		} else {
+			ev.Row = vr.Aggressor
+		}
+		w.rec.Emit(ev)
+	}
+}
+
+// Reset implements Mitigator.
+func (w *Instrumented) Reset() {
+	w.inner.Reset()
+	w.acts = 0
+}
+
+// Cost implements Mitigator.
+func (w *Instrumented) Cost() HardwareCost { return w.inner.Cost() }
+
+// ExtraDRAMAccesses forwards the wrapped scheme's extra-traffic counter
+// (zero when the scheme is self-contained), so wrapping never hides the
+// optional interface from the memory controller's accounting.
+func (w *Instrumented) ExtraDRAMAccesses() int64 {
+	if x, ok := w.inner.(interface{ ExtraDRAMAccesses() int64 }); ok {
+		return x.ExtraDRAMAccesses()
+	}
+	return 0
+}

@@ -1,0 +1,377 @@
+// Package obs is the simulator's observability layer: a lightweight
+// metrics registry (counters, gauges, bounded histograms) plus a
+// structured event-trace sink, shared by every layer of the stack — the
+// Graphene engine, the generic mitigation hooks, the memory-controller
+// replay, and the sweep scheduler.
+//
+// The design center is the no-op default. Every instrumented component
+// holds a *Recorder that is normally nil, and every Recorder, Counter,
+// Gauge, and Histogram method is safe to call on a nil receiver and
+// returns immediately. A disabled hot path therefore costs one nil check
+// (the methods are small enough to inline), so replay throughput with
+// observability off is indistinguishable from an uninstrumented build —
+// the overhead contract DESIGN.md §7 states and EXPERIMENTS.md measures.
+//
+// When enabled, the Recorder is safe for concurrent use: the per-bank
+// replay goroutines and the sweep workers all feed one Recorder. Counters
+// and gauges are atomics; histograms and the event sink serialize behind
+// small mutexes. Events are rare (mitigation decisions, window boundaries,
+// cell lifecycle), so the locks never sit on the per-ACT path.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Event kinds — the taxonomy DESIGN.md §7 documents. Every emission point
+// in the repository uses one of these constants, so downstream consumers
+// can switch on Kind without chasing free-form strings.
+const (
+	// KindNRR is one victim-refresh command issued by a mitigation scheme
+	// (Row = aggressor for neighborhood refreshes, first victim for
+	// explicit row lists; Value = rows refreshed).
+	KindNRR = "nrr"
+
+	// KindSpillAlert is the rising edge of Graphene's Fig. 4 spillover
+	// alert within a reset window (Value = spillover count).
+	KindSpillAlert = "spillover_alert"
+
+	// KindWindowReset is one completed Graphene reset window (Value =
+	// window index; Fields carries the WindowStats breakdown).
+	KindWindowReset = "window_reset"
+
+	// KindEviction is one Misra-Gries table replacement evicting a live
+	// entry (Row = evicted row; Value = the count the new entry inherits).
+	KindEviction = "evict"
+
+	// KindReplayChunk reports per-bank replay progress, once per drained
+	// stream chunk (Value = ACTs replayed by that bank so far).
+	KindReplayChunk = "replay_progress"
+
+	// KindValidateFail is a trace access rejected by the controller's
+	// bounds check; the run fails with the same message (Detail).
+	KindValidateFail = "validate_fail"
+
+	// KindCellStart / KindCellFinish bracket one scheduler job (Label =
+	// cell label; on finish, Value = elapsed microseconds and Detail the
+	// error, if any).
+	KindCellStart  = "cell_start"
+	KindCellFinish = "cell_finish"
+)
+
+// Event is one structured trace record. The fixed fields cover every kind
+// above without allocation; Fields carries the long tail of kind-specific
+// numbers for rare, rich events (window resets). Bank is -1 for events
+// not tied to a bank (scheduler cells).
+type Event struct {
+	Seq    int64            `json:"seq"`
+	Kind   string           `json:"kind"`
+	Scheme string           `json:"scheme,omitempty"`
+	Bank   int              `json:"bank"`
+	Row    int              `json:"row,omitempty"`
+	Time   int64            `json:"t,omitempty"` // simulation time (ps)
+	Value  int64            `json:"value,omitempty"`
+	Label  string           `json:"label,omitempty"`
+	Detail string           `json:"detail,omitempty"`
+	Fields map[string]int64 `json:"fields,omitempty"`
+}
+
+// Sink receives emitted events. Implementations must tolerate concurrent
+// Emit calls (the Recorder serializes, but a Sink may be shared).
+type Sink interface {
+	Emit(Event)
+}
+
+// Recorder is the shared observability hub. The zero value is not used
+// directly; call New. A nil *Recorder is the no-op default: every method
+// (and every method of the Counter/Gauge/Histogram handles it returns) is
+// nil-safe.
+type Recorder struct {
+	mu   sync.Mutex
+	sink Sink
+	seq  int64
+
+	rmu      sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an empty enabled Recorder with no sink: metrics accumulate,
+// events are dropped until SetSink.
+func New() *Recorder {
+	return &Recorder{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// SetSink directs subsequent events to s (nil drops them).
+func (r *Recorder) SetSink(s Sink) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sink = s
+	r.mu.Unlock()
+}
+
+// Emit stamps e with the next sequence number and hands it to the sink.
+// Nil-safe; events emitted with no sink attached are dropped (the
+// sequence still advances, so a late-attached sink shows the gap).
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	e.Seq = r.seq
+	s := r.sink
+	r.mu.Unlock()
+	if s != nil {
+		s.Emit(e)
+	}
+}
+
+// Counter returns the named monotone counter, creating it on first use.
+// On a nil Recorder it returns nil, whose methods are no-ops — callers
+// fetch counters once at construction time and pay one nil check per op.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.rmu.Lock()
+	defer r.rmu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil on a nil
+// Recorder).
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.rmu.Lock()
+	defer r.rmu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named bounded histogram, creating it on first use
+// (nil on a nil Recorder).
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.rmu.Lock()
+	defer r.rmu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotone atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v. Nil-safe.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by n (negative to decrement). Nil-safe.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count: bucket i holds observations whose
+// value has bit length i, i.e. v in [2^(i-1), 2^i). Memory is bounded at
+// construction regardless of the observed range (values are int64, so 65
+// buckets cover everything including 0).
+const histBuckets = 65
+
+// Histogram is a bounded power-of-two histogram: O(1) Observe, fixed
+// 65-bucket footprint, exact count/sum/min/max. It is the shape used for
+// long-tailed simulator distributions — ACTs between NRR commands, table
+// occupancy at window reset — where the decade matters and the exact
+// value does not.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [histBuckets]int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// Observe records one value. Negative values clamp to 0 (the simulator's
+// quantities are all non-negative; the clamp keeps a buggy caller from
+// corrupting the bucket index). Nil-safe.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	h.mu.Lock()
+	h.buckets[b]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is one histogram's exported state. Buckets lists only
+// occupied buckets, upper bound first-exclusive: a bucket {Lt: 2^i,
+// Count: n} holds n observations in [2^(i-1), 2^i).
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Min     int64         `json:"min"`
+	Max     int64         `json:"max"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one occupied histogram bucket.
+type BucketCount struct {
+	Lt    int64 `json:"lt"` // exclusive upper bound (power of two)
+	Count int64 `json:"count"`
+}
+
+// snapshot exports the histogram under its lock.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		lt := int64(1) << uint(i)
+		if i == 0 {
+			lt = 1
+		}
+		s.Buckets = append(s.Buckets, BucketCount{Lt: lt, Count: n})
+	}
+	return s
+}
+
+// Snapshot is a point-in-time export of every registered metric, the value
+// the -metrics CLI flag and the /metrics HTTP endpoint serialize.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Events     int64                        `json:"events_emitted"`
+}
+
+// Snapshot exports the current metric values. Safe on a nil Recorder
+// (returns an empty snapshot) and concurrently with updates.
+func (r *Recorder) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.rmu.Lock()
+	defer r.rmu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	r.mu.Lock()
+	s.Events = r.seq
+	r.mu.Unlock()
+	return s
+}
+
+// CounterNames returns the registered counter names, sorted — handy for
+// stable test assertions and report rendering.
+func (r *Recorder) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.rmu.Lock()
+	defer r.rmu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Instrumentable is implemented by engines that can attach a Recorder for
+// scheme-internal events (graphene.Bank emits window resets, spillover
+// alerts, and table evictions). The memory controller attaches its
+// configured Recorder to every engine that implements it, passing the
+// engine's flat bank index.
+type Instrumentable interface {
+	SetRecorder(r *Recorder, bank int)
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONLines is a Sink writing one JSON object per event, newline
+// terminated (JSON Lines). Writes are buffered; call Flush before the
+// underlying writer goes away. Safe for concurrent Emit.
+type JSONLines struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLines wraps w in a JSON-lines event sink.
+func NewJSONLines(w io.Writer) *JSONLines {
+	bw := bufio.NewWriter(w)
+	return &JSONLines{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Sink. The first encode error sticks and suppresses
+// further output; Flush reports it.
+func (s *JSONLines) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(e) // Encode appends the newline
+}
+
+// Flush drains the buffer and returns the first error seen by Emit or the
+// flush itself.
+func (s *JSONLines) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}
+
+// Collect is an in-memory Sink for tests: it retains every event and
+// offers the count-by-kind view the event-vs-summary equivalence tests
+// assert on.
+type Collect struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (c *Collect) Emit(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of everything collected, in emission order.
+func (c *Collect) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Kinds returns the number of collected events per kind.
+func (c *Collect) Kinds() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[string]int64{}
+	for _, e := range c.events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// ByKind returns the collected events of one kind, in emission order.
+func (c *Collect) ByKind(kind string) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Event
+	for _, e := range c.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -18,6 +18,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"graphene/internal/obs"
 )
 
 // Progress is one completion notification: Done of Total cells have
@@ -43,6 +45,14 @@ type Options struct {
 	// called with the pool's bookkeeping lock held: keep it fast and never
 	// call back into the pool from it.
 	Progress func(Progress)
+
+	// Obs, when non-nil, receives one cell_start/cell_finish event pair
+	// per executed job (skipped jobs emit nothing), the
+	// "cells_done_total" / "cell_errors_total" counters, and the
+	// "cells_running" gauge. Unlike Progress, events carry the failure
+	// detail, so an aborted sweep's event stream names the cell that
+	// killed it.
+	Obs *obs.Recorder
 }
 
 // Job is one independent unit of work. Do receives a context that is
@@ -87,6 +97,10 @@ func Run(opts Options, jobs []Job) error {
 		firstErr error
 		start    = time.Now()
 		wg       sync.WaitGroup
+
+		running = opts.Obs.Gauge("cells_running")
+		doneC   = opts.Obs.Counter("cells_done_total")
+		errC    = opts.Obs.Counter("cell_errors_total")
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -96,7 +110,22 @@ func Run(opts Options, jobs []Job) error {
 				if ctx.Err() != nil {
 					return // aborted: skip everything still queued
 				}
+				opts.Obs.Emit(obs.Event{Kind: obs.KindCellStart, Bank: -1, Label: jobs[i].Label})
+				running.Add(1)
+				cellStart := time.Now()
 				err := jobs[i].Do(ctx)
+				running.Add(-1)
+				fin := obs.Event{
+					Kind: obs.KindCellFinish, Bank: -1, Label: jobs[i].Label,
+					Value: time.Since(cellStart).Microseconds(),
+				}
+				if err != nil {
+					fin.Detail = err.Error()
+					errC.Inc()
+				} else {
+					doneC.Inc()
+				}
+				opts.Obs.Emit(fin)
 				mu.Lock()
 				if err != nil {
 					if i < errIdx {

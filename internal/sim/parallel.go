@@ -7,6 +7,7 @@ import (
 	"graphene/internal/dram"
 	"graphene/internal/memctrl"
 	"graphene/internal/mitigation"
+	"graphene/internal/obs"
 	"graphene/internal/sched"
 	"graphene/internal/trace"
 	"graphene/internal/workload"
@@ -28,6 +29,12 @@ type Options struct {
 	// counters once the sweep finishes: Misses is the number of distinct
 	// baseline replays, Hits the number of cells that shared one.
 	BaselineStats *sched.MemoStats
+
+	// Obs, when non-nil, threads the observability recorder through the
+	// whole sweep: the scheduler emits cell lifecycle events, and every
+	// memctrl run (cells and memoized baselines alike) reports NRR,
+	// scheme-internal, and replay-progress events into it.
+	Obs *obs.Recorder
 }
 
 // sweepPlan flattens a sweep into independent cell jobs — one protected
@@ -37,11 +44,12 @@ type Options struct {
 // execution interleaves.
 type sweepPlan struct {
 	sc   Scale
+	obs  *obs.Recorder
 	jobs []sched.Job
 	memo sched.Memo[string, memctrl.Result]
 }
 
-func newPlan(sc Scale) *sweepPlan { return &sweepPlan{sc: sc} }
+func newPlan(sc Scale, opt Options) *sweepPlan { return &sweepPlan{sc: sc, obs: opt.Obs} }
 
 // baseline returns the memoized unprotected run for one workload. gen is
 // consumed by whichever cell computes the baseline first; the memo's
@@ -51,7 +59,7 @@ func (p *sweepPlan) baseline(geo dram.Geometry, gen trace.Generator) func() (mem
 	name := gen.Name()
 	return func() (memctrl.Result, error) {
 		return p.memo.Do(name, func() (memctrl.Result, error) {
-			res, err := memctrl.Run(memctrl.Config{Geometry: geo, Timing: p.sc.Timing}, gen)
+			res, err := memctrl.Run(memctrl.Config{Geometry: geo, Timing: p.sc.Timing, Obs: p.obs}, gen)
 			if err != nil {
 				return memctrl.Result{}, fmt.Errorf("sim: baseline %s: %w", name, err)
 			}
@@ -76,7 +84,7 @@ func (p *sweepPlan) addCell(geo dram.Geometry, trh int64, spec Spec, factory fun
 		}
 		res, err := memctrl.Run(memctrl.Config{
 			Geometry: geo, Timing: p.sc.Timing,
-			Factory: f, TRH: trh,
+			Factory: f, TRH: trh, Obs: p.obs,
 		}, gen)
 		if err != nil {
 			return fmt.Errorf("sim: %s/%s: %w", wname, spec.Name, err)
@@ -95,7 +103,7 @@ func (p *sweepPlan) addCell(geo dram.Geometry, trh int64, spec Spec, factory fun
 
 // run executes the accumulated cells on the pool.
 func (p *sweepPlan) run(opt Options) error {
-	err := sched.Run(sched.Options{Jobs: opt.Jobs, Progress: opt.Progress}, p.jobs)
+	err := sched.Run(sched.Options{Jobs: opt.Jobs, Progress: opt.Progress, Obs: opt.Obs}, p.jobs)
 	if opt.BaselineStats != nil {
 		*opt.BaselineStats = p.memo.Stats()
 	}
@@ -218,7 +226,7 @@ func profileBaselines(p *sweepPlan, sc Scale, profiles []workload.Profile) ([]fu
 
 // SweepProfilesOpts is SweepProfiles with explicit execution options.
 func SweepProfilesOpts(sc Scale, trh int64, profiles []workload.Profile, schemes []Spec, opt Options) ([]Row, error) {
-	plan := newPlan(sc)
+	plan := newPlan(sc, opt)
 	bases, err := profileBaselines(plan, sc, profiles)
 	if err != nil {
 		return nil, err
@@ -247,7 +255,7 @@ func NormalSweepOpts(sc Scale, trh int64, opt Options) ([]Row, error) {
 // run, and each workload's unprotected baseline is replayed once and
 // shared across every threshold.
 func ScalingNormalOpts(sc Scale, trhs []int64, opt Options) ([]ScalingRow, error) {
-	plan := newPlan(sc)
+	plan := newPlan(sc, opt)
 	profiles := ScalingWorkloads()
 	bases, err := profileBaselines(plan, sc, profiles)
 	if err != nil {
@@ -320,7 +328,7 @@ func AdversarialSweepOpts(sc Scale, trh int64, opt Options) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan := newPlan(oneBank)
+	plan := newPlan(oneBank, opt)
 	pats := AdversarialPatterns(oneBank)
 	names, bases := adversarialBaselines(plan, oneBank.Geometry, pats)
 	rows := adversarialGrid(plan, oneBank.Geometry, trh, schemes, pats, names, bases)
@@ -336,7 +344,7 @@ func AdversarialSweepOpts(sc Scale, trh int64, opt Options) ([]Row, error) {
 // across every threshold.
 func ScalingAdversarialOpts(sc Scale, trhs []int64, opt Options) ([]ScalingRow, error) {
 	oneBank := singleBank(sc)
-	plan := newPlan(oneBank)
+	plan := newPlan(oneBank, opt)
 	pats := AdversarialPatterns(oneBank)
 	names, bases := adversarialBaselines(plan, oneBank.Geometry, pats)
 	perTRH := make([][]Row, len(trhs))

@@ -14,6 +14,9 @@ func FuzzReadFrom(f *testing.F) {
 	f.Add("")
 	f.Add("# only comments\n\n#\n")
 	f.Add("999999999999999999999 2 3\n")
+	f.Add("0 5 10 junk\n")
+	f.Add("\n# trace late header\n0 1 2\n")
+	f.Add("# c\n# trace name\n0 1 2\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		gen, err := ReadFrom(strings.NewReader(src), "fuzz")
 		if err != nil {

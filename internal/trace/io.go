@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"graphene/internal/dram"
@@ -37,11 +38,16 @@ func WriteTo(w io.Writer, gen Generator) (n int64, err error) {
 }
 
 // ReadFrom parses a text trace from r. The generator's name is taken from
-// a leading "# trace <name>" comment when present, else fallbackName.
+// the first "# trace <name>" comment appearing before any access line —
+// blank lines and other comments may precede it — else fallbackName. A
+// header after the first access is plain commentary and does not rename
+// the trace. Access lines must be exactly three integer fields; extra
+// fields are an error, not silently dropped.
 func ReadFrom(r io.Reader, fallbackName string) (Generator, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	name := fallbackName
+	named := false
 	var accs []Access
 	line := 0
 	for sc.Scan() {
@@ -51,15 +57,27 @@ func ReadFrom(r io.Reader, fallbackName string) (Generator, error) {
 			continue
 		}
 		if strings.HasPrefix(text, "#") {
-			if rest, ok := strings.CutPrefix(text, "# trace "); ok && line == 1 {
+			if rest, ok := strings.CutPrefix(text, "# trace "); ok && !named && len(accs) == 0 {
 				name = strings.TrimSpace(rest)
+				named = true
 			}
 			continue
 		}
-		var bank, row int
-		var gap int64
-		if _, err := fmt.Sscanf(text, "%d %d %d", &bank, &row, &gap); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %q: %w", line, text, err)
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: %q: want 3 fields (bank row gap_ps), got %d", line, text, len(fields))
+		}
+		bank, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %q: bad bank: %w", line, text, err)
+		}
+		row, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %q: bad row: %w", line, text, err)
+		}
+		gap, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %q: bad gap: %w", line, text, err)
 		}
 		if bank < 0 || row < 0 || gap < 0 {
 			return nil, fmt.Errorf("trace: line %d: negative field in %q", line, text)

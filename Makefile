@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench bench-sweep bench-obs fuzz race tables security examples check
+.PHONY: all build vet test test-race test-short bench bench-sweep bench-obs bench-fault fuzz race tables security examples check
 
 all: check
 
@@ -38,11 +38,18 @@ bench-sweep:
 bench-obs:
 	$(GO) test -run 'TestObsSmoke' -v .
 
+# Fault-injection suite (DESIGN.md §8): every wired fault site — sched
+# workers, the memctrl partitioner and replay goroutines, trace reads —
+# plus the checkpoint/resume acceptance tests that kill a sweep with an
+# injected fault and require byte-identical resumed output.
+bench-fault:
+	$(GO) test -run 'FaultInject|Checkpoint' -v ./internal/faultinject ./internal/sched ./internal/memctrl ./internal/trace ./internal/sim ./cmd/rhsweep
+
 # Race detector over the packages that run per-bank goroutines and the
 # sweep worker pool. -short skips the tens-of-seconds full-scale run,
 # which would dominate `make check` under the race detector's overhead.
 race:
-	$(GO) test -race -short ./internal/memctrl/... ./internal/sim/... ./internal/sched/...
+	$(GO) test -race -short ./internal/faultinject/... ./internal/memctrl/... ./internal/sim/... ./internal/sched/...
 
 # Short exploratory fuzz passes over the core invariants.
 fuzz:
@@ -65,4 +72,4 @@ examples:
 	$(GO) run ./examples/pagepolicy
 	$(GO) run ./examples/observability
 
-check: build vet test race bench-sweep
+check: build vet test race bench-sweep bench-fault

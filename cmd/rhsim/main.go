@@ -17,9 +17,11 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"graphene/internal/dram"
 	"graphene/internal/energy"
+	"graphene/internal/faultinject"
 	"graphene/internal/memctrl"
 	"graphene/internal/mitigation"
 	"graphene/internal/obs"
@@ -40,6 +42,8 @@ type options struct {
 	seed     int64
 	jobs     int
 	progress bool
+	timeout  time.Duration
+	faults   string
 	metrics  string
 	events   string
 	pprof    string
@@ -57,6 +61,8 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "generator seed")
 	flag.IntVar(&o.jobs, "jobs", 0, "concurrent simulation runs (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.progress, "progress", true, "live run progress on stderr")
+	flag.DurationVar(&o.timeout, "timeout", 0, "abort the simulation after this long, draining in-flight runs (0 = no deadline)")
+	flag.StringVar(&o.faults, "faults", "", "inject deterministic faults, e.g. memctrl.replay:error:2 (see internal/faultinject)")
 	flag.StringVar(&o.metrics, "metrics", "", "write a JSON metrics snapshot to this file at exit (stderr or - for standard error)")
 	flag.StringVar(&o.events, "events", "", "stream JSON-line mitigation events to this file (stderr or - for standard error; never stdout)")
 	flag.StringVar(&o.pprof, "pprof", "", "serve /debug/pprof/ and live /metrics on this address (e.g. localhost:6060)")
@@ -89,6 +95,11 @@ func main() {
 // reports whether the scheme suffered bit flips. rec (nil = disabled)
 // receives metrics and mitigation events from both runs.
 func run(w io.Writer, rec *obs.Recorder, o options) (flipped bool, err error) {
+	fault, err := faultinject.New(o.faults)
+	if err != nil {
+		return false, err
+	}
+	fault.SetRecorder(rec)
 	sc := sim.Quick()
 	sc.Seed = o.seed
 	sc.WorkloadAccesses = o.acts
@@ -115,7 +126,7 @@ func run(w io.Writer, rec *obs.Recorder, o options) (flipped bool, err error) {
 	var base, res memctrl.Result
 	jobs := []sched.Job{
 		{Label: o.workload + "/baseline", Do: func(context.Context) error {
-			r, err := memctrl.Run(memctrl.Config{Geometry: geo, Timing: sc.Timing, Obs: rec}, baseGen)
+			r, err := memctrl.Run(memctrl.Config{Geometry: geo, Timing: sc.Timing, Obs: rec, Fault: fault}, baseGen)
 			if err != nil {
 				return fmt.Errorf("baseline: %w", err)
 			}
@@ -126,7 +137,7 @@ func run(w io.Writer, rec *obs.Recorder, o options) (flipped bool, err error) {
 			r, err := memctrl.Run(memctrl.Config{
 				Geometry: geo, Timing: sc.Timing,
 				Factory: factory, TRH: o.trh, OracleDistance: o.distance,
-				Obs: rec,
+				Obs: rec, Fault: fault,
 			}, gen)
 			if err != nil {
 				return err
@@ -135,7 +146,12 @@ func run(w io.Writer, rec *obs.Recorder, o options) (flipped bool, err error) {
 			return nil
 		}},
 	}
-	opts := sched.Options{Jobs: o.jobs, Obs: rec}
+	opts := sched.Options{Jobs: o.jobs, Obs: rec, Fault: fault}
+	if o.timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
+		defer cancel()
+		opts.Ctx = ctx
+	}
 	if o.progress {
 		opts.Progress = sched.Reporter(os.Stderr)
 	}

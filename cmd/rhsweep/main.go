@@ -16,9 +16,21 @@
 //	rhsweep -sweep adversarial                 # Fig. 8(b) attack suite
 //	rhsweep -sweep scaling-normal -trhs 50000,25000,12500   # Fig. 9(b)/(d)
 //	rhsweep -sweep scaling-adversarial -jobs 4 # Fig. 9(c)
+//
+// Long sweeps are hardened (DESIGN.md §8): -timeout bounds the run with a
+// clean abort, -retries re-runs transiently failing cells, -checkpoint
+// journals completed cells so a killed sweep restarted against the same
+// file re-simulates only what is missing (output stays byte-identical to
+// an uninterrupted run), and -faults injects deterministic failures to
+// rehearse all of the above:
+//
+//	rhsweep -sweep normal -checkpoint sweep.ckpt -timeout 2h
+//	rhsweep -sweep normal -checkpoint sweep.ckpt   # resume after a kill
+//	rhsweep -sweep normal -faults sched.job:error:5 -retries 3
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
@@ -29,10 +41,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"graphene/internal/area"
 	"graphene/internal/cbt"
 	"graphene/internal/dram"
+	"graphene/internal/faultinject"
 	"graphene/internal/graphene"
 	"graphene/internal/model"
 	"graphene/internal/obs"
@@ -52,7 +66,11 @@ type options struct {
 	seed     int64
 	full     bool
 	progress bool
+	retries  int
 	rec      *obs.Recorder
+	ctx      context.Context
+	fault    *faultinject.Injector
+	ckpt     *sched.Checkpoint
 }
 
 // scale resolves the simulation sizing: the test-friendly Quick scale with
@@ -69,10 +87,18 @@ func (o options) scale() sim.Scale {
 }
 
 // simOpts builds the scheduler options: bounded jobs plus the stderr
-// progress line, kept off the stdout table, and the observability
-// recorder when -metrics/-events enabled it.
+// progress line, kept off the stdout table, the observability recorder
+// when -metrics/-events enabled it, and the hardening knobs — deadline
+// (-timeout), fault plan (-faults), cell retries (-retries), and the
+// checkpoint journal (-checkpoint).
 func (o options) simOpts() sim.Options {
-	opt := sim.Options{Jobs: o.jobs, Obs: o.rec}
+	opt := sim.Options{
+		Jobs: o.jobs, Obs: o.rec, Ctx: o.ctx,
+		Fault: o.fault, Checkpoint: o.ckpt,
+	}
+	if o.retries > 1 {
+		opt.Retry = sched.RetryPolicy{MaxAttempts: o.retries, BaseDelay: 100 * time.Millisecond}
+	}
 	if o.progress {
 		opt.Progress = sched.Reporter(os.Stderr)
 	}
@@ -91,6 +117,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "generator seed (simulation sweeps)")
 		full     = flag.Bool("full", false, "paper-scale Table III geometry for the simulation sweeps")
 		progress = flag.Bool("progress", true, "live cell progress on stderr (simulation sweeps)")
+		timeout  = flag.Duration("timeout", 0, "abort the sweep after this long, draining in-flight cells (0 = no deadline)")
+		ckfile   = flag.String("checkpoint", "", "journal completed cells to this file and skip them on restart (simulation sweeps)")
+		faults   = flag.String("faults", "", "inject deterministic faults, e.g. sched.job:error:3 (see internal/faultinject)")
+		retries  = flag.Int("retries", 1, "attempts per simulation cell; >1 retries retryable failures with backoff")
 		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit (stderr or - for standard error)")
 		events   = flag.String("events", "", "stream JSON-line mitigation events to this file (stderr or - for standard error; never stdout)")
 		pprof    = flag.String("pprof", "", "serve /debug/pprof/ and live /metrics on this address (e.g. localhost:6060)")
@@ -112,10 +142,29 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rhsweep: pprof:", http.ListenAndServe(*pprof, obs.DebugMux(rec)))
 		}()
 	}
+	inj, err := faultinject.New(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhsweep:", err)
+		os.Exit(2)
+	}
+	inj.SetRecorder(rec)
+	var ckpt *sched.Checkpoint
+	if *ckfile != "" {
+		if ckpt, err = sched.OpenCheckpoint(*ckfile); err != nil {
+			fmt.Fprintln(os.Stderr, "rhsweep:", err)
+			os.Exit(2)
+		}
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	o := options{
 		trh: *trh, trhs: trhs, jobs: *jobs, acts: *acts,
 		windows: *windows, seed: *seed, full: *full, progress: *progress,
-		rec: rec,
+		retries: *retries, rec: rec, ctx: ctx, fault: inj, ckpt: ckpt,
 	}
 
 	var run func(*csv.Writer) error
@@ -151,6 +200,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "rhsweep: unknown format %q (csv|json)\n", *format)
 		os.Exit(2)
+	}
+	if cerr := o.ckpt.Close(); cerr != nil && err == nil {
+		err = cerr
 	}
 	if cerr := closeObs(); cerr != nil && err == nil {
 		err = cerr

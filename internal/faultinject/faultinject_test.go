@@ -1,0 +1,230 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"graphene/internal/obs"
+)
+
+func TestNilAndEmptyInjectorAreInert(t *testing.T) {
+	var nilInj *Injector
+	if err := nilInj.Hit(SiteSchedJob); err != nil {
+		t.Fatalf("nil injector Hit = %v", err)
+	}
+	nilInj.SetRecorder(obs.New()) // must not panic
+
+	inj, err := New("   ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj != nil {
+		t.Fatalf("empty spec should parse to a nil Injector, got %+v", inj)
+	}
+}
+
+func TestFaultInjectErrorAtNthHit(t *testing.T) {
+	inj, err := New("sched.job:error:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		err := inj.Hit(SiteSchedJob)
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: err = %v, want ErrInjected", i, err)
+			}
+			var fe *Error
+			if !errors.As(err, &fe) || fe.Site != SiteSchedJob || fe.Hit != 3 {
+				t.Fatalf("hit %d: error detail = %+v", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("hit %d: err = %v, want nil (Nth-hit faults fire once)", i, err)
+		}
+	}
+	// Unknown sites never fire.
+	if err := inj.Hit("no.such.site"); err != nil {
+		t.Fatalf("unknown site: %v", err)
+	}
+}
+
+func TestFaultInjectPanicCarriesSiteAndHit(t *testing.T) {
+	inj, err := New("sched.job:panic:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		pv, ok := r.(PanicValue)
+		if !ok || pv.Site != SiteSchedJob || pv.Hit != 1 {
+			t.Fatalf("recovered %#v, want PanicValue{sched.job, 1}", r)
+		}
+		if !strings.Contains(pv.String(), "injected panic") {
+			t.Fatalf("PanicValue string = %q", pv.String())
+		}
+	}()
+	inj.Hit(SiteSchedJob)
+	t.Fatal("injected panic did not fire")
+}
+
+func TestFaultInjectDelayWaits(t *testing.T) {
+	inj, err := New("memctrl.replay:delay=30ms:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := inj.Hit(SiteReplay); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delay fault waited only %v", d)
+	}
+	if err := inj.Hit(SiteReplay); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultInjectProbabilisticIsSeededAndDeterministic(t *testing.T) {
+	fire := func() []int {
+		inj, err := New("trace.read:error:p=0.25@42")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hits []int
+		for i := 1; i <= 200; i++ {
+			if inj.Hit(SiteTraceRead) != nil {
+				hits = append(hits, i)
+			}
+		}
+		return hits
+	}
+	a, b := fire(), fire()
+	if len(a) == 0 {
+		t.Fatal("p=0.25 over 200 hits never fired")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed fired %d vs %d times", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestFaultInjectNthHitFiresOnceAcrossGoroutines(t *testing.T) {
+	inj, err := New("sched.job:error:50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	fired := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if inj.Hit(SiteSchedJob) != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 1 {
+		t.Fatalf("Nth-hit fault fired %d times across goroutines, want 1", fired)
+	}
+}
+
+func TestFaultInjectRecorderSeesFiredFaults(t *testing.T) {
+	inj, err := New("sched.job:error:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	var sink obs.Collect
+	rec.SetSink(&sink)
+	inj.SetRecorder(rec)
+	inj.Hit(SiteSchedJob)
+	inj.Hit(SiteSchedJob)
+	if got := rec.Snapshot().Counters["faults_injected_total"]; got != 1 {
+		t.Fatalf("faults_injected_total = %d, want 1", got)
+	}
+	events := sink.Events()
+	if len(events) != 1 || events[0].Kind != obs.KindFaultInjected ||
+		events[0].Label != SiteSchedJob || events[0].Value != 2 || events[0].Detail != "error" {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestFaultInjectReaderInjectsReadErrors(t *testing.T) {
+	inj, err := New("trace.read:error:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := inj.Reader(SiteTraceRead, strings.NewReader("hello world"))
+	buf := make([]byte, 5)
+	if _, err := r.Read(buf); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	if _, err := r.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second read err = %v, want ErrInjected", err)
+	}
+	// A nil injector's Reader is the identity.
+	var nilInj *Injector
+	src := strings.NewReader("x")
+	if got := nilInj.Reader(SiteTraceRead, src); got != io.Reader(src) {
+		t.Fatal("nil Injector.Reader should return the reader unchanged")
+	}
+}
+
+func TestFaultInjectSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"justasite",
+		"site:error",
+		"site:explode:1",
+		"site:error:0",
+		"site:error:-2",
+		"site:error:p=1.5",
+		"site:error:p=0",
+		"site:error:p=0.5@notanint",
+		"site:delay=bogus:1",
+		"site:delay=-5ms:1",
+		":error:1",
+	} {
+		if _, err := New(spec); err == nil {
+			t.Errorf("New(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestFaultInjectMultiplePointsAndSites(t *testing.T) {
+	inj, err := New("a:error:1, b:error:2, a:error:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Hit("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("a hit 1: %v", err)
+	}
+	if err := inj.Hit("a"); err != nil {
+		t.Fatalf("a hit 2: %v", err)
+	}
+	if err := inj.Hit("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("a hit 3: %v", err)
+	}
+	if err := inj.Hit("b"); err != nil {
+		t.Fatalf("b hit 1: %v", err)
+	}
+	if err := inj.Hit("b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("b hit 2: %v", err)
+	}
+}

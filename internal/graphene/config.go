@@ -152,11 +152,13 @@ func (c Config) Derive() (Params, error) {
 		AmpFactor: amp,
 		AddrBits:  mitigation.Bits(c.Rows),
 	}
+	// Widths stay in int64: W can exceed the int range at large reset
+	// windows, and int(w)+1 would overflow before the width is taken.
 	if c.DisableOverflowBit {
-		p.CountBits = mitigation.Bits(int(w) + 1)
+		p.CountBits = mitigation.Bits64(w + 1)
 	} else {
 		// Count up to T plus one overflow bit (§IV-B).
-		p.CountBits = mitigation.Bits(int(t)+1) + 1
+		p.CountBits = mitigation.Bits64(t+1) + 1
 	}
 	p.EntryBits = p.AddrBits + p.CountBits
 	p.TableBits = p.EntryBits * p.NEntry

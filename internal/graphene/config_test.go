@@ -6,7 +6,34 @@ import (
 	"testing"
 
 	"graphene/internal/dram"
+	"graphene/internal/mitigation"
 )
+
+// TestDeriveOversizedWindowCountBits pins the count widths for a reset
+// window whose ACT capacity exceeds int32: the widths are computed in
+// int64 end to end, where the historical int(w)+1 narrowing overflowed on
+// 32-bit platforms before the width was taken.
+func TestDeriveOversizedWindowCountBits(t *testing.T) {
+	timing := dram.DDR4()
+	timing.TREFW = 200_000 * dram.Millisecond // W ≈ 4.2e9 ACTs > 2^31
+	p, err := Config{TRH: 50000, K: 1, Timing: timing, DisableOverflowBit: true}.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.W <= math.MaxInt32 {
+		t.Fatalf("W = %d does not exercise a >int32 window", p.W)
+	}
+	if want := mitigation.Bits64(p.W + 1); p.CountBits != want || want < 32 {
+		t.Errorf("uncompressed CountBits = %d, want %d (>= 32)", p.CountBits, want)
+	}
+	withOverflow, err := Config{TRH: 50000, K: 1, Timing: timing}.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mitigation.Bits64(withOverflow.T+1) + 1; withOverflow.CountBits != want {
+		t.Errorf("CountBits = %d, want %d", withOverflow.CountBits, want)
+	}
+}
 
 func TestDeriveMatchesTableII(t *testing.T) {
 	// Table II: TRH 50K, ±1, K=1 -> W ≈ 1,360K, T 12.5K, Nentry 108.

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"graphene/internal/dram"
+	"graphene/internal/faultinject"
 	"graphene/internal/hammer"
 	"graphene/internal/mitigation"
 	"graphene/internal/obs"
@@ -54,6 +55,13 @@ type Config struct {
 	// The nil default costs one nil check per emission point (DESIGN.md
 	// §7) and leaves Results byte-identical.
 	Obs *obs.Recorder
+
+	// Fault, when non-nil, arms the replay's fault-injection points
+	// (DESIGN.md §8): faultinject.SitePartition in the streaming
+	// partitioner at every chunk handoff and faultinject.SiteReplay in
+	// each bank goroutine at every chunk drain. Nil (the default) costs
+	// one nil check per chunk, never per ACT.
+	Fault *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,122 @@
+package memctrl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"graphene/internal/faultinject"
+	"graphene/internal/obs"
+	"graphene/internal/trace"
+)
+
+// faultTrace builds a single-bank trace long enough for several stream
+// chunks.
+func faultTrace(chunks int) trace.Generator {
+	n := chunks * streamChunk
+	accs := make([]trace.Access, n)
+	for i := range accs {
+		accs[i] = trace.Access{Bank: 0, Row: i % 64}
+	}
+	return trace.FromSlice("fault-trace", accs)
+}
+
+// TestFaultInjectPartitionAbortsRun: an injected partitioner error fails
+// the run with the injected error and drains the bank goroutines without
+// deadlock, exactly like an out-of-range access mid-trace.
+func TestFaultInjectPartitionAbortsRun(t *testing.T) {
+	inj, err := faultinject.New("memctrl.partition:error:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Geometry: oneBank(1 << 12), Timing: smallTiming(), Fault: inj}
+	_, err = Run(cfg, faultTrace(6))
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want an injected fault", err)
+	}
+}
+
+// TestFaultInjectReplayErrorDrains: an injected error in a bank's chunk
+// drain fails the run while the partitioner keeps feeding (and the
+// goroutine keeps recycling) the remaining chunks — the drain path the
+// streaming design relies on.
+func TestFaultInjectReplayErrorDrains(t *testing.T) {
+	inj, err := faultinject.New("memctrl.replay:error:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Geometry: oneBank(1 << 12), Timing: smallTiming(), Fault: inj}
+	_, err = Run(cfg, faultTrace(8))
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want an injected fault", err)
+	}
+	if !strings.Contains(err.Error(), "bank 0") {
+		t.Fatalf("replay fault not attributed to its bank: %v", err)
+	}
+}
+
+// TestFaultInjectReplayPanicBecomesError: an injected panic inside a bank
+// replay goroutine must be recovered into the run's error — not crash the
+// process, not deadlock the partitioner.
+func TestFaultInjectReplayPanicBecomesError(t *testing.T) {
+	inj, err := faultinject.New("memctrl.replay:panic:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Geometry: oneBank(1 << 12), Timing: smallTiming(), Fault: inj}
+	_, err = Run(cfg, faultTrace(8))
+	if err == nil || !strings.Contains(err.Error(), "replay panic") {
+		t.Fatalf("err = %v, want a recovered replay panic", err)
+	}
+	if !strings.Contains(err.Error(), "bank 0") {
+		t.Fatalf("panic not attributed to its bank: %v", err)
+	}
+}
+
+// TestFaultInjectDelayKeepsResultsIdentical: a delay fault perturbs wall
+// clock only — the simulation's virtual timeline and results must be
+// byte-identical to an unfaulted run.
+func TestFaultInjectDelayKeepsResultsIdentical(t *testing.T) {
+	run := func(spec string) Result {
+		inj, err := faultinject.New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Geometry: oneBank(1 << 12), Timing: smallTiming(), Fault: inj}
+		res, err := Run(cfg, faultTrace(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := run("")
+	delayed := run("memctrl.replay:delay=5ms:2")
+	if clean.EndTime != delayed.EndTime || clean.ACTs != delayed.ACTs ||
+		clean.RowsAuto != delayed.RowsAuto {
+		t.Fatalf("delay fault changed results:\n clean   %+v\n delayed %+v", clean, delayed)
+	}
+}
+
+// TestFaultInjectReplayFaultVisibleInObs: a fired replay fault shows up in
+// the observability stream alongside the failing run.
+func TestFaultInjectReplayFaultVisibleInObs(t *testing.T) {
+	inj, err := faultinject.New("memctrl.replay:error:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	var sink obs.Collect
+	rec.SetSink(&sink)
+	inj.SetRecorder(rec)
+	cfg := Config{Geometry: oneBank(1 << 12), Timing: smallTiming(), Fault: inj, Obs: rec}
+	if _, err = Run(cfg, faultTrace(4)); err == nil {
+		t.Fatal("faulted run succeeded")
+	}
+	if got := rec.Snapshot().Counters["faults_injected_total"]; got != 1 {
+		t.Errorf("faults_injected_total = %d, want 1", got)
+	}
+	evs := sink.ByKind(obs.KindFaultInjected)
+	if len(evs) != 1 || evs[0].Label != faultinject.SiteReplay {
+		t.Errorf("fault_injected events = %+v", evs)
+	}
+}

@@ -1,8 +1,10 @@
 package memctrl
 
 import (
+	"fmt"
 	"sync"
 
+	"graphene/internal/faultinject"
 	"graphene/internal/obs"
 	"graphene/internal/trace"
 )
@@ -69,25 +71,7 @@ func replayStreaming(cfg Config, gen trace.Generator, states []*bankState) ([]ba
 			s, out := states[bi], &outs[bi]
 			for chunk := range st.data {
 				if out.err == nil {
-					for _, a := range chunk {
-						if err := s.replayOne(a, bi, out); err != nil {
-							out.err = err
-							break
-						}
-					}
-					if cfg.Obs != nil {
-						// One progress event per drained chunk: coarse
-						// enough to stay off the per-ACT path, fine
-						// enough that a stuck sweep is visible mid-run.
-						scheme := "none"
-						if s.mit != nil {
-							scheme = s.mit.Name()
-						}
-						cfg.Obs.Emit(obs.Event{
-							Kind: obs.KindReplayChunk, Scheme: scheme,
-							Bank: bi, Time: int64(s.now), Value: out.acts,
-						})
-					}
+					out.err = replayChunk(cfg, s, bi, out, chunk)
 				}
 				// Recycle even after an error: the partitioner may be
 				// blocked waiting for a free buffer.
@@ -111,6 +95,9 @@ func replayStreaming(cfg Config, gen trace.Generator, states []*bankState) ([]ba
 		}
 		st.fill = append(st.fill, a)
 		if len(st.fill) == streamChunk {
+			if perr = cfg.Fault.Hit(faultinject.SitePartition); perr != nil {
+				break
+			}
 			st.data <- st.fill
 			st.fill = nil
 		}
@@ -129,4 +116,39 @@ func replayStreaming(cfg Config, gen trace.Generator, states []*bankState) ([]ba
 		return nil, perr
 	}
 	return outs, nil
+}
+
+// replayChunk replays one drained chunk on its bank. A panic anywhere in
+// the replay (a buggy scheme, or an injected fault) is recovered into the
+// bank's error instead of crashing the process: the goroutine keeps
+// draining and recycling chunks, so the partitioner never deadlocks
+// behind a dead consumer.
+func replayChunk(cfg Config, s *bankState, bi int, out *bankOut, chunk []trace.Access) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("memctrl: bank %d: replay panic: %v", bi, r)
+		}
+	}()
+	if err := cfg.Fault.Hit(faultinject.SiteReplay); err != nil {
+		return fmt.Errorf("memctrl: bank %d: %w", bi, err)
+	}
+	for _, a := range chunk {
+		if err := s.replayOne(a, bi, out); err != nil {
+			return err
+		}
+	}
+	if cfg.Obs != nil {
+		// One progress event per drained chunk: coarse enough to stay off
+		// the per-ACT path, fine enough that a stuck sweep is visible
+		// mid-run.
+		scheme := "none"
+		if s.mit != nil {
+			scheme = s.mit.Name()
+		}
+		cfg.Obs.Emit(obs.Event{
+			Kind: obs.KindReplayChunk, Scheme: scheme,
+			Bank: bi, Time: int64(s.now), Value: out.acts,
+		})
+	}
+	return nil
 }

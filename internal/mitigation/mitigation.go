@@ -95,3 +95,18 @@ func Bits(n int) int {
 	}
 	return bits
 }
+
+// Bits64 is Bits over the full 64-bit range. Derivations that size
+// counters from a refresh window's ACT capacity must use this: the window
+// count is an int64, and narrowing it through int before the +1 overflows
+// once the window exceeds the platform's int range.
+func Bits64(n int64) int {
+	if n <= 1 {
+		return 1
+	}
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}

@@ -19,6 +19,30 @@ func TestBits(t *testing.T) {
 	}
 }
 
+func TestBits64(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int
+	}{
+		{0, 1}, {1, 1}, {2, 1}, {3, 2},
+		{1 << 31, 31},   // fits int32…
+		{1<<31 + 1, 32}, // …one past it does not
+		{1 << 40, 40},   // far beyond any int32 window
+		{1<<62 + 1, 63}, // top of the usable range
+	}
+	for _, tc := range cases {
+		if got := Bits64(tc.n); got != tc.want {
+			t.Errorf("Bits64(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	// Bits64 and Bits agree wherever both are defined.
+	for _, n := range []int{0, 1, 7, 8334, 64 * 1024, 1360*1000 + 1} {
+		if Bits(n) != Bits64(int64(n)) {
+			t.Errorf("Bits(%d) = %d but Bits64 = %d", n, Bits(n), Bits64(int64(n)))
+		}
+	}
+}
+
 func TestBitsProperty(t *testing.T) {
 	// 2^Bits(n) >= n and 2^(Bits(n)-1) < n for n > 1.
 	f := func(v uint32) bool {

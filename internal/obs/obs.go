@@ -60,6 +60,15 @@ const (
 	// error, if any).
 	KindCellStart  = "cell_start"
 	KindCellFinish = "cell_finish"
+
+	// KindCellRetry is one scheduler job re-execution under the retry
+	// policy (Label = cell label; Value = the attempt number about to
+	// run, Detail = the error being retried).
+	KindCellRetry = "cell_retry"
+
+	// KindFaultInjected is one fired fault-injection point (Label = site,
+	// Detail = fault kind, Value = the site hit count that triggered).
+	KindFaultInjected = "fault_injected"
 )
 
 // Event is one structured trace record. The fixed fields cover every kind

@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Checkpoint is an append-only journal of completed sweep cells, keyed by
+// an opaque cell-config hash chosen by the caller. A sweep records each
+// cell's result as it completes; a restarted sweep opens the same file,
+// looks every cell up, and re-runs only the ones missing — reassembling
+// output identical to an uninterrupted run.
+//
+// The on-disk format is JSON lines, one {"key": ..., "val": ...} object
+// per record. Each Record is one atomic append under a lock, so the only
+// damage a mid-write crash can leave is a truncated final line; loading
+// tolerates that (and any other unparsable line) by skipping it — a
+// skipped record merely costs recomputation of that cell. A nil
+// *Checkpoint is valid and inert, so callers wire it unconditionally.
+type Checkpoint struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]json.RawMessage
+}
+
+// checkpointLine is the journal's wire format.
+type checkpointLine struct {
+	Key string          `json:"key"`
+	Val json.RawMessage `json:"val"`
+}
+
+// OpenCheckpoint opens (creating if needed) the journal at path and loads
+// every intact record. Corrupt lines — typically one truncated tail line
+// from a killed run — are skipped, not fatal.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sched: checkpoint: %w", err)
+	}
+	c := &Checkpoint{f: f, entries: map[string]json.RawMessage{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	for sc.Scan() {
+		var line checkpointLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil || line.Key == "" {
+			continue // torn or foreign line: recompute that cell
+		}
+		c.entries[line.Key] = line.Val
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sched: checkpoint %s: %w", path, err)
+	}
+	// A killed run can leave the file without a trailing newline (a torn
+	// final record). Terminate it now so the next append starts a fresh
+	// line instead of gluing onto the debris.
+	if st, err := f.Stat(); err == nil && st.Size() > 0 {
+		last := make([]byte, 1)
+		if _, err := f.ReadAt(last, st.Size()-1); err == nil && last[0] != '\n' {
+			if _, err := f.Write([]byte("\n")); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("sched: checkpoint %s: %w", path, err)
+			}
+		}
+	}
+	return c, nil
+}
+
+// Lookup unmarshals the journaled value for key into v and reports whether
+// the key was present. Nil-safe (always false).
+func (c *Checkpoint) Lookup(key string, v any) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	raw, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return false // treat an undecodable record as absent: recompute
+	}
+	return true
+}
+
+// Record journals one completed cell. The write is a single append of the
+// full line, serialized against concurrent recorders. Nil-safe (no-op).
+func (c *Checkpoint) Record(key string, v any) error {
+	if c == nil {
+		return nil
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("sched: checkpoint: %w", err)
+	}
+	line, err := json.Marshal(checkpointLine{Key: key, Val: raw})
+	if err != nil {
+		return fmt.Errorf("sched: checkpoint: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("sched: checkpoint: %w", err)
+	}
+	c.entries[key] = raw
+	return nil
+}
+
+// Len returns the number of loaded and recorded cells (0 on nil).
+func (c *Checkpoint) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Close releases the journal file. Nil-safe.
+func (c *Checkpoint) Close() error {
+	if c == nil || c.f == nil {
+		return nil
+	}
+	return c.f.Close()
+}

@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type ckptCell struct {
+	Scheme string  `json:"scheme"`
+	Value  float64 `json:"value"`
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("fresh checkpoint has %d entries", c.Len())
+	}
+	want := ckptCell{Scheme: "Graphene", Value: 0.25}
+	if err := c.Record("k1", want); err != nil {
+		t.Fatal(err)
+	}
+	var got ckptCell
+	if !c.Lookup("k1", &got) || got != want {
+		t.Fatalf("same-session lookup = %+v, %v", got, c.Lookup("k1", &got))
+	}
+	if c.Lookup("absent", &got) {
+		t.Fatal("lookup of an absent key succeeded")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the record must survive the restart.
+	c2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Len() != 1 {
+		t.Fatalf("reloaded %d entries, want 1", c2.Len())
+	}
+	got = ckptCell{}
+	if !c2.Lookup("k1", &got) || got != want {
+		t.Fatalf("reloaded lookup = %+v", got)
+	}
+}
+
+// TestCheckpointToleratesTornTailLine models a run killed mid-append: the
+// torn final line is skipped, every intact record loads, and the journal
+// stays appendable.
+func TestCheckpointToleratesTornTailLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Record("a", ckptCell{Scheme: "x", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Record("b", ckptCell{Scheme: "y", Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// Simulate the crash: append half a record.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"c","val":{"sch`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	c2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Len() != 2 {
+		t.Fatalf("loaded %d entries from a torn journal, want 2", c2.Len())
+	}
+	var got ckptCell
+	if !c2.Lookup("b", &got) || got.Value != 2 {
+		t.Fatalf("intact record lost: %+v", got)
+	}
+	if c2.Lookup("c", &got) {
+		t.Fatal("torn record resolved")
+	}
+	// The journal remains usable after the torn line.
+	if err := c2.Record("c", ckptCell{Scheme: "z", Value: 3}); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+	c3, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if c3.Len() != 3 {
+		t.Fatalf("post-repair journal has %d entries, want 3", c3.Len())
+	}
+}
+
+func TestCheckpointNilIsInert(t *testing.T) {
+	var c *Checkpoint
+	if c.Lookup("k", &struct{}{}) {
+		t.Error("nil Lookup returned true")
+	}
+	if err := c.Record("k", 1); err != nil {
+		t.Errorf("nil Record = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("nil Len = %d", c.Len())
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+}
+
+func TestCheckpointConcurrentRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := c.Record(string(rune('a'+i%26))+string(rune('0'+i/26)), ckptCell{Value: float64(i)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	c.Close()
+	c2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Len() != n {
+		t.Fatalf("reloaded %d entries, want %d", c2.Len(), n)
+	}
+}

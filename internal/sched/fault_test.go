@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"graphene/internal/faultinject"
+	"graphene/internal/obs"
+)
+
+// TestFaultInjectSchedWorkerError: an injected error at the worker fault
+// point fails exactly one cell and aborts the sweep like an organic
+// failure.
+func TestFaultInjectSchedWorkerError(t *testing.T) {
+	inj, err := faultinject.New("sched.job:error:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Label: fmt.Sprintf("cell-%d", i), Do: func(context.Context) error {
+			ran.Add(1)
+			return nil
+		}}
+	}
+	err = Run(Options{Jobs: 1, Fault: inj}, jobs)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want an injected fault", err)
+	}
+	// Serial pool: cell 0 ran, cell 1 was killed before Do, the rest skipped.
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("%d cells ran, want 1", got)
+	}
+}
+
+// TestFaultInjectSchedWorkerPanic: an injected panic at the worker fault
+// point is recovered into a labeled PanicError naming the cell — the
+// acceptance-criteria path "an injected worker panic fails only its cell".
+func TestFaultInjectSchedWorkerPanic(t *testing.T) {
+	inj, err := faultinject.New("sched.job:panic:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, 8)
+	err = Run(Options{Jobs: 1, Fault: inj}, squareJobs(out))
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Label != "cell-2" {
+		t.Fatalf("panic attributed to %q, want cell-2 (3rd job)", pe.Label)
+	}
+	if _, ok := pe.Value.(faultinject.PanicValue); !ok {
+		t.Fatalf("recovered value %#v, want faultinject.PanicValue", pe.Value)
+	}
+	// Cells before the panic completed; cells after were skipped.
+	if out[0] != 0 || out[1] != 1 {
+		t.Fatalf("pre-panic cells did not run: %v", out)
+	}
+	if out[7] != 0 {
+		t.Fatalf("post-panic cell ran after abort: %v", out)
+	}
+}
+
+// TestFaultInjectRetryRecovers: a one-shot injected fault plus a retry
+// policy yields a clean sweep, with the retry visible in the obs stream.
+func TestFaultInjectRetryRecovers(t *testing.T) {
+	inj, err := faultinject.New("sched.job:error:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	var sink obs.Collect
+	rec.SetSink(&sink)
+	inj.SetRecorder(rec)
+	out := make([]int, 4)
+	err = Run(Options{Jobs: 1, Fault: inj, Obs: rec, Retry: RetryPolicy{MaxAttempts: 2}}, squareJobs(out))
+	if err != nil {
+		t.Fatalf("retried sweep failed: %v", err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d after retry", i, v)
+		}
+	}
+	snap := rec.Snapshot()
+	if snap.Counters["cell_retries_total"] != 1 {
+		t.Errorf("cell_retries_total = %d, want 1", snap.Counters["cell_retries_total"])
+	}
+	if snap.Counters["faults_injected_total"] != 1 {
+		t.Errorf("faults_injected_total = %d, want 1", snap.Counters["faults_injected_total"])
+	}
+	if snap.Counters["cells_done_total"] != int64(len(out)) {
+		t.Errorf("cells_done_total = %d, want %d", snap.Counters["cells_done_total"], len(out))
+	}
+	if snap.Counters["cell_errors_total"] != 0 {
+		t.Errorf("cell_errors_total = %d, want 0 (the retry recovered)", snap.Counters["cell_errors_total"])
+	}
+	retries := sink.ByKind(obs.KindCellRetry)
+	if len(retries) != 1 || retries[0].Label != "cell-1" || retries[0].Value != 2 {
+		t.Errorf("cell_retry events = %+v", retries)
+	}
+	if got := sink.ByKind(obs.KindFaultInjected); len(got) != 1 || got[0].Label != faultinject.SiteSchedJob {
+		t.Errorf("fault_injected events = %+v", got)
+	}
+}

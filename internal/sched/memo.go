@@ -1,6 +1,10 @@
 package sched
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+)
 
 // MemoStats counts how a Memo was used: Misses is the number of distinct
 // keys computed, Hits the number of lookups served from (or while waiting
@@ -14,8 +18,12 @@ type MemoStats struct {
 // it to share one unprotected baseline run per workload across every
 // (scheme, threshold) cell: the first cell to ask computes it, concurrent
 // askers block on the same computation, and later askers get the stored
-// value. Errors are cached too — a failing baseline fails every dependent
-// cell identically instead of being retried.
+// value. Real errors are cached too — a failing baseline fails every
+// dependent cell identically instead of being retried — but context
+// cancellation (context.Canceled / DeadlineExceeded) is not: a baseline
+// that was merely interrupted by an aborting sweep is recomputed on the
+// next ask, so a resumed or retried sweep never re-fails from a stale
+// cancellation.
 type Memo[K comparable, V any] struct {
 	mu    sync.Mutex
 	m     map[K]*memoEntry[V]
@@ -46,6 +54,15 @@ func (m *Memo[K, V]) Do(k K, compute func() (V, error)) (V, error) {
 	m.mu.Unlock()
 
 	e.once.Do(func() { e.val, e.err = compute() })
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		// Drop the poisoned entry (concurrent askers already waiting on it
+		// still observe the cancellation; the next Do computes afresh).
+		m.mu.Lock()
+		if m.m[k] == e {
+			delete(m.m, k)
+		}
+		m.mu.Unlock()
+	}
 	return e.val, e.err
 }
 

@@ -5,33 +5,103 @@
 // The contract that makes parallel sweeps safe is in the caller's hands:
 // each Job writes only into slots it owns (pre-allocated result cells), so
 // output order is fixed at submission time and execution order never shows
-// through. The pool adds cancellation — the first failing job cancels the
-// shared context and the remaining queued jobs are skipped, exactly like a
-// serial loop returning early — and a progress callback for live CLI
-// reporting.
+// through. The pool adds robustness on top: the first failing job cancels
+// the shared context and the remaining queued jobs are skipped, exactly
+// like a serial loop returning early; a panicking job is recovered into a
+// labeled error instead of crashing the process; an optional retry policy
+// re-runs retryable failures with capped exponential backoff; and an
+// optional parent context aborts the whole pool on cancellation or
+// deadline. A progress callback supports live CLI reporting and is always
+// terminated with one final notification, on completion and abort alike.
 package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"graphene/internal/faultinject"
 	"graphene/internal/obs"
 )
 
 // Progress is one completion notification: Done of Total cells have
-// finished, Cell names the one that just completed, and Elapsed is the
-// wall clock since Run started. Callbacks arrive serialized and Done is
-// strictly increasing, so a reporter can render a live status line without
-// its own locking.
+// finished successfully (Failed more have failed), Cell names the one that
+// just completed, and Elapsed is the wall clock since Run started.
+// Callbacks arrive serialized and Done is strictly increasing, so a
+// reporter can render a live status line without its own locking. After
+// the pool drains — whether the sweep completed or aborted — exactly one
+// final callback arrives with Final set and Err carrying the run's
+// outcome, so a reporter can always terminate its output.
 type Progress struct {
 	Done    int
+	Failed  int
 	Total   int
 	Cell    string
 	Elapsed time.Duration
+
+	// Final marks the single post-drain notification (Cell is empty).
+	Final bool
+
+	// Err is the pool's return value; only meaningful when Final is set.
+	Err error
+}
+
+// RetryPolicy re-runs failed jobs. The zero value disables retries.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total executions of one job (1 or less means
+	// a single attempt, i.e. no retries).
+	MaxAttempts int
+
+	// BaseDelay is the wait before the first retry; each further retry
+	// doubles it, capped at MaxDelay (which defaults to 1s when unset and
+	// BaseDelay is positive). Zero means immediate retries. The waits are
+	// deterministic — no jitter — so retried sweeps stay reproducible.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+
+	// Retryable classifies errors; nil retries everything except panics.
+	// Context cancellation (context.Canceled / DeadlineExceeded) is never
+	// retried regardless — an aborting pool must not respawn work.
+	Retryable func(error) bool
+}
+
+// retryable reports whether the policy re-runs a job that failed with err.
+func (p RetryPolicy) retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if p.Retryable != nil {
+		return p.Retryable(err)
+	}
+	var pe *PanicError
+	return !errors.As(err, &pe)
+}
+
+// delay returns the backoff before retry number n (1-based).
+func (p RetryPolicy) delay(n int) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	cap := p.MaxDelay
+	if cap <= 0 {
+		cap = time.Second
+	}
+	d := p.BaseDelay
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= cap {
+			return cap
+		}
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
 }
 
 // Options configures a pool run.
@@ -41,17 +111,33 @@ type Options struct {
 	// wall clock.
 	Jobs int
 
-	// Progress, when non-nil, is invoked after every completed job. It is
-	// called with the pool's bookkeeping lock held: keep it fast and never
-	// call back into the pool from it.
+	// Ctx, when non-nil, is the parent context: cancelling it (or its
+	// deadline passing) aborts the pool like a failing job — in-flight
+	// cells drain, queued cells are skipped — and Run returns the
+	// context's error if no job failed first. Nil means no external
+	// cancellation.
+	Ctx context.Context
+
+	// Progress, when non-nil, is invoked after every successfully
+	// completed job and once more with Final set after the pool drains.
+	// It is called with the pool's bookkeeping lock held: keep it fast and
+	// never call back into the pool from it.
 	Progress func(Progress)
 
+	// Retry re-runs failed jobs; the zero value runs each job once.
+	Retry RetryPolicy
+
+	// Fault, when non-nil, is hit at faultinject.SiteSchedJob once per job
+	// attempt, before the job runs — the hook the fault-injection suite
+	// uses to exercise the abort, retry, and drain paths.
+	Fault *faultinject.Injector
+
 	// Obs, when non-nil, receives one cell_start/cell_finish event pair
-	// per executed job (skipped jobs emit nothing), the
-	// "cells_done_total" / "cell_errors_total" counters, and the
-	// "cells_running" gauge. Unlike Progress, events carry the failure
-	// detail, so an aborted sweep's event stream names the cell that
-	// killed it.
+	// per executed job (skipped jobs emit nothing) with a cell_retry event
+	// per re-attempt, the "cells_done_total" / "cell_errors_total" /
+	// "cell_retries_total" counters, and the "cells_running" gauge. Unlike
+	// Progress, events carry the failure detail, so an aborted sweep's
+	// event stream names the cell that killed it.
 	Obs *obs.Recorder
 }
 
@@ -64,11 +150,39 @@ type Job struct {
 	Do    func(ctx context.Context) error
 }
 
+// PanicError is a recovered job panic, converted into an error that names
+// the cell so one bad cell fails its sweep with context instead of
+// crashing the whole process.
+type PanicError struct {
+	Label string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: panic in cell %q: %v", e.Label, e.Value)
+}
+
+// execJob runs one attempt of a job, converting a panic into a
+// *PanicError and applying the fault-injection hook.
+func execJob(ctx context.Context, fault *faultinject.Injector, job Job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Label: job.Label, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := fault.Hit(faultinject.SiteSchedJob); err != nil {
+		return err
+	}
+	return job.Do(ctx)
+}
+
 // Run executes the jobs on a bounded worker pool and blocks until every
 // started job has finished. Workers pull jobs in submission order, so with
 // Jobs = 1 execution is exactly the serial loop. On failure the
 // lowest-index error observed is returned, in-flight jobs run to
-// completion, and queued jobs are skipped.
+// completion, and queued jobs are skipped; if the parent context aborts
+// the run before every job completed, its error is returned instead.
 func Run(opts Options, jobs []Job) error {
 	if len(jobs) == 0 {
 		return nil
@@ -81,7 +195,11 @@ func Run(opts Options, jobs []Job) error {
 		workers = len(jobs)
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	parent := opts.Ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
 	queue := make(chan int, len(jobs))
@@ -93,6 +211,7 @@ func Run(opts Options, jobs []Job) error {
 	var (
 		mu       sync.Mutex
 		done     int
+		failed   int
 		errIdx   = len(jobs)
 		firstErr error
 		start    = time.Now()
@@ -101,6 +220,7 @@ func Run(opts Options, jobs []Job) error {
 		running = opts.Obs.Gauge("cells_running")
 		doneC   = opts.Obs.Counter("cells_done_total")
 		errC    = opts.Obs.Counter("cell_errors_total")
+		retryC  = opts.Obs.Counter("cell_retries_total")
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -113,7 +233,27 @@ func Run(opts Options, jobs []Job) error {
 				opts.Obs.Emit(obs.Event{Kind: obs.KindCellStart, Bank: -1, Label: jobs[i].Label})
 				running.Add(1)
 				cellStart := time.Now()
-				err := jobs[i].Do(ctx)
+				err := execJob(ctx, opts.Fault, jobs[i])
+				for retry := 1; err != nil && retry < opts.Retry.MaxAttempts &&
+					opts.Retry.retryable(err) && ctx.Err() == nil; retry++ {
+					retryC.Inc()
+					opts.Obs.Emit(obs.Event{
+						Kind: obs.KindCellRetry, Bank: -1, Label: jobs[i].Label,
+						Value: int64(retry + 1), Detail: err.Error(),
+					})
+					if d := opts.Retry.delay(retry); d > 0 {
+						t := time.NewTimer(d)
+						select {
+						case <-ctx.Done():
+							t.Stop()
+						case <-t.C:
+						}
+						if ctx.Err() != nil {
+							break // aborted mid-backoff: the last error stands
+						}
+					}
+					err = execJob(ctx, opts.Fault, jobs[i])
+				}
 				running.Add(-1)
 				fin := obs.Event{
 					Kind: obs.KindCellFinish, Bank: -1, Label: jobs[i].Label,
@@ -128,6 +268,7 @@ func Run(opts Options, jobs []Job) error {
 				opts.Obs.Emit(fin)
 				mu.Lock()
 				if err != nil {
+					failed++
 					if i < errIdx {
 						errIdx, firstErr = i, err
 					}
@@ -138,7 +279,7 @@ func Run(opts Options, jobs []Job) error {
 				done++
 				if opts.Progress != nil {
 					opts.Progress(Progress{
-						Done: done, Total: len(jobs),
+						Done: done, Failed: failed, Total: len(jobs),
 						Cell: jobs[i].Label, Elapsed: time.Since(start),
 					})
 				}
@@ -147,19 +288,37 @@ func Run(opts Options, jobs []Job) error {
 		}()
 	}
 	wg.Wait()
+	if firstErr == nil && done < len(jobs) {
+		// No job failed but not every job ran: the parent context aborted
+		// the pool. Report its error so a cancelled sweep is never mistaken
+		// for a complete one.
+		firstErr = parent.Err()
+	}
+	if opts.Progress != nil {
+		opts.Progress(Progress{
+			Done: done, Failed: failed, Total: len(jobs),
+			Elapsed: time.Since(start), Final: true, Err: firstErr,
+		})
+	}
 	return firstErr
 }
 
 // Reporter returns a Progress callback rendering a live single-line status
 // to w (stderr in the CLIs): the line is redrawn in place with \r and
-// finished with a newline when the last cell completes, so it never mixes
-// into stdout table or JSON output.
+// finished with a newline on the final notification — on abort as well as
+// completion, so an error message never lands on a stale progress line.
 func Reporter(w io.Writer) func(Progress) {
+	open := false
 	return func(p Progress) {
+		if p.Final {
+			if open {
+				fmt.Fprintln(w)
+				open = false
+			}
+			return
+		}
 		fmt.Fprintf(w, "\r%d/%d cells  %-44.44s  %s ",
 			p.Done, p.Total, p.Cell, p.Elapsed.Round(time.Millisecond))
-		if p.Done == p.Total {
-			fmt.Fprintln(w)
-		}
+		open = true
 	}
 }

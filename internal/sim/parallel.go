@@ -3,8 +3,10 @@ package sim
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 
 	"graphene/internal/dram"
+	"graphene/internal/faultinject"
 	"graphene/internal/memctrl"
 	"graphene/internal/mitigation"
 	"graphene/internal/obs"
@@ -35,6 +37,30 @@ type Options struct {
 	// memctrl run (cells and memoized baselines alike) reports NRR,
 	// scheme-internal, and replay-progress events into it.
 	Obs *obs.Recorder
+
+	// Ctx, when non-nil, bounds the whole sweep: cancellation or an
+	// expired deadline aborts the pool — in-flight cells drain, queued
+	// cells are skipped, and the sweep returns the context's error.
+	Ctx context.Context
+
+	// Retry re-runs failed cells per sched.RetryPolicy (the zero value
+	// never retries). Caveat: a retried cell re-instantiates its scheme's
+	// engines, so retries under a stateful factory (PARA derives engine
+	// seeds from a global instantiation counter) trade byte-identity with
+	// the serial sweep for forward progress.
+	Retry sched.RetryPolicy
+
+	// Fault, when non-nil, arms deterministic fault points in the
+	// scheduler workers and in every memctrl replay (cells and baselines
+	// alike). See internal/faultinject for the spec grammar.
+	Fault *faultinject.Injector
+
+	// Checkpoint, when non-nil, journals each completed cell and restores
+	// journaled cells on a restarted sweep instead of re-simulating them,
+	// reassembling output identical to an uninterrupted run. Keys include
+	// a hash of the sweep's Scale, so a journal written at one
+	// configuration is ignored by any other.
+	Checkpoint *sched.Checkpoint
 }
 
 // sweepPlan flattens a sweep into independent cell jobs — one protected
@@ -43,13 +69,27 @@ type Options struct {
 // slots, so output order is fixed at submission time regardless of how
 // execution interleaves.
 type sweepPlan struct {
-	sc   Scale
-	obs  *obs.Recorder
-	jobs []sched.Job
-	memo sched.Memo[string, memctrl.Result]
+	sc    Scale
+	obs   *obs.Recorder
+	fault *faultinject.Injector
+	ckpt  *sched.Checkpoint
+	jobs  []sched.Job
+	memo  sched.Memo[string, memctrl.Result]
 }
 
-func newPlan(sc Scale, opt Options) *sweepPlan { return &sweepPlan{sc: sc, obs: opt.Obs} }
+func newPlan(sc Scale, opt Options) *sweepPlan {
+	return &sweepPlan{sc: sc, obs: opt.Obs, fault: opt.Fault, ckpt: opt.Checkpoint}
+}
+
+// cellKey names one cell in a checkpoint journal: a hash of the plan's
+// full Scale plus the cell label, so a journal written at one
+// configuration (geometry, timing, trace length, seed) can never leak
+// stale results into a sweep at another.
+func (p *sweepPlan) cellKey(label string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", p.sc)
+	return fmt.Sprintf("%016x|%s", h.Sum64(), label)
+}
 
 // baseline returns the memoized unprotected run for one workload. gen is
 // consumed by whichever cell computes the baseline first; the memo's
@@ -59,7 +99,7 @@ func (p *sweepPlan) baseline(geo dram.Geometry, gen trace.Generator) func() (mem
 	name := gen.Name()
 	return func() (memctrl.Result, error) {
 		return p.memo.Do(name, func() (memctrl.Result, error) {
-			res, err := memctrl.Run(memctrl.Config{Geometry: geo, Timing: p.sc.Timing, Obs: p.obs}, gen)
+			res, err := memctrl.Run(memctrl.Config{Geometry: geo, Timing: p.sc.Timing, Obs: p.obs, Fault: p.fault}, gen)
 			if err != nil {
 				return memctrl.Result{}, fmt.Errorf("sim: baseline %s: %w", name, err)
 			}
@@ -73,6 +113,27 @@ func (p *sweepPlan) baseline(geo dram.Geometry, gen trace.Generator) func() (mem
 // memoized baseline; the measured cell lands in *slot.
 func (p *sweepPlan) addCell(geo dram.Geometry, trh int64, spec Spec, factory func(context.Context) mitigation.Factory, wname string, gen trace.Generator, base func() (memctrl.Result, error), slot *Cell) {
 	label := fmt.Sprintf("%s/%s trh=%d", wname, spec.Name, trh)
+	key := p.cellKey(label)
+	var prev Cell
+	if p.ckpt.Lookup(key, &prev) {
+		// Restored from the journal: skip the replay, but still take the
+		// scheme's factory turn. A stateful factory (PARA derives each
+		// engine's seed from a global instantiation counter) must see the
+		// same build sequence as an uninterrupted run, or the cells that
+		// DO replay would compute different results and the reassembled
+		// sweep would not be byte-identical.
+		p.jobs = append(p.jobs, sched.Job{Label: label, Do: func(ctx context.Context) error {
+			if factory != nil {
+				if _, err := factory(ctx)(); err != nil {
+					return err
+				}
+			}
+			*slot = prev
+			p.obs.Counter("cells_restored_total").Inc()
+			return nil
+		}})
+		return
+	}
 	p.jobs = append(p.jobs, sched.Job{Label: label, Do: func(ctx context.Context) error {
 		b, err := base()
 		if err != nil {
@@ -84,7 +145,7 @@ func (p *sweepPlan) addCell(geo dram.Geometry, trh int64, spec Spec, factory fun
 		}
 		res, err := memctrl.Run(memctrl.Config{
 			Geometry: geo, Timing: p.sc.Timing,
-			Factory: f, TRH: trh, Obs: p.obs,
+			Factory: f, TRH: trh, Obs: p.obs, Fault: p.fault,
 		}, gen)
 		if err != nil {
 			return fmt.Errorf("sim: %s/%s: %w", wname, spec.Name, err)
@@ -97,13 +158,19 @@ func (p *sweepPlan) addCell(geo dram.Geometry, trh int64, spec Spec, factory fun
 			NRRCommands:     res.NRRCommands,
 			Flips:           len(res.Flips),
 		}
+		if err := p.ckpt.Record(key, *slot); err != nil {
+			return fmt.Errorf("sim: %s: %w", label, err)
+		}
 		return nil
 	}})
 }
 
 // run executes the accumulated cells on the pool.
 func (p *sweepPlan) run(opt Options) error {
-	err := sched.Run(sched.Options{Jobs: opt.Jobs, Progress: opt.Progress, Obs: opt.Obs}, p.jobs)
+	err := sched.Run(sched.Options{
+		Jobs: opt.Jobs, Ctx: opt.Ctx, Progress: opt.Progress,
+		Retry: opt.Retry, Fault: opt.Fault, Obs: opt.Obs,
+	}, p.jobs)
 	if opt.BaselineStats != nil {
 		*opt.BaselineStats = p.memo.Stats()
 	}

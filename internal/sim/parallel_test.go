@@ -188,7 +188,15 @@ func TestProgressReportsEveryCell(t *testing.T) {
 	sc := fastScale()
 	var done int
 	var total int
+	finals := 0
 	_, err := AdversarialSweepOpts(sc, 50000, Options{Jobs: 4, Progress: func(p sched.Progress) {
+		if p.Final {
+			finals++
+			if p.Err != nil {
+				t.Errorf("final progress carries error %v on a clean sweep", p.Err)
+			}
+			return
+		}
 		done++
 		total = p.Total
 		if p.Done != done {
@@ -200,6 +208,9 @@ func TestProgressReportsEveryCell(t *testing.T) {
 	}
 	if done == 0 || done != total {
 		t.Errorf("progress saw %d/%d cells", done, total)
+	}
+	if finals != 1 {
+		t.Errorf("got %d final callbacks, want 1", finals)
 	}
 }
 

@@ -3,7 +3,10 @@
 // the figure tables.
 package stats
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Running accumulates a stream of float64 samples.
 type Running struct {
@@ -48,14 +51,17 @@ func (r *Running) Sum() float64 { return r.sum }
 
 // Pct formats a ratio as a percentage with sensible precision for the
 // report tables ("0.3400%" style for tiny overheads, "5.10%" for larger).
+// Precision routes on magnitude, so a small negative ratio (a workload
+// that speeds up under protection) keeps the same digits as its positive
+// mirror instead of falling through to the coarse default tier.
 func Pct(ratio float64) string {
 	p := 100 * ratio
-	switch {
+	switch a := math.Abs(p); {
 	case p == 0:
 		return "0%"
-	case p < 0.01:
+	case a < 0.01:
 		return fmt.Sprintf("%.4f%%", p)
-	case p < 1:
+	case a < 1:
 		return fmt.Sprintf("%.3f%%", p)
 	default:
 		return fmt.Sprintf("%.2f%%", p)

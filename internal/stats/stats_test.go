@@ -60,6 +60,13 @@ func TestPctFormatting(t *testing.T) {
 		{0.0034, "0.340%"},
 		{0.051, "5.10%"},
 		{0.000034, "0.0034%"},
+		// Negative ratios (a cell that runs faster protected than
+		// unprotected) must route on magnitude, mirroring the positive
+		// tiers instead of all collapsing into the coarse default.
+		{-0.000034, "-0.0034%"},
+		{-0.0034, "-0.340%"},
+		{-0.051, "-5.10%"},
+		{math.Copysign(0, -1), "0%"}, // negative zero is still exactly zero
 	}
 	for _, tc := range cases {
 		if got := Pct(tc.in); got != tc.want {

@@ -1,0 +1,52 @@
+package trace_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"graphene/internal/faultinject"
+	"graphene/internal/trace"
+)
+
+// TestFaultInjectTraceReadPropagates: an injected I/O error mid-read must
+// surface from ReadFrom as a trace error wrapping the injected fault —
+// never as a silently truncated trace.
+func TestFaultInjectTraceReadPropagates(t *testing.T) {
+	// Enough lines to guarantee more than one Read through the scanner.
+	var sb strings.Builder
+	sb.WriteString("# trace fault-fixture\n")
+	for i := 0; i < 50_000; i++ {
+		sb.WriteString("0 1 10\n")
+	}
+	inj, err := faultinject.New("trace.read:error:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = trace.ReadFrom(inj.Reader(faultinject.SiteTraceRead, strings.NewReader(sb.String())), "fallback")
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want the injected read fault", err)
+	}
+	if !strings.HasPrefix(err.Error(), "trace: ") {
+		t.Fatalf("fault not wrapped as a trace error: %v", err)
+	}
+
+	// Without the fault the same fixture parses completely.
+	gen, err := trace.ReadFrom(strings.NewReader(sb.String()), "fallback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Name() != "fault-fixture" {
+		t.Fatalf("name = %q", gen.Name())
+	}
+	n := 0
+	for {
+		if _, ok := gen.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 50_000 {
+		t.Fatalf("parsed %d accesses, want 50000", n)
+	}
+}

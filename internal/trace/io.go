@@ -46,6 +46,16 @@ func WriteTo(w io.Writer, gen Generator) (n int64, err error) {
 func ReadFrom(r io.Reader, fallbackName string) (Generator, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	// A reader that fails mid-line makes the scanner emit the torn partial
+	// line as its final token; blaming that debris for being malformed
+	// buries the real failure. fail prefers the I/O error whenever the bad
+	// line was the stream's last and the scanner stopped on an error.
+	fail := func(perr error) error {
+		if !sc.Scan() && sc.Err() != nil {
+			return fmt.Errorf("trace: %w", sc.Err())
+		}
+		return perr
+	}
 	name := fallbackName
 	named := false
 	var accs []Access
@@ -65,22 +75,22 @@ func ReadFrom(r io.Reader, fallbackName string) (Generator, error) {
 		}
 		fields := strings.Fields(text)
 		if len(fields) != 3 {
-			return nil, fmt.Errorf("trace: line %d: %q: want 3 fields (bank row gap_ps), got %d", line, text, len(fields))
+			return nil, fail(fmt.Errorf("trace: line %d: %q: want 3 fields (bank row gap_ps), got %d", line, text, len(fields)))
 		}
 		bank, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %q: bad bank: %w", line, text, err)
+			return nil, fail(fmt.Errorf("trace: line %d: %q: bad bank: %w", line, text, err))
 		}
 		row, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %q: bad row: %w", line, text, err)
+			return nil, fail(fmt.Errorf("trace: line %d: %q: bad row: %w", line, text, err))
 		}
 		gap, err := strconv.ParseInt(fields[2], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %q: bad gap: %w", line, text, err)
+			return nil, fail(fmt.Errorf("trace: line %d: %q: bad gap: %w", line, text, err))
 		}
 		if bank < 0 || row < 0 || gap < 0 {
-			return nil, fmt.Errorf("trace: line %d: negative field in %q", line, text)
+			return nil, fail(fmt.Errorf("trace: line %d: negative field in %q", line, text))
 		}
 		accs = append(accs, Access{Bank: bank, Row: row, Gap: dram.Time(gap)})
 	}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench bench-sweep bench-obs bench-fault fuzz race tables security examples check
+.PHONY: all build vet test test-race test-short bench bench-sweep bench-obs bench-fault bench-hotpath fuzz race tables security examples check
 
 all: check
 
@@ -45,11 +45,23 @@ bench-obs:
 bench-fault:
 	$(GO) test -run 'FaultInject|Checkpoint' -v ./internal/faultinject ./internal/sched ./internal/memctrl ./internal/trace ./internal/sim ./cmd/rhsweep
 
+# Replay hot-path gate (DESIGN.md §9): the testing.AllocsPerRun tests
+# assert the steady-state ACT loop allocates exactly zero, then the
+# microbenchmarks run once with -benchmem and rhbench converts the output
+# to machine-readable BENCH_hotpath.json, re-asserting 0 allocs/op on
+# every hot-path bench (including the per-trigger-cycle one that caught
+# the 7 allocs/op the pre-append API hid under integer rounding).
+bench-hotpath:
+	$(GO) test -run 'TestReplayHotPathZeroAlloc' ./internal/memctrl
+	$(GO) test -run xxx -bench 'BenchmarkHotPath' -benchtime 1000x -benchmem ./internal/memctrl | $(GO) run ./cmd/rhbench -o BENCH_hotpath.json -assert-zero-allocs 'BenchmarkHotPath'
+
 # Race detector over the packages that run per-bank goroutines and the
-# sweep worker pool. -short skips the tens-of-seconds full-scale run,
-# which would dominate `make check` under the race detector's overhead.
+# sweep worker pool, plus the mitigation stack fuzz seeds (FuzzStackAppend
+# runs its corpus as regular tests here). -short skips the tens-of-seconds
+# full-scale run, which would dominate `make check` under the race
+# detector's overhead.
 race:
-	$(GO) test -race -short ./internal/faultinject/... ./internal/memctrl/... ./internal/sim/... ./internal/sched/...
+	$(GO) test -race -short ./internal/faultinject/... ./internal/memctrl/... ./internal/sim/... ./internal/sched/... ./internal/mitigation/...
 
 # Short exploratory fuzz passes over the core invariants.
 fuzz:
@@ -57,6 +69,7 @@ fuzz:
 	$(GO) test ./internal/graphene -fuzz=FuzzBankNeverMissesTheorem -fuzztime=30s -run xxx
 	$(GO) test ./internal/graphene -fuzz=FuzzTableMatchesReference -fuzztime=30s -run xxx
 	$(GO) test ./internal/memctrl -fuzz=FuzzStreamingMatchesBuffered -fuzztime=30s -run xxx
+	$(GO) test ./internal/mitigation -fuzz=FuzzStackAppend -fuzztime=30s -run xxx
 
 tables:
 	$(GO) run ./cmd/rhtables -all
@@ -72,4 +85,4 @@ examples:
 	$(GO) run ./examples/pagepolicy
 	$(GO) run ./examples/observability
 
-check: build vet test race bench-sweep bench-fault
+check: build vet test race bench-sweep bench-fault bench-hotpath

@@ -14,6 +14,7 @@ import (
 	grapheneimpl "graphene/internal/graphene"
 	"graphene/internal/hammer"
 	"graphene/internal/memctrl"
+	"graphene/internal/mitigation"
 	"graphene/internal/prohit"
 	"graphene/internal/sched"
 	"graphene/internal/security"
@@ -323,10 +324,12 @@ func BenchmarkAblation_ResetWindowK(b *testing.B) {
 	b.ReportMetric(100*k5, "worst-%-k5")
 }
 
-// BenchmarkScheme_OnActivate measures the per-ACT software cost of each
-// tracking engine (the hardware does this in one CAM cycle; here it bounds
-// simulation throughput).
-func BenchmarkScheme_OnActivate(b *testing.B) {
+// BenchmarkScheme_AppendOnActivate measures the per-ACT software cost of
+// each tracking engine (the hardware does this in one CAM cycle; here it
+// bounds simulation throughput). The victim-refresh buffer is recycled the
+// way memctrl's replay loop recycles its scratch, so the number reflects
+// the steady-state allocation-free hot path.
+func BenchmarkScheme_AppendOnActivate(b *testing.B) {
 	sc := benchScale()
 	specs, err := sim.CounterSchemes(50000, sc)
 	if err != nil {
@@ -339,9 +342,10 @@ func BenchmarkScheme_OnActivate(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			var vrs []mitigation.VictimRefresh
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				m.OnActivate(i&0xffff, dram.Time(i)*45*dram.Nanosecond)
+				vrs = m.AppendOnActivate(vrs[:0], i&0xffff, dram.Time(i)*45*dram.Nanosecond)
 			}
 		})
 	}
@@ -361,9 +365,10 @@ func BenchmarkTrackerFullScaleAdversarial(b *testing.B) {
 		b.Fatal(err)
 	}
 	timing := dram.DDR4()
+	var vrs []mitigation.VictimRefresh
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng.OnActivate(i&0xffff, dram.Time(i)*timing.TRC)
+		vrs = eng.AppendOnActivate(vrs[:0], i&0xffff, dram.Time(i)*timing.TRC)
 	}
 	b.StopTimer()
 	s := eng.Table().Stats()
@@ -413,9 +418,10 @@ func BenchmarkOracle_Activate(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			var fl []hammer.Flip
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				o.Activate(i&0xffff, 0)
+				fl = o.AppendActivate(fl[:0], i&0xffff, 0)
 				if i&0xfff == 0 {
 					o.RefreshRow(i & 0xffff)
 				}
@@ -445,17 +451,17 @@ func BenchmarkSecVI_FrequentElements(b *testing.B) {
 	}
 	b.Run("misra-gries", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			g.OnActivate(i&0xffff, 0)
+			g.AppendOnActivate(nil, i&0xffff, 0)
 		}
 	})
 	b.Run("count-min", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			cms.OnActivate(i&0xffff, 0)
+			cms.AppendOnActivate(nil, i&0xffff, 0)
 		}
 	})
 	b.Run("space-saving", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			ss.OnActivate(i&0xffff, 0)
+			ss.AppendOnActivate(nil, i&0xffff, 0)
 		}
 	})
 	b.ReportMetric(float64(cms.Cost().TotalBits())/float64(g.Cost().TotalBits()), "cms/mg-bits")

@@ -1,0 +1,67 @@
+// Command rhbench converts `go test -bench` output into machine-readable
+// JSON, so CI and EXPERIMENTS.md tables consume benchmark numbers without
+// scraping free text. It reads the bench output on stdin (or -i), parses
+// every result line — including -benchmem columns and custom
+// b.ReportMetric units — and writes one JSON document.
+//
+// Usage:
+//
+//	go test -run xxx -bench 'HotPath' -benchmem ./internal/memctrl | rhbench -o BENCH_hotpath.json
+//	rhbench -i bench.txt -assert-zero-allocs 'HotPath'   # gate: allocs/op must be 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	var (
+		in     = flag.String("i", "", "bench output file to read (default stdin)")
+		out    = flag.String("o", "", "JSON output file (default stdout)")
+		assert = flag.String("assert-zero-allocs", "", "regexp of benchmark names whose allocs/op must be exactly 0")
+	)
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rhbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	report, err := Parse(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhbench:", err)
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "rhbench: no benchmark results in input")
+		os.Exit(1)
+	}
+
+	data, err := report.MarshalIndent()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhbench:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "rhbench:", err)
+		os.Exit(1)
+	}
+
+	if *assert != "" {
+		if err := report.AssertZeroAllocs(*assert); err != nil {
+			fmt.Fprintln(os.Stderr, "rhbench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: graphene/internal/memctrl
+cpu: AMD EPYC 7B13
+BenchmarkHotPathACT/quiet-8         	33429042	        35.82 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHotPathACT/para-8          	56214837	        21.33 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHotPathTriggerCycle-8      	  551068	      2170 ns/op	       226 B/op	       7 allocs/op
+BenchmarkTracker-4                  	 1000000	      1000 ns/op	         3.500 sw-ns/act
+PASS
+ok  	graphene/internal/memctrl	12.3s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pkg != "graphene/internal/memctrl" || rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Errorf("header = %q/%q/%q", rep.Pkg, rep.Goos, rep.Goarch)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	q := rep.Benchmarks[0]
+	if q.Name != "BenchmarkHotPathACT/quiet" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped)", q.Name)
+	}
+	if q.Iterations != 33429042 {
+		t.Errorf("iterations = %d", q.Iterations)
+	}
+	if q.Metrics["ns/op"] != 35.82 || q.Metrics["B/op"] != 0 || q.Metrics["allocs/op"] != 0 {
+		t.Errorf("metrics = %v", q.Metrics)
+	}
+	tc := rep.Benchmarks[2]
+	if tc.Metrics["allocs/op"] != 7 || tc.Metrics["B/op"] != 226 {
+		t.Errorf("trigger-cycle metrics = %v", tc.Metrics)
+	}
+	// Custom b.ReportMetric units survive.
+	if rep.Benchmarks[3].Metrics["sw-ns/act"] != 3.5 {
+		t.Errorf("custom metric = %v", rep.Benchmarks[3].Metrics)
+	}
+}
+
+func TestParseRejectsMalformedLines(t *testing.T) {
+	for _, in := range []string{
+		"BenchmarkX\n",                  // no iteration count
+		"BenchmarkX abc 1 ns/op\n",      // bad iteration count
+		"BenchmarkX 10 1 ns/op extra\n", // dangling value without unit
+		"BenchmarkX 10 nope ns/op\n",    // bad metric value
+	} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted malformed line %q", in)
+		}
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	rep, err := Parse(strings.NewReader("=== RUN TestFoo\n--- PASS: TestFoo\nPASS\nok  pkg 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from noise", len(rep.Benchmarks))
+	}
+}
+
+func TestMarshalRoundTrips(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(back.Benchmarks) != len(rep.Benchmarks) {
+		t.Errorf("round trip lost benchmarks: %d vs %d", len(back.Benchmarks), len(rep.Benchmarks))
+	}
+}
+
+func TestAssertZeroAllocs(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.AssertZeroAllocs("HotPathACT"); err != nil {
+		t.Errorf("clean benchmarks failed the gate: %v", err)
+	}
+	if err := rep.AssertZeroAllocs("TriggerCycle"); err == nil {
+		t.Error("7 allocs/op passed the zero-alloc gate")
+	}
+	if err := rep.AssertZeroAllocs("NoSuchBench"); err == nil {
+		t.Error("empty match passed the gate")
+	}
+	if err := rep.AssertZeroAllocs("["); err == nil {
+		t.Error("invalid regexp accepted")
+	}
+}

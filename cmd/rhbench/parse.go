@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line. Metrics maps unit → value for every
+// value-unit pair after the iteration count: the standard ns/op, B/op,
+// allocs/op plus any custom b.ReportMetric units (e.g. sw-ns/act).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the full JSON document: the run's environment header lines and
+// every benchmark, in input order.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// cpuSuffix strips the trailing -N GOMAXPROCS suffix Go appends to
+// benchmark names ("BenchmarkX/case-8" → "BenchmarkX/case").
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output and collects every result line.
+// Non-benchmark lines (headers, PASS/ok trailers, test logs) are skipped.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseLine decodes one result line:
+//
+//	BenchmarkName/sub-8   551068   2170 ns/op   226 B/op   7 allocs/op
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, fmt.Errorf("malformed bench line %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bench line %q: bad iteration count: %v", line, err)
+	}
+	b := Benchmark{
+		Name:       cpuSuffix.ReplaceAllString(fields[0], ""),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("bench line %q: odd value/unit pairing", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bench line %q: bad value %q: %v", line, rest[i], err)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, nil
+}
+
+// MarshalIndent renders the report as indented JSON with a trailing newline.
+func (r *Report) MarshalIndent() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// AssertZeroAllocs fails if any benchmark matching pattern reports a
+// nonzero allocs/op, or if none match at all (a gate that matches nothing
+// is a misconfigured gate).
+func (r *Report) AssertZeroAllocs(pattern string) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("bad -assert-zero-allocs pattern: %v", err)
+	}
+	matched := 0
+	for _, b := range r.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		matched++
+		if allocs, ok := b.Metrics["allocs/op"]; ok && allocs != 0 {
+			return fmt.Errorf("benchmark %s: %g allocs/op, want 0", b.Name, allocs)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmark matched %q", pattern)
+	}
+	return nil
+}

@@ -73,6 +73,8 @@ func main() {
 		var nextRef dram.Time
 		refPtr := 0
 		flips := 0
+		var vrs []mitigation.VictimRefresh // recycled append buffer
+		var fl []hammer.Flip               // recycled flip staging buffer
 		for i := int64(0); i < 200_000; i++ {
 			now := dram.Time(i) * timing.TRC
 			for nextRef <= now {
@@ -86,8 +88,10 @@ func main() {
 			if i%2 == 1 {
 				row = victim + 2
 			}
-			flips += len(oracle.Activate(row, now))
-			for _, vr := range eng.OnActivate(row, now) {
+			fl = oracle.AppendActivate(fl[:0], row, now)
+			flips += len(fl)
+			vrs = eng.AppendOnActivate(vrs[:0], row, now)
+			for _, vr := range vrs {
 				for d := 1; d <= vr.Distance; d++ {
 					if r := vr.Aggressor - d; r >= 0 {
 						oracle.RefreshRow(r)

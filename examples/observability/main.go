@@ -21,6 +21,7 @@ import (
 
 	"graphene/internal/dram"
 	"graphene/internal/graphene"
+	"graphene/internal/mitigation"
 	"graphene/internal/model"
 	"graphene/internal/obs"
 )
@@ -55,9 +56,10 @@ func main() {
 	now := dram.Time(0)
 
 	phase := func(name string, acts int64, row func(i int64) int, per dram.Time) {
+		var vrs []mitigation.VictimRefresh // recycled; the loop never allocates
 		for i := int64(0); i < acts; i++ {
 			now += per
-			eng.OnActivate(row(i), now)
+			vrs = eng.AppendOnActivate(vrs[:0], row(i), now)
 		}
 		fmt.Printf("after %-22s refreshes=%d alerts=%d windows=%d\n",
 			name+":", eng.VictimRefreshes(), eng.Alerts(), eng.Resets())

@@ -14,6 +14,7 @@ import (
 
 	"graphene/internal/dram"
 	"graphene/internal/graphene"
+	"graphene/internal/mitigation"
 )
 
 func main() {
@@ -34,11 +35,15 @@ func main() {
 	timing := dram.DDR4()
 	now := dram.Time(0)
 
+	// One victim-refresh buffer recycled across the whole run — the
+	// append-style API means the hot loop never allocates.
+	var vrs []mitigation.VictimRefresh
+
 	// Phase 1: a benign workload touching many rows round-robin.
 	fmt.Println("phase 1: benign workload (4096 rows, 400K ACTs)")
 	for i := 0; i < 400_000; i++ {
 		now += timing.TRC
-		if vrs := eng.OnActivate(i%4096, now); len(vrs) != 0 {
+		if vrs = eng.AppendOnActivate(vrs[:0], i%4096, now); len(vrs) != 0 {
 			fmt.Printf("  unexpected victim refresh: %+v\n", vrs)
 		}
 	}
@@ -52,7 +57,8 @@ func main() {
 	for i := 0; i < 30_000; i++ {
 		now += timing.TRC
 		hammered++
-		for _, vr := range eng.OnActivate(1000, now) {
+		vrs = eng.AppendOnActivate(vrs[:0], 1000, now)
+		for _, vr := range vrs {
 			fmt.Printf("  after %5d ACTs: refresh rows %d and %d (aggressor %d ± %d)\n",
 				hammered, vr.Aggressor-1, vr.Aggressor+1, vr.Aggressor, vr.Distance)
 		}

@@ -73,6 +73,12 @@ type CBT struct {
 
 	nodes []node // live counters ordered by lo (disjoint cover of the bank)
 
+	// regionScratch backs the explicit Rows list of a region-refresh
+	// trigger. CBT owns and recycles it across triggers (API v2 contract,
+	// DESIGN.md §9): the appended refresh is valid only until the next
+	// AppendOnActivate/Reset call and must be consumed, not retained.
+	regionScratch []int
+
 	windowEnd dram.Time
 	window    dram.Time
 
@@ -148,8 +154,8 @@ func (c *CBT) find(row int) int {
 	panic(fmt.Sprintf("cbt: no counter covers row %d", row))
 }
 
-// OnActivate implements mitigation.Mitigator.
-func (c *CBT) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
+// AppendOnActivate implements mitigation.Mitigator.
+func (c *CBT) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram.Time) []mitigation.VictimRefresh {
 	if row < 0 || row >= c.cfg.Rows {
 		panic(fmt.Sprintf("cbt: row %d out of range [0,%d)", row, c.cfg.Rows))
 	}
@@ -183,48 +189,52 @@ func (c *CBT) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
 	}
 
 	if n.count < c.tLast {
-		return nil
+		return dst
 	}
 	// Last-level threshold reached: refresh every victim of the covered
 	// rows, then restart the counter.
 	n.count = 0
 	c.refreshes++
-	vrs := c.victimRefreshes(n.lo, n.hi)
-	for _, vr := range vrs {
+	pre := len(dst)
+	dst = c.appendVictimRefreshes(dst, n.lo, n.hi)
+	for _, vr := range dst[pre:] {
 		c.rowsRefr += int64(vr.RowCount(c.cfg.Rows))
 	}
-	return vrs
+	return dst
 }
 
-// victimRefreshes builds the refresh set for a triggered counter covering
-// [lo, hi).
+// appendVictimRefreshes appends the refresh set for a triggered counter
+// covering [lo, hi).
 //
 // Under the contiguity assumption the victims are the covered rows plus
 // Distance boundary rows on each side — one explicit region refresh of
-// N/2^l + 2 rows (§II-C). When the device remaps row addresses internally
-// that assumption fails: the physical victims of the covered rows are
-// scattered, so CBT must issue one aggressor-style refresh (NRR) per
-// covered row and let the device resolve true physical neighbors —
-// "N/2^l × 2 rows, not N/2^l + 2" (§II-C).
-func (c *CBT) victimRefreshes(lo, hi int) []mitigation.VictimRefresh {
+// N/2^l + 2 rows (§II-C), whose Rows list reuses c.regionScratch. When the
+// device remaps row addresses internally that assumption fails: the
+// physical victims of the covered rows are scattered, so CBT must issue
+// one aggressor-style refresh (NRR) per covered row and let the device
+// resolve true physical neighbors — "N/2^l × 2 rows, not N/2^l + 2"
+// (§II-C).
+func (c *CBT) appendVictimRefreshes(dst []mitigation.VictimRefresh, lo, hi int) []mitigation.VictimRefresh {
 	if !c.cfg.AssumeRemapped {
-		var rows []int
+		c.regionScratch = c.regionScratch[:0]
 		for r := lo - c.cfg.Distance; r < hi+c.cfg.Distance; r++ {
 			if r >= 0 && r < c.cfg.Rows {
-				rows = append(rows, r)
+				c.regionScratch = append(c.regionScratch, r)
 			}
 		}
-		return []mitigation.VictimRefresh{{Rows: rows}}
+		return append(dst, mitigation.VictimRefresh{Rows: c.regionScratch})
 	}
-	vrs := make([]mitigation.VictimRefresh, 0, hi-lo)
 	for r := lo; r < hi; r++ {
-		vrs = append(vrs, mitigation.VictimRefresh{Aggressor: r, Distance: c.cfg.Distance})
+		dst = append(dst, mitigation.VictimRefresh{Aggressor: r, Distance: c.cfg.Distance})
 	}
-	return vrs
+	return dst
 }
 
-// Tick implements mitigation.Mitigator; CBT takes no refresh-time action.
-func (c *CBT) Tick(now dram.Time) []mitigation.VictimRefresh { return nil }
+// AppendTick implements mitigation.Mitigator; CBT takes no refresh-time
+// action.
+func (c *CBT) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {
+	return dst
+}
 
 func (c *CBT) resetTree() {
 	c.nodes = c.nodes[:0]

@@ -74,7 +74,7 @@ func TestTreeSplitsUnderLoad(t *testing.T) {
 	// Hammer one row until the root splits down toward it.
 	split0 := c.SplitThreshold(0)
 	for i := int64(0); i < split0; i++ {
-		c.OnActivate(1000, 0)
+		c.AppendOnActivate(nil, 1000, 0)
 	}
 	if c.LiveCounters() < 2 {
 		t.Errorf("after %d ACTs, %d counters; want a split", split0, c.LiveCounters())
@@ -89,7 +89,7 @@ func TestTriggerRefreshesCoveredRegionPlusBoundary(t *testing.T) {
 	var got []int
 	var triggers int64
 	for i := int64(0); i < 3*c.LastLevelThreshold(); i++ {
-		for _, vr := range c.OnActivate(1000, 0) {
+		for _, vr := range c.AppendOnActivate(nil, 1000, 0) {
 			if !vr.Explicit() {
 				t.Fatalf("CBT refresh must carry an explicit row set, got %+v", vr)
 			}
@@ -117,7 +117,7 @@ func TestRemappedModeDoublesRefresh(t *testing.T) {
 	}
 	var got []mitigation.VictimRefresh
 	for i := int64(0); i < 2*c.LastLevelThreshold(); i++ {
-		if vrs := c.OnActivate(1000, 0); len(vrs) > 0 {
+		if vrs := c.AppendOnActivate(nil, 1000, 0); len(vrs) > 0 {
 			got = vrs
 		}
 	}
@@ -145,7 +145,7 @@ func TestCounterPoolExhaustion(t *testing.T) {
 	}
 	// Spread load so every region wants to split; the pool caps at 4.
 	for i := 0; i < 200_000; i++ {
-		c.OnActivate((i*977)%(1<<16), 0)
+		c.AppendOnActivate(nil, (i*977)%(1<<16), 0)
 	}
 	if c.LiveCounters() > 4 {
 		t.Errorf("live counters %d exceed pool 4", c.LiveCounters())
@@ -159,12 +159,12 @@ func TestWindowResetCollapsesTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := int64(0); i < c.SplitThreshold(0)+10; i++ {
-		c.OnActivate(500, 0)
+		c.AppendOnActivate(nil, 500, 0)
 	}
 	if c.LiveCounters() < 2 {
 		t.Fatal("tree did not split")
 	}
-	c.OnActivate(500, timing.TREFW+1)
+	c.AppendOnActivate(nil, 500, timing.TREFW+1)
 	if c.LiveCounters() != 1 {
 		t.Errorf("after window reset: %d counters, want 1", c.LiveCounters())
 	}
@@ -176,7 +176,7 @@ func TestCoverIsAlwaysDisjointAndComplete(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 100_000; i++ {
-		c.OnActivate((i*131)%(1<<12), 0)
+		c.AppendOnActivate(nil, (i*131)%(1<<12), 0)
 		if i%10_000 != 0 {
 			continue
 		}
@@ -244,8 +244,8 @@ func TestNoFalseNegatives(t *testing.T) {
 				nextRef += refPeriod
 			}
 			row := stream(i)
-			o.Activate(row, now)
-			for _, vr := range c.OnActivate(row, now) {
+			o.AppendActivate(nil, row, now)
+			for _, vr := range c.AppendOnActivate(nil, row, now) {
 				for _, r := range vr.Rows {
 					o.RefreshRow(r)
 				}

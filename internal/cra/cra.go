@@ -91,8 +91,8 @@ func (c *CRA) ExtraDRAMAccesses() int64 { return 2 * c.misses }
 // VictimRefreshes returns the number of victim refreshes issued.
 func (c *CRA) VictimRefreshes() int64 { return c.refreshes }
 
-// OnActivate implements mitigation.Mitigator.
-func (c *CRA) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
+// AppendOnActivate implements mitigation.Mitigator.
+func (c *CRA) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram.Time) []mitigation.VictimRefresh {
 	var ln *line
 	if el, ok := c.index[row]; ok {
 		c.hits++
@@ -112,16 +112,19 @@ func (c *CRA) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
 	}
 	ln.count++
 	if ln.count < c.threshold {
-		return nil
+		return dst
 	}
 	ln.count = 0
 	delete(c.backing, row)
 	c.refreshes++
-	return []mitigation.VictimRefresh{{Aggressor: row, Distance: c.cfg.Distance}}
+	return append(dst, mitigation.VictimRefresh{Aggressor: row, Distance: c.cfg.Distance})
 }
 
-// Tick implements mitigation.Mitigator; CRA takes no refresh-time action.
-func (c *CRA) Tick(now dram.Time) []mitigation.VictimRefresh { return nil }
+// AppendTick implements mitigation.Mitigator; CRA takes no refresh-time
+// action.
+func (c *CRA) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {
+	return dst
+}
 
 // Reset implements mitigation.Mitigator.
 func (c *CRA) Reset() {

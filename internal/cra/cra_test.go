@@ -19,11 +19,11 @@ func TestTriggerAtThreshold(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := int64(1); i < 12500; i++ {
-		if vrs := c.OnActivate(9, 0); len(vrs) != 0 {
+		if vrs := c.AppendOnActivate(nil, 9, 0); len(vrs) != 0 {
 			t.Fatalf("premature refresh at ACT %d", i)
 		}
 	}
-	vrs := c.OnActivate(9, 0)
+	vrs := c.AppendOnActivate(nil, 9, 0)
 	if len(vrs) != 1 || vrs[0].Aggressor != 9 {
 		t.Fatalf("at TRH/4: %v, want refresh of row 9's victims", vrs)
 	}
@@ -34,11 +34,11 @@ func TestCacheHitMissAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.OnActivate(1, 0) // miss (cold)
-	c.OnActivate(1, 0) // hit
-	c.OnActivate(2, 0) // miss
-	c.OnActivate(3, 0) // miss, evicts LRU (row 1)
-	c.OnActivate(1, 0) // miss again
+	c.AppendOnActivate(nil, 1, 0) // miss (cold)
+	c.AppendOnActivate(nil, 1, 0) // hit
+	c.AppendOnActivate(nil, 2, 0) // miss
+	c.AppendOnActivate(nil, 3, 0) // miss, evicts LRU (row 1)
+	c.AppendOnActivate(nil, 1, 0) // miss again
 	if c.Hits() != 1 || c.Misses() != 4 {
 		t.Errorf("hits/misses = %d/%d, want 1/4", c.Hits(), c.Misses())
 	}
@@ -57,8 +57,8 @@ func TestCountsPersistThroughEviction(t *testing.T) {
 	th := int64(100) // TRH/4
 	var refreshes int64
 	for i := int64(0); i < 2*th; i++ {
-		refreshes += int64(len(c.OnActivate(5, 0)))
-		c.OnActivate(1000+int(i%7), 0) // thrash the single-line cache
+		refreshes += int64(len(c.AppendOnActivate(nil, 5, 0)))
+		c.AppendOnActivate(nil, 1000+int(i%7), 0) // thrash the single-line cache
 	}
 	if refreshes != 2 {
 		t.Errorf("refreshes = %d, want 2 (counts must survive writeback)", refreshes)
@@ -71,8 +71,8 @@ func TestLRUKeepsHotLine(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 1000; i++ {
-		c.OnActivate(7, 0)         // hot line
-		c.OnActivate(100+i%500, 0) // streaming misses
+		c.AppendOnActivate(nil, 7, 0)         // hot line
+		c.AppendOnActivate(nil, 100+i%500, 0) // streaming misses
 	}
 	// Hot line must have stayed cached: 999 hits on row 7.
 	if c.Hits() < 999 {
@@ -86,14 +86,14 @@ func TestResetClears(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 300; i++ {
-		c.OnActivate(i, 0)
+		c.AppendOnActivate(nil, i, 0)
 	}
 	c.Reset()
 	if c.Hits() != 0 || c.Misses() != 0 || c.VictimRefreshes() != 0 {
 		t.Error("Reset left counters")
 	}
 	// Backing store must also clear (fresh window).
-	c.OnActivate(5, 0)
+	c.AppendOnActivate(nil, 5, 0)
 	if got := c.index[5].Value.(*line).count; got != 1 {
 		t.Errorf("count after reset = %d, want 1", got)
 	}

@@ -18,6 +18,12 @@ type Bank struct {
 	lastRefresh []Time // completion time of each row's most recent refresh
 	busyUntil   Time   // device busy (REF/NRR/ACT occupancy)
 
+	// rowScratch backs the row lists AutoRefresh and NearbyRowRefresh
+	// return, so the steady-state replay loop allocates nothing per
+	// command. The returned slice is valid only until the bank's next
+	// AutoRefresh/NearbyRowRefresh call; callers consume it immediately.
+	rowScratch []int
+
 	stats BankStats
 }
 
@@ -96,25 +102,29 @@ func (b *Bank) Activate(row int, now Time) (done Time, err error) {
 
 // AutoRefresh performs one REF command at or after now, refreshing the next
 // rowsPerREF rows in sequence. It returns the completion time and the rows
-// covered (so callers can restore their charge model).
+// covered (so callers can restore their charge model). The returned slice
+// reuses the bank's row scratch: it is valid only until the next
+// AutoRefresh or NearbyRowRefresh call and must be consumed, not retained.
 func (b *Bank) AutoRefresh(now Time) (done Time, rows []int) {
 	_, end := b.occupy(now, b.timing.TRFC)
-	rows = make([]int, b.rowsPerREF)
+	b.rowScratch = b.rowScratch[:0]
 	for i := 0; i < b.rowsPerREF; i++ {
-		rows[i] = b.refPtr
+		b.rowScratch = append(b.rowScratch, b.refPtr)
 		b.lastRefresh[b.refPtr] = end
 		b.refPtr = (b.refPtr + 1) % b.rows
 	}
 	b.stats.REFCommands++
 	b.stats.RowsAutoRefresh += int64(b.rowsPerREF)
-	return end, rows
+	return end, b.rowScratch
 }
 
 // NearbyRowRefresh executes an NRR command for aggressor row: all rows
 // within distance [1, n] on both sides are refreshed. The bank is occupied
 // for tRC per refreshed row plus one tRP (the accounting of §V-B: "tRC ×
 // the number of victim rows to refresh ... in addition to tRP"). It returns
-// the completion time and the refreshed rows.
+// the completion time and the refreshed rows. The returned slice reuses
+// the bank's row scratch: it is valid only until the next AutoRefresh or
+// NearbyRowRefresh call and must be consumed, not retained.
 func (b *Bank) NearbyRowRefresh(aggressor, n int, now Time) (done Time, refreshed []int, err error) {
 	if aggressor < 0 || aggressor >= b.rows {
 		return 0, nil, fmt.Errorf("dram: NRR aggressor row %d out of range [0,%d)", aggressor, b.rows)
@@ -122,6 +132,7 @@ func (b *Bank) NearbyRowRefresh(aggressor, n int, now Time) (done Time, refreshe
 	if n < 1 {
 		return 0, nil, fmt.Errorf("dram: NRR distance must be >= 1, got %d", n)
 	}
+	refreshed = b.rowScratch[:0]
 	for d := 1; d <= n; d++ {
 		if r := aggressor - d; r >= 0 {
 			refreshed = append(refreshed, r)
@@ -130,6 +141,7 @@ func (b *Bank) NearbyRowRefresh(aggressor, n int, now Time) (done Time, refreshe
 			refreshed = append(refreshed, r)
 		}
 	}
+	b.rowScratch = refreshed
 	dur := Time(len(refreshed))*b.timing.TRC + b.timing.TRP
 	_, end := b.occupy(now, dur)
 	for _, r := range refreshed {

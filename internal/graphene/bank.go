@@ -84,10 +84,12 @@ func (b *Bank) SetRecorder(rec *obs.Recorder, bank int) {
 	b.table.setRecorder(rec, bank, b.Name())
 }
 
-// OnActivate implements mitigation.Mitigator: it advances the reset window
-// to cover now, feeds the activation to the Misra-Gries table, and converts
-// a threshold trigger into a ±Distance victim refresh (§III-B, §III-D).
-func (b *Bank) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
+// AppendOnActivate implements mitigation.Mitigator: it advances the reset
+// window to cover now, feeds the activation to the Misra-Gries table, and
+// converts a threshold trigger into a single in-place append of a
+// ±Distance victim refresh (§III-B, §III-D) — the hot path allocates
+// nothing of its own.
+func (b *Bank) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram.Time) []mitigation.VictimRefresh {
 	for now >= b.windowEnd {
 		b.snapshotWindow()
 		b.table.Reset()
@@ -107,15 +109,17 @@ func (b *Bank) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
 				})
 			}
 		}
-		return nil
+		return dst
 	}
 	b.refreshes++
-	return []mitigation.VictimRefresh{{Aggressor: row, Distance: b.cfg.Distance}}
+	return append(dst, mitigation.VictimRefresh{Aggressor: row, Distance: b.cfg.Distance})
 }
 
-// Tick implements mitigation.Mitigator; Graphene takes no refresh-time
-// action.
-func (b *Bank) Tick(now dram.Time) []mitigation.VictimRefresh { return nil }
+// AppendTick implements mitigation.Mitigator; Graphene takes no
+// refresh-time action.
+func (b *Bank) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {
+	return dst
+}
 
 // Reset implements mitigation.Mitigator.
 func (b *Bank) Reset() {

@@ -34,7 +34,7 @@ func TestBankTriggersEveryTActs(t *testing.T) {
 	var refreshes int
 	for i := int64(1); i <= 3*T; i++ {
 		now += 45 * dram.Nanosecond
-		vrs := b.OnActivate(42, now)
+		vrs := b.AppendOnActivate(nil, 42, now)
 		switch {
 		case i%T == 0 && len(vrs) != 1:
 			t.Fatalf("ACT %d: expected a trigger at multiple of T=%d, got %v", i, T, vrs)
@@ -62,13 +62,13 @@ func TestBankWindowReset(t *testing.T) {
 	T := b.Params().T
 	// Accumulate T-1 ACTs just before the window boundary…
 	for i := int64(0); i < T-1; i++ {
-		if vrs := b.OnActivate(7, 0); len(vrs) != 0 {
+		if vrs := b.AppendOnActivate(nil, 7, 0); len(vrs) != 0 {
 			t.Fatalf("unexpected trigger at ACT %d", i)
 		}
 	}
 	// …then cross the boundary: the table resets and the count restarts.
 	after := b.Params().Window + 1
-	if vrs := b.OnActivate(7, after); len(vrs) != 0 {
+	if vrs := b.AppendOnActivate(nil, 7, after); len(vrs) != 0 {
 		t.Fatalf("trigger fired across a reset window: %v", vrs)
 	}
 	if b.Resets() != 1 {
@@ -86,9 +86,9 @@ func TestBankNonAdjacentDistance(t *testing.T) {
 	}
 	T := b.Params().T
 	for i := int64(0); i < T-1; i++ {
-		b.OnActivate(100, 0)
+		b.AppendOnActivate(nil, 100, 0)
 	}
-	vrs := b.OnActivate(100, 0)
+	vrs := b.AppendOnActivate(nil, 100, 0)
 	if len(vrs) != 1 || vrs[0].Distance != 3 {
 		t.Fatalf("±3 config produced %v, want distance-3 refresh", vrs)
 	}
@@ -114,7 +114,7 @@ func TestBankResetRestoresInitialState(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 1000; i++ {
-		b.OnActivate(i%17, dram.Time(i)*50*dram.Nanosecond)
+		b.AppendOnActivate(nil, i%17, dram.Time(i)*50*dram.Nanosecond)
 	}
 	b.Reset()
 	if b.Resets() != 0 || b.VictimRefreshes() != 0 {
@@ -154,8 +154,8 @@ func driveWithOracle(t *testing.T, cfg Config, rows int, stream func(i int64) in
 			nextRef += refPeriod
 		}
 		row := stream(i)
-		flips += len(o.Activate(row, now))
-		for _, vr := range b.OnActivate(row, now) {
+		flips += len(o.AppendActivate(nil, row, now))
+		for _, vr := range b.AppendOnActivate(nil, row, now) {
 			for d := 1; d <= vr.Distance; d++ {
 				if r := vr.Aggressor - d; r >= 0 {
 					o.RefreshRow(r)
@@ -248,7 +248,7 @@ func TestMitigatorInterfaceCompliance(t *testing.T) {
 	if b.Name() != "graphene-k1" {
 		t.Errorf("Name = %q", b.Name())
 	}
-	if got := b.Tick(0); got != nil {
+	if got := b.AppendTick(nil, 0); got != nil {
 		t.Errorf("Tick returned %v, want nil", got)
 	}
 }
@@ -263,7 +263,7 @@ func TestFactoryBuildsIndependentBanks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m1.OnActivate(5, 0)
+	m1.AppendOnActivate(nil, 5, 0)
 	b2 := m2.(*Bank)
 	if _, ok := b2.Table().EstimatedCount(5); ok {
 		t.Error("factory-built banks share state")
@@ -286,7 +286,7 @@ func TestSpilloverAlertSilentWhenCorrectlySized(t *testing.T) {
 	acts := 2 * b.Params().W
 	for i := int64(0); i < acts; i++ {
 		now := dram.Time(i) * period
-		b.OnActivate(int(i%(1<<12)), now)
+		b.AppendOnActivate(nil, int(i%(1<<12)), now)
 	}
 	if b.Alerts() != 0 {
 		t.Errorf("alert fired %d times on a correctly sized table", b.Alerts())
@@ -306,7 +306,7 @@ func TestSpilloverAlertFiresWhenUndersized(t *testing.T) {
 	acts := 10 * b.Params().W // stream runs 8× faster than derived-for
 	for i := int64(0); i < acts; i++ {
 		now := dram.Time(i) * fast.TRC
-		b.OnActivate(int(i%(1<<12)), now)
+		b.AppendOnActivate(nil, int(i%(1<<12)), now)
 	}
 	if b.Alerts() == 0 {
 		t.Error("undersized table never raised the spillover alert")
@@ -323,7 +323,7 @@ func TestWindowHistoryRecordsCompletedWindows(t *testing.T) {
 	acts := 3 * b.Params().W
 	for i := int64(0); i < acts; i++ {
 		now := dram.Time(i) * 48 * dram.Nanosecond
-		b.OnActivate(600, now)
+		b.AppendOnActivate(nil, 600, now)
 	}
 	hist := b.WindowHistory()
 	if len(hist) < 2 {
@@ -357,7 +357,7 @@ func TestWindowHistoryCapped(t *testing.T) {
 	}
 	// Cross many window boundaries cheaply: one ACT per window.
 	for w := int64(0); w < 40; w++ {
-		b.OnActivate(5, dram.Time(w)*b.Params().Window+1)
+		b.AppendOnActivate(nil, 5, dram.Time(w)*b.Params().Window+1)
 	}
 	if got := len(b.WindowHistory()); got > 16 {
 		t.Errorf("history grew to %d, cap is 16", got)

@@ -149,6 +149,6 @@ func BenchmarkBankOnActivateRealistic(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng.OnActivate(rows[i&(1<<14-1)], 0)
+		eng.AppendOnActivate(nil, rows[i&(1<<14-1)], 0)
 	}
 }

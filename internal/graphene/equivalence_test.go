@@ -208,8 +208,8 @@ func TestOverflowBitBankEquivalence(t *testing.T) {
 			row = 64 + rng.Intn(4000)
 		}
 		now := dram.Time(i) * 47 * dram.Nanosecond
-		a := with.OnActivate(row, now)
-		b := without.OnActivate(row, now)
+		a := with.AppendOnActivate(nil, row, now)
+		b := without.AppendOnActivate(nil, row, now)
 		if len(a) != len(b) {
 			t.Fatalf("ACT %d: refresh count diverged (%d vs %d)", i, len(a), len(b))
 		}
@@ -243,8 +243,8 @@ func TestKChoiceTradesTableForRefreshes(t *testing.T) {
 	// Hammer one row for several windows.
 	for i := int64(0); i < 300_000; i++ {
 		now := dram.Time(i) * timing.TRC
-		k2.OnActivate(600, now)
-		k5.OnActivate(600, now)
+		k2.AppendOnActivate(nil, 600, now)
+		k5.AppendOnActivate(nil, 600, now)
 	}
 	if k5.VictimRefreshes() <= k2.VictimRefreshes() {
 		t.Errorf("k=5 refreshes (%d) not above k=2 (%d) — Fig. 6 trade-off missing",

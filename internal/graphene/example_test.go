@@ -22,7 +22,7 @@ func Example() {
 	var now dram.Time
 	for i := int64(0); i < 2*p.T; i++ {
 		now += 45 * dram.Nanosecond
-		for _, vr := range eng.OnActivate(4242, now) {
+		for _, vr := range eng.AppendOnActivate(nil, 4242, now) {
 			fmt.Printf("refresh ±%d around row %d after %d ACTs\n", vr.Distance, vr.Aggressor, i+1)
 		}
 	}

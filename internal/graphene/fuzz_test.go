@@ -101,7 +101,7 @@ func FuzzBankNeverMissesTheorem(f *testing.F) {
 		for i := int64(0); i < p.W; i++ {
 			row := int(stream[i%int64(len(stream))]) % cfg.Rows
 			now := dram.Time(i) * cfg.Timing.TRC
-			vrs := b.OnActivate(row, now)
+			vrs := b.AppendOnActivate(nil, row, now)
 			if b.Resets() != windows {
 				windows = b.Resets()
 				clear(since)

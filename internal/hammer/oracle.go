@@ -82,15 +82,16 @@ func (o *Oracle) Rows() int { return o.rows }
 // ACTs returns the number of activations observed.
 func (o *Oracle) ACTs() int64 { return o.acts }
 
-// Activate records one ACT on row at time now and returns any victims that
-// flip as a result. Each victim is reported at most once per refresh
-// interval (the latch clears when the row is refreshed).
-func (o *Oracle) Activate(row int, now dram.Time) []Flip {
+// AppendActivate records one ACT on row at time now and appends any
+// victims that flip as a result to dst, returning the extended slice
+// (append-style, so the replay hot path can recycle one staging buffer
+// across ACTs). Each victim is reported at most once per refresh interval
+// (the latch clears when the row is refreshed).
+func (o *Oracle) AppendActivate(dst []Flip, row int, now dram.Time) []Flip {
 	if row < 0 || row >= o.rows {
 		panic(fmt.Sprintf("hammer: activate row %d out of range [0,%d)", row, o.rows))
 	}
 	o.acts++
-	var flips []Flip
 	for d := 1; d <= o.distance; d++ {
 		for _, v := range [2]int{row - d, row + d} {
 			if v < 0 || v >= o.rows {
@@ -101,11 +102,11 @@ func (o *Oracle) Activate(row int, now dram.Time) []Flip {
 				o.flipped[v] = true
 				f := Flip{Victim: v, At: now, Disturbance: o.disturb[v]}
 				o.flips = append(o.flips, f)
-				flips = append(flips, f)
+				dst = append(dst, f)
 			}
 		}
 	}
-	return flips
+	return dst
 }
 
 // RefreshRow restores row's charge: its disturbance accumulator and flip

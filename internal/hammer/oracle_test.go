@@ -35,7 +35,7 @@ func TestSingleSidedFlipAtExactThreshold(t *testing.T) {
 	o := mustOracle(t, 64, 100, 1, nil)
 	var flips []Flip
 	for i := 0; i < 100; i++ {
-		flips = append(flips, o.Activate(10, 0)...)
+		flips = append(flips, o.AppendActivate(nil, 10, 0)...)
 	}
 	if len(flips) != 2 {
 		t.Fatalf("got %d flips, want 2 (rows 9 and 11)", len(flips))
@@ -47,11 +47,11 @@ func TestSingleSidedFlipAtExactThreshold(t *testing.T) {
 	// The flip fires exactly at the TRH-th ACT, not before.
 	o.Reset()
 	for i := 0; i < 99; i++ {
-		if f := o.Activate(10, 0); len(f) != 0 {
+		if f := o.AppendActivate(nil, 10, 0); len(f) != 0 {
 			t.Fatalf("flip fired at ACT %d, want none before 100", i+1)
 		}
 	}
-	if f := o.Activate(10, 0); len(f) != 2 {
+	if f := o.AppendActivate(nil, 10, 0); len(f) != 2 {
 		t.Fatalf("flip did not fire at the 100th ACT: %v", f)
 	}
 }
@@ -61,10 +61,10 @@ func TestDoubleSidedHalvesPerAggressorBudget(t *testing.T) {
 	// only TRH/2 ACTs each.
 	o := mustOracle(t, 64, 100, 1, nil)
 	for i := 0; i < 50; i++ {
-		if f := o.Activate(9, 0); len(f) != 0 && i < 49 {
+		if f := o.AppendActivate(nil, 9, 0); len(f) != 0 && i < 49 {
 			t.Fatalf("premature flip at pair %d", i)
 		}
-		o.Activate(11, 0)
+		o.AppendActivate(nil, 11, 0)
 	}
 	if o.Disturbance(10) != 100 {
 		t.Errorf("victim disturbance = %g, want 100", o.Disturbance(10))
@@ -77,12 +77,12 @@ func TestDoubleSidedHalvesPerAggressorBudget(t *testing.T) {
 func TestRefreshClearsDisturbance(t *testing.T) {
 	o := mustOracle(t, 64, 100, 1, nil)
 	for i := 0; i < 99; i++ {
-		o.Activate(10, 0)
+		o.AppendActivate(nil, 10, 0)
 	}
 	o.RefreshRow(9)
 	o.RefreshRow(11)
 	for i := 0; i < 99; i++ {
-		if f := o.Activate(10, 0); len(f) != 0 {
+		if f := o.AppendActivate(nil, 10, 0); len(f) != 0 {
 			t.Fatalf("flip after refresh at ACT %d", i)
 		}
 	}
@@ -95,14 +95,14 @@ func TestFlipLatchReportsOncePerRefresh(t *testing.T) {
 	o := mustOracle(t, 64, 10, 1, nil)
 	var total int
 	for i := 0; i < 30; i++ {
-		total += len(o.Activate(10, 0))
+		total += len(o.AppendActivate(nil, 10, 0))
 	}
 	if total != 2 { // one per victim, latched afterwards
 		t.Errorf("reported %d flips, want 2 (latched)", total)
 	}
 	o.RefreshRow(9)
 	for i := 0; i < 10; i++ {
-		total += len(o.Activate(10, 0))
+		total += len(o.AppendActivate(nil, 10, 0))
 	}
 	if total != 3 {
 		t.Errorf("after refresh, total = %d, want 3", total)
@@ -111,7 +111,7 @@ func TestFlipLatchReportsOncePerRefresh(t *testing.T) {
 
 func TestNonAdjacentDisturbance(t *testing.T) {
 	o := mustOracle(t, 64, 100, 3, mitigation.InverseSquareMu)
-	o.Activate(10, 0)
+	o.AppendActivate(nil, 10, 0)
 	cases := []struct {
 		row  int
 		want float64
@@ -131,7 +131,7 @@ func TestNonAdjacentDisturbance(t *testing.T) {
 func TestEdgeRowsHaveOneNeighbor(t *testing.T) {
 	o := mustOracle(t, 8, 10, 1, nil)
 	for i := 0; i < 10; i++ {
-		o.Activate(0, 0)
+		o.AppendActivate(nil, 0, 0)
 	}
 	if o.FlipCount() != 1 {
 		t.Errorf("edge aggressor flipped %d victims, want 1 (row 1)", o.FlipCount())
@@ -144,9 +144,9 @@ func TestEdgeRowsHaveOneNeighbor(t *testing.T) {
 func TestMaxDisturbance(t *testing.T) {
 	o := mustOracle(t, 64, 1000, 1, nil)
 	for i := 0; i < 7; i++ {
-		o.Activate(20, 0)
+		o.AppendActivate(nil, 20, 0)
 	}
-	o.Activate(30, 0)
+	o.AppendActivate(nil, 30, 0)
 	row, d := o.MaxDisturbance()
 	if d != 7 || (row != 19 && row != 21) {
 		t.Errorf("MaxDisturbance = row %d, %g; want row 19 or 21 with 7", row, d)
@@ -156,7 +156,7 @@ func TestMaxDisturbance(t *testing.T) {
 func TestResetClearsEverything(t *testing.T) {
 	o := mustOracle(t, 16, 5, 1, nil)
 	for i := 0; i < 10; i++ {
-		o.Activate(8, 0)
+		o.AppendActivate(nil, 8, 0)
 	}
 	o.Reset()
 	if o.FlipCount() != 0 || o.ACTs() != 0 {
@@ -185,7 +185,7 @@ func TestQuickDisturbanceConservation(t *testing.T) {
 			if row == 0 || row == rows-1 {
 				edge++
 			}
-			o.Activate(row, 0)
+			o.AppendActivate(nil, row, 0)
 		}
 		var total float64
 		for i := 0; i < rows; i++ {
@@ -201,10 +201,10 @@ func TestQuickDisturbanceConservation(t *testing.T) {
 func TestTopVictims(t *testing.T) {
 	o := mustOracle(t, 64, 1<<40, 1, nil)
 	for i := 0; i < 9; i++ {
-		o.Activate(20, 0) // victims 19, 21 at 9 each
+		o.AppendActivate(nil, 20, 0) // victims 19, 21 at 9 each
 	}
 	for i := 0; i < 4; i++ {
-		o.Activate(40, 0) // victims 39, 41 at 4 each
+		o.AppendActivate(nil, 40, 0) // victims 39, 41 at 4 each
 	}
 	top := o.TopVictims(3)
 	if len(top) != 3 {

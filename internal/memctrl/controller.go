@@ -164,6 +164,15 @@ type bankState struct {
 	lastExtra int64
 
 	remap remap.Remapper // nil = identity
+
+	// Recycled scratch buffers (API v2, DESIGN.md §9): the steady-state
+	// replay loop hands vrScratch to the mitigator's Append methods,
+	// flipStage to the oracle, and remapScratch to the explicit-row remap
+	// translation, so after warmup no per-ACT heap allocation remains
+	// (TestReplayHotPathZeroAlloc pins this with testing.AllocsPerRun).
+	vrScratch    []mitigation.VictimRefresh
+	flipStage    []hammer.Flip
+	remapScratch []int
 }
 
 // phys translates a logical row to the physical word line.
@@ -368,13 +377,17 @@ func (s *bankState) replayOne(a trace.Access, bi int, out *bankOut) error {
 
 	if s.oracle != nil {
 		// The oracle lives in physical space: disturbance follows
-		// word-line adjacency, not controller addressing.
-		for _, f := range s.oracle.Activate(physRow, start) {
+		// word-line adjacency, not controller addressing. Flips stage
+		// through the recycled buffer; out.flips only grows when a scheme
+		// actually failed.
+		s.flipStage = s.oracle.AppendActivate(s.flipStage[:0], physRow, start)
+		for _, f := range s.flipStage {
 			out.flips = append(out.flips, BankFlip{Bank: bi, Flip: f})
 		}
 	}
 	if s.mit != nil {
-		if err := s.apply(s.mit.OnActivate(a.Row, start), done); err != nil {
+		s.vrScratch = s.mit.AppendOnActivate(s.vrScratch[:0], a.Row, start)
+		if err := s.apply(s.vrScratch, done); err != nil {
 			return err
 		}
 		if s.extraFn != nil {
@@ -406,7 +419,8 @@ func (s *bankState) catchUpREF() error {
 			}
 		}
 		if s.mit != nil {
-			if err := s.apply(s.mit.Tick(s.nextREF), done); err != nil {
+			s.vrScratch = s.mit.AppendTick(s.vrScratch[:0], s.nextREF)
+			if err := s.apply(s.vrScratch, done); err != nil {
 				return err
 			}
 		}
@@ -428,10 +442,11 @@ func (s *bankState) apply(vrs []mitigation.VictimRefresh, at dram.Time) error {
 		if vr.Explicit() {
 			rows = vr.Rows
 			if s.remap != nil {
-				rows = make([]int, len(vr.Rows))
-				for i, r := range vr.Rows {
-					rows[i] = s.remap.ToPhysical(r)
+				s.remapScratch = s.remapScratch[:0]
+				for _, r := range vr.Rows {
+					s.remapScratch = append(s.remapScratch, s.remap.ToPhysical(r))
 				}
+				rows = s.remapScratch
 			}
 			_, err = s.bank.RefreshRows(rows, at)
 		} else {

@@ -359,17 +359,17 @@ func TestTopVictimsReported(t *testing.T) {
 type evilMit struct{ onTick bool }
 
 func (e *evilMit) Name() string { return "evil" }
-func (e *evilMit) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
+func (e *evilMit) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram.Time) []mitigation.VictimRefresh {
 	if e.onTick {
-		return nil
+		return dst
 	}
-	return []mitigation.VictimRefresh{{Rows: []int{1 << 30}}}
+	return append(dst, mitigation.VictimRefresh{Rows: []int{1 << 30}})
 }
-func (e *evilMit) Tick(now dram.Time) []mitigation.VictimRefresh {
+func (e *evilMit) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {
 	if !e.onTick {
-		return nil
+		return dst
 	}
-	return []mitigation.VictimRefresh{{Rows: []int{-1}}}
+	return append(dst, mitigation.VictimRefresh{Rows: []int{-1}})
 }
 func (e *evilMit) Reset()                        {}
 func (e *evilMit) Cost() mitigation.HardwareCost { return mitigation.HardwareCost{} }

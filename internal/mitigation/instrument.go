@@ -61,27 +61,31 @@ func (w *Instrumented) Unwrap() Mitigator { return w.inner }
 // Name implements Mitigator.
 func (w *Instrumented) Name() string { return w.inner.Name() }
 
-// OnActivate implements Mitigator: it forwards to the wrapped scheme and
-// reports whatever refreshes came back.
-func (w *Instrumented) OnActivate(row int, now dram.Time) []VictimRefresh {
+// AppendOnActivate implements Mitigator: it forwards to the wrapped scheme
+// and reports whatever it appended — the dst[pre:] tail, so refreshes a
+// caller (an outer Stack) accumulated from other layers are never
+// double-counted.
+func (w *Instrumented) AppendOnActivate(dst []VictimRefresh, row int, now dram.Time) []VictimRefresh {
 	w.actsC.Inc()
 	w.acts++
-	vrs := w.inner.OnActivate(row, now)
-	if len(vrs) > 0 {
-		w.report(vrs, now)
+	pre := len(dst)
+	dst = w.inner.AppendOnActivate(dst, row, now)
+	if len(dst) > pre {
+		w.report(dst[pre:], now)
 	}
-	return vrs
+	return dst
 }
 
-// Tick implements Mitigator: refresh-time victim refreshes (TWiCe
+// AppendTick implements Mitigator: refresh-time victim refreshes (TWiCe
 // pruning-triggered, PRoHIT piggybacked) report through the same path as
 // activation-triggered ones.
-func (w *Instrumented) Tick(now dram.Time) []VictimRefresh {
-	vrs := w.inner.Tick(now)
-	if len(vrs) > 0 {
-		w.report(vrs, now)
+func (w *Instrumented) AppendTick(dst []VictimRefresh, now dram.Time) []VictimRefresh {
+	pre := len(dst)
+	dst = w.inner.AppendTick(dst, now)
+	if len(dst) > pre {
+		w.report(dst[pre:], now)
 	}
-	return vrs
+	return dst
 }
 
 // report emits one KindNRR event per victim-refresh command and feeds the

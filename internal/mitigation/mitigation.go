@@ -3,10 +3,11 @@
 // used for the paper's area comparisons (Table IV, Fig. 9(a)).
 //
 // A Mitigator instance guards a single DRAM bank, mirroring the paper's
-// per-bank counter tables. The memory controller calls OnActivate for every
-// ACT command it issues to that bank and Tick at every tREFI (where REF
-// commands are scheduled); the mitigator responds with the victim refreshes
-// the controller must perform before the activation stream can continue.
+// per-bank counter tables. The memory controller calls AppendOnActivate for
+// every ACT command it issues to that bank and AppendTick at every tREFI
+// (where REF commands are scheduled); the mitigator appends the victim
+// refreshes the controller must perform before the activation stream can
+// continue into a caller-owned buffer that is recycled between calls.
 package mitigation
 
 import "graphene/internal/dram"
@@ -27,40 +28,54 @@ type VictimRefresh struct {
 func (v VictimRefresh) Explicit() bool { return v.Rows != nil }
 
 // RowCount returns how many rows the refresh touches inside a bank with the
-// given number of rows (edge rows have fewer neighbors).
+// given number of rows (edge rows have fewer neighbors). It runs once per
+// victim command on the replay hot path (Instrumented.report, memctrl's
+// refresh accounting), so the neighbor count is closed-form: the left reach
+// is clipped at row 0, the right reach at the last row.
 func (v VictimRefresh) RowCount(bankRows int) int {
 	if v.Explicit() {
 		return len(v.Rows)
 	}
-	n := 0
-	for d := 1; d <= v.Distance; d++ {
-		if v.Aggressor-d >= 0 {
-			n++
-		}
-		if v.Aggressor+d < bankRows {
-			n++
-		}
+	if v.Distance <= 0 {
+		return 0
 	}
-	return n
+	return min(v.Distance, max(0, v.Aggressor)) +
+		min(v.Distance, max(0, bankRows-1-v.Aggressor))
 }
 
 // Mitigator is one per-bank Row Hammer protection engine.
+//
+// The Append methods follow the standard append contract (API v2,
+// DESIGN.md §9): the callee appends its victim refreshes to dst and
+// returns the extended slice, never shrinking or reordering the prefix
+// dst[:len(dst)] already held. The callee must not retain dst (or the
+// returned slice) past the call; the caller may recycle the buffer between
+// calls, so the memory-controller replay loop performs zero heap
+// allocations per ACT in steady state — matching the paper's argument that
+// per-ACT tracking work hides inside the ACT-to-ACT timing window (§IV-B).
+//
+// Appended VictimRefresh values may carry Rows slices aliasing storage the
+// scheme owns and recycles (CBT's region scratch, PARA's victim cells);
+// they are valid only until the scheme's next AppendOnActivate/AppendTick/
+// Reset call and must be consumed, not retained.
 type Mitigator interface {
 	// Name identifies the scheme (e.g. "graphene", "para", "cbt-128").
 	Name() string
 
-	// OnActivate observes one ACT to the guarded bank and returns the
-	// victim refreshes that must be issued now (possibly none).
-	OnActivate(row int, now dram.Time) []VictimRefresh
+	// AppendOnActivate observes one ACT to the guarded bank and appends
+	// the victim refreshes that must be issued now (possibly none) to dst,
+	// returning the extended slice.
+	AppendOnActivate(dst []VictimRefresh, row int, now dram.Time) []VictimRefresh
 
-	// Tick is called once per tREFI, when the controller schedules the REF
-	// command. Schemes that act at refresh granularity (TWiCe pruning,
-	// PRoHIT's piggybacked target refresh) use it; others ignore it.
-	Tick(now dram.Time) []VictimRefresh
+	// AppendTick is called once per tREFI, when the controller schedules
+	// the REF command. Schemes that act at refresh granularity (TWiCe
+	// pruning, PRoHIT's piggybacked target refresh) append their
+	// refresh-time victim refreshes to dst; others return dst unchanged.
+	AppendTick(dst []VictimRefresh, now dram.Time) []VictimRefresh
 
 	// Reset clears all tracking state (power-on or test reset). Periodic
 	// reset windows are managed internally by each scheme from the times
-	// passed to OnActivate.
+	// passed to AppendOnActivate.
 	Reset()
 
 	// Cost reports the scheme's per-bank hardware cost.

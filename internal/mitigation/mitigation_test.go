@@ -75,6 +75,45 @@ func TestVictimRefreshRowCount(t *testing.T) {
 	}
 }
 
+// rowCountLoop is the pre-closed-form O(Distance) reference: walk every
+// candidate neighbor and count the in-range ones.
+func rowCountLoop(v VictimRefresh, bankRows int) int {
+	if v.Explicit() {
+		return len(v.Rows)
+	}
+	n := 0
+	for d := 1; d <= v.Distance; d++ {
+		if v.Aggressor-d >= 0 {
+			n++
+		}
+		if v.Aggressor+d < bankRows {
+			n++
+		}
+	}
+	return n
+}
+
+func TestVictimRefreshRowCountMatchesLoop(t *testing.T) {
+	// The closed form must agree with the loop everywhere, including
+	// aggressors outside the bank (clamped contributions) and distances
+	// larger than the bank itself.
+	f := func(aggr int16, dist uint8, rows uint16) bool {
+		v := VictimRefresh{Aggressor: int(aggr), Distance: int(dist)}
+		bankRows := int(rows) + 1
+		return v.RowCount(bankRows) == rowCountLoop(v, bankRows)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10_000}); err != nil {
+		t.Error(err)
+	}
+	// Degenerate distances the generator can't produce.
+	for _, d := range []int{0, -3} {
+		v := VictimRefresh{Aggressor: 10, Distance: d}
+		if got := v.RowCount(1024); got != 0 {
+			t.Errorf("RowCount with distance %d = %d, want 0", d, got)
+		}
+	}
+}
+
 func TestVictimRefreshExplicit(t *testing.T) {
 	if (VictimRefresh{Aggressor: 5, Distance: 1}).Explicit() {
 		t.Error("aggressor-style refresh reported explicit")

@@ -44,22 +44,21 @@ func (s *Stack) Name() string {
 // Layers returns the composed mitigators, outermost first.
 func (s *Stack) Layers() []Mitigator { return append([]Mitigator(nil), s.layers...) }
 
-// OnActivate implements Mitigator.
-func (s *Stack) OnActivate(row int, now dram.Time) []VictimRefresh {
-	var out []VictimRefresh
+// AppendOnActivate implements Mitigator: every layer appends into the same
+// caller buffer in layer order — no per-layer slice, no concatenation.
+func (s *Stack) AppendOnActivate(dst []VictimRefresh, row int, now dram.Time) []VictimRefresh {
 	for _, l := range s.layers {
-		out = append(out, l.OnActivate(row, now)...)
+		dst = l.AppendOnActivate(dst, row, now)
 	}
-	return out
+	return dst
 }
 
-// Tick implements Mitigator.
-func (s *Stack) Tick(now dram.Time) []VictimRefresh {
-	var out []VictimRefresh
+// AppendTick implements Mitigator.
+func (s *Stack) AppendTick(dst []VictimRefresh, now dram.Time) []VictimRefresh {
 	for _, l := range s.layers {
-		out = append(out, l.Tick(now)...)
+		dst = l.AppendTick(dst, now)
 	}
-	return out
+	return dst
 }
 
 // Reset implements Mitigator.

@@ -18,13 +18,13 @@ type fakeMit struct {
 }
 
 func (f *fakeMit) Name() string { return f.name }
-func (f *fakeMit) OnActivate(row int, now dram.Time) []VictimRefresh {
+func (f *fakeMit) AppendOnActivate(dst []VictimRefresh, row int, now dram.Time) []VictimRefresh {
 	f.actsSeen++
-	return f.onAct
+	return append(dst, f.onAct...)
 }
-func (f *fakeMit) Tick(now dram.Time) []VictimRefresh {
+func (f *fakeMit) AppendTick(dst []VictimRefresh, now dram.Time) []VictimRefresh {
 	f.ticksSeen++
-	return f.onTick
+	return append(dst, f.onTick...)
 }
 func (f *fakeMit) Reset()             { f.resets++ }
 func (f *fakeMit) Cost() HardwareCost { return f.cost }
@@ -39,16 +39,16 @@ func TestStackFansOutAndMerges(t *testing.T) {
 	if s.Name() != "a+b" {
 		t.Errorf("Name = %q", s.Name())
 	}
-	vrs := s.OnActivate(5, 0)
+	vrs := s.AppendOnActivate(nil, 5, 0)
 	if len(vrs) != 1 || vrs[0].Aggressor != 1 {
-		t.Errorf("OnActivate merged %v", vrs)
+		t.Errorf("AppendOnActivate merged %v", vrs)
 	}
 	if a.actsSeen != 1 || b.actsSeen != 1 {
 		t.Error("not every layer observed the ACT")
 	}
-	tvrs := s.Tick(0)
+	tvrs := s.AppendTick(nil, 0)
 	if len(tvrs) != 1 || !tvrs[0].Explicit() {
-		t.Errorf("Tick merged %v", tvrs)
+		t.Errorf("AppendTick merged %v", tvrs)
 	}
 	s.Reset()
 	if a.resets != 1 || b.resets != 1 {

@@ -55,6 +55,11 @@ type MRLoc struct {
 	queue []int       // victim history, head = oldest
 	pos   map[int]int // victim row -> index in queue
 
+	// victimCells backs the single-row Rows slices of appended refreshes —
+	// one cell per side, recycled every AppendOnActivate (API v2 contract,
+	// DESIGN.md §9).
+	victimCells [2]int
+
 	refreshes int64
 }
 
@@ -103,10 +108,10 @@ func (m *MRLoc) probability(idx int) float64 {
 	return min(1, p)
 }
 
-// OnActivate implements mitigation.Mitigator.
-func (m *MRLoc) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
-	var out []mitigation.VictimRefresh
-	for _, victim := range [2]int{row - 1, row + 1} {
+// AppendOnActivate implements mitigation.Mitigator. Appended Rows slices
+// alias m's recycled victim cells and are valid only until the next call.
+func (m *MRLoc) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram.Time) []mitigation.VictimRefresh {
+	for side, victim := range [2]int{row - 1, row + 1} {
 		if victim < 0 || victim >= m.cfg.Rows {
 			continue
 		}
@@ -116,11 +121,12 @@ func (m *MRLoc) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
 		}
 		if p > 0 && m.rng.Float64() < p {
 			m.refreshes++
-			out = append(out, mitigation.VictimRefresh{Rows: []int{victim}})
+			m.victimCells[side] = victim
+			dst = append(dst, mitigation.VictimRefresh{Rows: m.victimCells[side : side+1 : side+1]})
 		}
 		m.enqueue(victim)
 	}
-	return out
+	return dst
 }
 
 // enqueue moves victim to the queue tail, evicting the oldest entry when
@@ -147,8 +153,11 @@ func (m *MRLoc) enqueue(victim int) {
 	m.pos[victim] = len(m.queue) - 1
 }
 
-// Tick implements mitigation.Mitigator; MRLoc takes no refresh-time action.
-func (m *MRLoc) Tick(now dram.Time) []mitigation.VictimRefresh { return nil }
+// AppendTick implements mitigation.Mitigator; MRLoc takes no refresh-time
+// action.
+func (m *MRLoc) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {
+	return dst
+}
 
 // Reset implements mitigation.Mitigator.
 func (m *MRLoc) Reset() {

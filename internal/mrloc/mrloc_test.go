@@ -38,15 +38,15 @@ func TestQueueTracksVictims(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.OnActivate(100, 0) // victims 99, 101
+	m.AppendOnActivate(nil, 100, 0) // victims 99, 101
 	if m.QueueLen() != 2 {
 		t.Errorf("queue len = %d, want 2", m.QueueLen())
 	}
-	m.OnActivate(100, 0) // re-enqueue, no growth
+	m.AppendOnActivate(nil, 100, 0) // re-enqueue, no growth
 	if m.QueueLen() != 2 {
 		t.Errorf("queue len = %d, want 2 after repeat", m.QueueLen())
 	}
-	m.OnActivate(200, 0)
+	m.AppendOnActivate(nil, 200, 0)
 	if m.QueueLen() != 4 {
 		t.Errorf("queue len = %d, want 4", m.QueueLen())
 	}
@@ -58,7 +58,7 @@ func TestQueueEvictsOldest(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, row := range []int{10, 20, 30} { // 6 victims through a 4-queue
-		m.OnActivate(row, 0)
+		m.AppendOnActivate(nil, row, 0)
 	}
 	if m.QueueLen() != 4 {
 		t.Errorf("queue len = %d, want cap 4", m.QueueLen())
@@ -82,7 +82,7 @@ func TestBoostRaisesTrackedVictimProbability(t *testing.T) {
 	const acts = 200_000
 	var refreshes int
 	for i := 0; i < acts; i++ {
-		refreshes += len(m.OnActivate(100, 0)) // victims always queued after 1st
+		refreshes += len(m.AppendOnActivate(nil, 100, 0)) // victims always queued after 1st
 	}
 	rate := float64(refreshes) / float64(2*acts) // 2 victims per ACT
 	if rate < 5*base {
@@ -103,7 +103,7 @@ func TestFig7bPatternCollapsesToPara(t *testing.T) {
 	var refreshes int
 	for i := 0; i < acts; i++ {
 		row := 100 + (i%8)*5
-		refreshes += len(m.OnActivate(row, 0))
+		refreshes += len(m.AppendOnActivate(nil, row, 0))
 	}
 	rate := float64(refreshes) / float64(2*acts)
 	if math.Abs(rate-base) > base*0.15 {
@@ -118,7 +118,7 @@ func TestDeterministicBySeed(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < 10_000; i++ {
-			m.OnActivate(50+(i%10)*4, 0)
+			m.AppendOnActivate(nil, 50+(i%10)*4, 0)
 		}
 		return m.VictimRefreshes()
 	}
@@ -133,7 +133,7 @@ func TestResetClears(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 100; i++ {
-		m.OnActivate(i*3, 0)
+		m.AppendOnActivate(nil, i*3, 0)
 	}
 	m.Reset()
 	if m.QueueLen() != 0 || m.VictimRefreshes() != 0 {
@@ -157,7 +157,7 @@ func TestEdgeVictimsSkipped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, vr := range m.OnActivate(0, 0) {
+	for _, vr := range m.AppendOnActivate(nil, 0, 0) {
 		if vr.Rows[0] < 0 || vr.Rows[0] >= 8 {
 			t.Errorf("victim %d out of bank", vr.Rows[0])
 		}

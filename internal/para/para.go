@@ -45,6 +45,11 @@ type Para struct {
 	cfg Config
 	rng *rand.Rand
 
+	// victimCells backs the single-row Rows slices of appended refreshes —
+	// one cell per protected distance, recycled every AppendOnActivate
+	// (API v2 scratch-ownership contract, DESIGN.md §9).
+	victimCells []int
+
 	refreshes int64
 }
 
@@ -66,7 +71,11 @@ func New(cfg Config) (*Para, error) {
 	if cfg.Rows < 0 {
 		return nil, fmt.Errorf("para: rows must be positive, got %d", cfg.Rows)
 	}
-	return &Para{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+	return &Para{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		victimCells: make([]int, len(cfg.Probabilities)),
+	}, nil
 }
 
 // Name implements mitigation.Mitigator. Classic ±1 PARA keeps the
@@ -87,10 +96,11 @@ func (p *Para) Name() string {
 // VictimRefreshes returns the number of rows refreshed so far.
 func (p *Para) VictimRefreshes() int64 { return p.refreshes }
 
-// OnActivate implements mitigation.Mitigator: for every protected distance
-// d, with probability p_d it refreshes one of the two rows d away.
-func (p *Para) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
-	var out []mitigation.VictimRefresh
+// AppendOnActivate implements mitigation.Mitigator: for every protected
+// distance d, with probability p_d it refreshes one of the two rows d away.
+// The appended Rows slices alias p's recycled victim cells and are valid
+// only until the next call.
+func (p *Para) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram.Time) []mitigation.VictimRefresh {
 	for d, prob := range p.cfg.Probabilities {
 		if prob == 0 || p.rng.Float64() >= prob {
 			continue
@@ -103,13 +113,17 @@ func (p *Para) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
 			continue
 		}
 		p.refreshes++
-		out = append(out, mitigation.VictimRefresh{Rows: []int{victim}})
+		p.victimCells[d] = victim
+		dst = append(dst, mitigation.VictimRefresh{Rows: p.victimCells[d : d+1 : d+1]})
 	}
-	return out
+	return dst
 }
 
-// Tick implements mitigation.Mitigator; PARA takes no refresh-time action.
-func (p *Para) Tick(now dram.Time) []mitigation.VictimRefresh { return nil }
+// AppendTick implements mitigation.Mitigator; PARA takes no refresh-time
+// action.
+func (p *Para) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {
+	return dst
+}
 
 // Reset implements mitigation.Mitigator: PARA is stateless apart from its
 // RNG, which is reseeded for reproducibility.

@@ -28,7 +28,7 @@ func TestRefreshRateMatchesProbability(t *testing.T) {
 	}
 	var refreshes int64
 	for i := 0; i < acts; i++ {
-		refreshes += int64(len(eng.OnActivate(1000, 0)))
+		refreshes += int64(len(eng.AppendOnActivate(nil, 1000, 0)))
 	}
 	got := float64(refreshes) / acts
 	if math.Abs(got-p) > p*0.1 {
@@ -46,7 +46,7 @@ func TestVictimsAreAdjacent(t *testing.T) {
 	}
 	sides := map[int]int{}
 	for i := 0; i < 10_000; i++ {
-		for _, vr := range eng.OnActivate(100, 0) {
+		for _, vr := range eng.AppendOnActivate(nil, 100, 0) {
 			if !vr.Explicit() || len(vr.Rows) != 1 {
 				t.Fatalf("unexpected refresh %+v", vr)
 			}
@@ -75,7 +75,7 @@ func TestNonAdjacentProbabilities(t *testing.T) {
 	byDist := map[int]int{}
 	const acts = 200_000
 	for i := 0; i < acts; i++ {
-		for _, vr := range eng.OnActivate(500, 0) {
+		for _, vr := range eng.AppendOnActivate(nil, 500, 0) {
 			d := vr.Rows[0] - 500
 			if d < 0 {
 				d = -d
@@ -99,7 +99,7 @@ func TestEdgeVictimsDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 100; i++ {
-		for _, vr := range eng.OnActivate(0, 0) {
+		for _, vr := range eng.AppendOnActivate(nil, 0, 0) {
 			if vr.Rows[0] < 0 || vr.Rows[0] >= 4 {
 				t.Fatalf("victim %d out of bank", vr.Rows[0])
 			}
@@ -115,7 +115,7 @@ func TestDeterministicBySeed(t *testing.T) {
 		}
 		var out []int
 		for i := 0; i < 1000; i++ {
-			for _, vr := range eng.OnActivate(i%50+100, 0) {
+			for _, vr := range eng.AppendOnActivate(nil, i%50+100, 0) {
 				out = append(out, vr.Rows[0])
 			}
 		}
@@ -139,7 +139,7 @@ func TestResetReseeds(t *testing.T) {
 	}
 	var first []int
 	for i := 0; i < 100; i++ {
-		for _, vr := range eng.OnActivate(200, 0) {
+		for _, vr := range eng.AppendOnActivate(nil, 200, 0) {
 			first = append(first, vr.Rows[0])
 		}
 	}
@@ -149,7 +149,7 @@ func TestResetReseeds(t *testing.T) {
 	}
 	var second []int
 	for i := 0; i < 100; i++ {
-		for _, vr := range eng.OnActivate(200, 0) {
+		for _, vr := range eng.AppendOnActivate(nil, 200, 0) {
 			second = append(second, vr.Rows[0])
 		}
 	}
@@ -206,8 +206,8 @@ func TestFactoryIndependentStreams(t *testing.T) {
 	}
 	same := true
 	for i := 0; i < 200; i++ {
-		a := m1.OnActivate(100, 0)
-		b := m2.OnActivate(100, 0)
+		a := m1.AppendOnActivate(nil, 100, 0)
+		b := m2.AppendOnActivate(nil, 100, 0)
 		if len(a) != len(b) {
 			same = false
 			break

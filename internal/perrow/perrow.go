@@ -97,28 +97,29 @@ func (p *PerRow) VictimRefreshes() int64 { return p.refreshes }
 // Count returns row's current activation count.
 func (p *PerRow) Count(row int) int64 { return p.counts[row] }
 
-// OnActivate implements mitigation.Mitigator.
-func (p *PerRow) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
+// AppendOnActivate implements mitigation.Mitigator.
+func (p *PerRow) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram.Time) []mitigation.VictimRefresh {
 	if row < 0 || row >= p.cfg.Rows {
 		panic(fmt.Sprintf("perrow: row %d out of range [0,%d)", row, p.cfg.Rows))
 	}
 	p.counts[row]++
 	if p.counts[row] < p.threshold {
-		return nil
+		return dst
 	}
 	p.counts[row] = 0
 	p.refreshes++
-	return []mitigation.VictimRefresh{{Aggressor: row, Distance: p.cfg.Distance}}
+	return append(dst, mitigation.VictimRefresh{Aggressor: row, Distance: p.cfg.Distance})
 }
 
-// Tick implements mitigation.Mitigator: clear the counters of the rows the
-// auto-refresh routine just covered (their victims are clean again).
-func (p *PerRow) Tick(now dram.Time) []mitigation.VictimRefresh {
+// AppendTick implements mitigation.Mitigator: clear the counters of the
+// rows the auto-refresh routine just covered (their victims are clean
+// again).
+func (p *PerRow) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {
 	for i := 0; i < p.rowsPerTick; i++ {
 		p.counts[p.clearPtr] = 0
 		p.clearPtr = (p.clearPtr + 1) % p.cfg.Rows
 	}
-	return nil
+	return dst
 }
 
 // Reset implements mitigation.Mitigator.

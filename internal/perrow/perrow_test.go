@@ -35,11 +35,11 @@ func TestTriggerAtThreshold(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := int64(1); i < p.Threshold(); i++ {
-		if vrs := p.OnActivate(9, 0); len(vrs) != 0 {
+		if vrs := p.AppendOnActivate(nil, 9, 0); len(vrs) != 0 {
 			t.Fatalf("premature refresh at ACT %d", i)
 		}
 	}
-	vrs := p.OnActivate(9, 0)
+	vrs := p.AppendOnActivate(nil, 9, 0)
 	if len(vrs) != 1 || vrs[0].Aggressor != 9 {
 		t.Fatalf("at threshold: %v", vrs)
 	}
@@ -53,10 +53,10 @@ func TestTickClearsRefreshedRows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.OnActivate(0, 0)
-	p.OnActivate(1, 0)
+	p.AppendOnActivate(nil, 0, 0)
+	p.AppendOnActivate(nil, 1, 0)
 	// Ticks clear rows in rolling order starting at 0.
-	p.Tick(0)
+	p.AppendTick(nil, 0)
 	if p.Count(0) != 0 {
 		t.Error("tick did not clear the refreshed row's counter")
 	}
@@ -143,7 +143,7 @@ func TestResetClears(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 100; i++ {
-		p.OnActivate(5, 0)
+		p.AppendOnActivate(nil, 5, 0)
 	}
 	p.Reset()
 	if p.Count(5) != 0 || p.VictimRefreshes() != 0 {

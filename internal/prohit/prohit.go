@@ -68,6 +68,10 @@ type PRoHIT struct {
 	hot  []int // hot[0] is the top candidate for refresh
 	cold []int
 
+	// victimCell backs the single-row Rows slice of a tick-time refresh,
+	// recycled every AppendTick (API v2 contract, DESIGN.md §9).
+	victimCell [1]int
+
 	refreshes int64
 }
 
@@ -108,9 +112,9 @@ func index(s []int, v int) int {
 	return -1
 }
 
-// OnActivate implements mitigation.Mitigator: probabilistic history-table
-// maintenance; refreshes are only issued at REF ticks.
-func (p *PRoHIT) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
+// AppendOnActivate implements mitigation.Mitigator: probabilistic
+// history-table maintenance; refreshes are only issued at REF ticks.
+func (p *PRoHIT) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram.Time) []mitigation.VictimRefresh {
 	for _, victim := range [2]int{row - 1, row + 1} {
 		if victim < 0 || victim >= p.cfg.Rows {
 			continue
@@ -142,22 +146,23 @@ func (p *PRoHIT) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
 		}
 		p.cold = append(p.cold, victim)
 	}
-	return nil
+	return dst
 }
 
-// Tick implements mitigation.Mitigator: at each REF command, with
+// AppendTick implements mitigation.Mitigator: at each REF command, with
 // probability TickRefreshP, the current top of the hot table is refreshed.
 // The entry is neither retired nor reordered: hot-table order changes only
 // through hit-driven move-ups, so the refresh budget follows access
 // frequency — "the more frequently accessed rows are more likely to be
 // chosen for victim row refreshes" (§V-A). Victims that rarely climb the
 // table are starved, which is exactly the Fig. 7(a) vulnerability.
-func (p *PRoHIT) Tick(now dram.Time) []mitigation.VictimRefresh {
+func (p *PRoHIT) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {
 	if len(p.hot) == 0 || p.rng.Float64() >= p.cfg.TickRefreshP {
-		return nil
+		return dst
 	}
 	p.refreshes++
-	return []mitigation.VictimRefresh{{Rows: []int{p.hot[0]}}}
+	p.victimCell[0] = p.hot[0]
+	return append(dst, mitigation.VictimRefresh{Rows: p.victimCell[:]})
 }
 
 // Reset implements mitigation.Mitigator.

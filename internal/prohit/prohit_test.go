@@ -37,11 +37,11 @@ func TestVictimsPromoteColdToHot(t *testing.T) {
 		t.Fatal(err)
 	}
 	// First sighting: cold. Second: promoted to hot.
-	p.OnActivate(100, 0)
+	p.AppendOnActivate(nil, 100, 0)
 	if len(p.hot) != 0 || len(p.cold) != 2 {
 		t.Fatalf("after 1 ACT: hot %v cold %v, want victims in cold", p.hot, p.cold)
 	}
-	p.OnActivate(100, 0)
+	p.AppendOnActivate(nil, 100, 0)
 	if len(p.hot) != 2 {
 		t.Fatalf("after 2 ACTs: hot %v, want both victims promoted", p.hot)
 	}
@@ -54,9 +54,9 @@ func TestHotTableOrdersByFrequency(t *testing.T) {
 	}
 	// Hammer row 100 often, row 200 rarely: 100's victims bubble to top.
 	for i := 0; i < 50; i++ {
-		p.OnActivate(100, 0)
+		p.AppendOnActivate(nil, 100, 0)
 		if i%10 == 0 {
-			p.OnActivate(200, 0)
+			p.AppendOnActivate(nil, 200, 0)
 		}
 	}
 	hot := p.HotTable()
@@ -73,10 +73,10 @@ func TestTickRefreshesTopHotEntry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.OnActivate(100, 0)
-	p.OnActivate(100, 0) // victims now hot
+	p.AppendOnActivate(nil, 100, 0)
+	p.AppendOnActivate(nil, 100, 0) // victims now hot
 	before := append([]int(nil), p.hot...)
-	vrs := p.Tick(0)
+	vrs := p.AppendTick(nil, 0)
 	if len(vrs) != 1 || len(vrs[0].Rows) != 1 || vrs[0].Rows[0] != before[0] {
 		t.Fatalf("Tick produced %v, want refresh of hot top %d", vrs, before[0])
 	}
@@ -99,8 +99,8 @@ func TestTickAlternatesBetweenHotEntries(t *testing.T) {
 	}
 	counts := map[int]int{}
 	for i := 0; i < 20_000; i++ {
-		p.OnActivate(100, 0)
-		for _, vr := range p.Tick(0) {
+		p.AppendOnActivate(nil, 100, 0)
+		for _, vr := range p.AppendTick(nil, 0) {
 			counts[vr.Rows[0]]++
 		}
 	}
@@ -121,7 +121,7 @@ func TestTickOnEmptyHotTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if vrs := p.Tick(0); vrs != nil {
+	if vrs := p.AppendTick(nil, 0); vrs != nil {
 		t.Errorf("Tick on empty hot table returned %v", vrs)
 	}
 }
@@ -134,9 +134,9 @@ func TestTickBudgetMatchesProbability(t *testing.T) {
 	const ticks = 100_000
 	var refreshes int64
 	for i := 0; i < ticks; i++ {
-		p.OnActivate(100, 0) // keep the hot table populated
-		p.OnActivate(100, 0)
-		refreshes += int64(len(p.Tick(dram.Time(i))))
+		p.AppendOnActivate(nil, 100, 0) // keep the hot table populated
+		p.AppendOnActivate(nil, 100, 0)
+		refreshes += int64(len(p.AppendTick(nil, dram.Time(i))))
 	}
 	rate := float64(refreshes) / ticks
 	if rate < 0.22 || rate > 0.28 {
@@ -156,9 +156,9 @@ func TestStarvationOfInfrequentVictims(t *testing.T) {
 	outer := map[int]bool{94: true, 106: true}
 	outerRefreshes, totalRefreshes := 0, 0
 	for i := 0; i < 30_000; i++ {
-		p.OnActivate(seq[i%len(seq)], 0)
+		p.AppendOnActivate(nil, seq[i%len(seq)], 0)
 		if i%20 == 0 {
-			for _, vr := range p.Tick(0) {
+			for _, vr := range p.AppendTick(nil, 0) {
 				totalRefreshes++
 				if outer[vr.Rows[0]] {
 					outerRefreshes++
@@ -181,7 +181,7 @@ func TestResetClears(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 50; i++ {
-		p.OnActivate(i*3, 0)
+		p.AppendOnActivate(nil, i*3, 0)
 	}
 	p.Reset()
 	if len(p.hot) != 0 || len(p.cold) != 0 || p.VictimRefreshes() != 0 {

@@ -77,7 +77,7 @@ func TestBuildSchemeDistancePropagates(t *testing.T) {
 	// Drive the engine to a trigger and verify the refresh reach is ±3.
 	var dist int
 	for i := 0; i < 100_000; i++ {
-		if vrs := m.OnActivate(500, 0); len(vrs) > 0 {
+		if vrs := m.AppendOnActivate(nil, 500, 0); len(vrs) > 0 {
 			dist = vrs[0].Distance
 			break
 		}

@@ -143,12 +143,11 @@ func canonicalize(res memctrl.Result, rec *obs.Recorder, sink *obs.Collect) (gol
 
 func TestGoldenSchemeDifferential(t *testing.T) {
 	sc := goldenScale()
-	schemes := goldenSchemes(t, sc)
 	workloads := goldenWorkloads(sc)
 	update := os.Getenv("UPDATE_GOLDEN") != ""
 
 	var labels []string
-	for label := range schemes {
+	for label := range goldenSchemes(t, sc) {
 		labels = append(labels, label)
 	}
 	sort.Strings(labels)
@@ -163,12 +162,17 @@ func TestGoldenSchemeDifferential(t *testing.T) {
 			label, wl := label, wl
 			t.Run(label+"/"+wl, func(t *testing.T) {
 				t.Parallel()
+				// A fresh factory set per subtest: the seeded factories
+				// (TRR, PARA) advance a per-closure counter on every bank
+				// build, so sharing one closure across parallel subtests
+				// would make seeds depend on goroutine scheduling.
+				factory := goldenSchemes(t, sc)[label]
 				rec := obs.New()
 				sink := &obs.Collect{}
 				rec.SetSink(sink)
 				res, err := memctrl.Run(memctrl.Config{
 					Geometry: sc.Geometry, Timing: sc.Timing,
-					Factory: schemes[label],
+					Factory: factory,
 					TRH:     goldenTRH,
 					Obs:     rec,
 				}, workloads[wl]())

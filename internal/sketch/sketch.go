@@ -161,8 +161,8 @@ func (c *CMS) Estimate(row int) int64 {
 	return est
 }
 
-// OnActivate implements mitigation.Mitigator.
-func (c *CMS) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
+// AppendOnActivate implements mitigation.Mitigator.
+func (c *CMS) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram.Time) []mitigation.VictimRefresh {
 	for now >= c.windowEnd {
 		c.reset()
 		c.windowEnd += c.window
@@ -172,15 +172,17 @@ func (c *CMS) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
 	}
 	est := c.Estimate(row)
 	if est < c.t || est < c.lastTrigger[row]+c.t {
-		return nil
+		return dst
 	}
 	c.lastTrigger[row] = est
 	c.refreshes++
-	return []mitigation.VictimRefresh{{Aggressor: row, Distance: c.cfg.Distance}}
+	return append(dst, mitigation.VictimRefresh{Aggressor: row, Distance: c.cfg.Distance})
 }
 
-// Tick implements mitigation.Mitigator.
-func (c *CMS) Tick(now dram.Time) []mitigation.VictimRefresh { return nil }
+// AppendTick implements mitigation.Mitigator.
+func (c *CMS) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {
+	return dst
+}
 
 func (c *CMS) reset() {
 	for d := range c.counts {

@@ -29,7 +29,7 @@ func TestCMSNeverUnderestimates(t *testing.T) {
 	for i := 0; i < 50_000; i++ {
 		row := (i * 37) % 300
 		actual[row]++
-		c.OnActivate(row, 0)
+		c.AppendOnActivate(nil, row, 0)
 		if i%1000 == 0 {
 			for r, a := range actual {
 				if est := c.Estimate(r); est < a {
@@ -69,7 +69,7 @@ func TestSpaceSavingOverestimates(t *testing.T) {
 	for i := 0; i < 50_000; i++ {
 		row := (i*i + i) % 500 // skewed reuse
 		actual[row]++
-		s.OnActivate(row, 0)
+		s.AppendOnActivate(nil, row, 0)
 	}
 	for r, a := range actual {
 		if est := s.Estimate(r); est != 0 && est < a {
@@ -160,7 +160,7 @@ func TestSpaceSavingMatchesNaiveReference(t *testing.T) {
 			ref := newSSRef(nentry, s.T())
 			for i := 0; i < 6000; i++ {
 				row := rowAt(i)
-				got := len(s.OnActivate(row, 0)) > 0 // now=0: no window resets
+				got := len(s.AppendOnActivate(nil, row, 0)) > 0 // now=0: no window resets
 				if want := ref.observe(row); got != want {
 					t.Fatalf("step %d row %d: trigger %v, reference %v", i, row, got, want)
 				}
@@ -192,7 +192,7 @@ func TestSpaceSavingDeterministicUnderTies(t *testing.T) {
 	a, b := mk(), mk()
 	for i := 0; i < 20_000; i++ {
 		row := (i * 7) % 24 // 4× capacity: every miss evicts among ties
-		if ga, gb := len(a.OnActivate(row, 0)), len(b.OnActivate(row, 0)); ga != gb {
+		if ga, gb := len(a.AppendOnActivate(nil, row, 0)), len(b.AppendOnActivate(nil, row, 0)); ga != gb {
 			t.Fatalf("step %d row %d: %d refreshes vs %d", i, row, ga, gb)
 		}
 	}

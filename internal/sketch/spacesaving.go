@@ -144,8 +144,8 @@ func (s *SpaceSaving) Estimate(row int) int64 {
 	return n.bucket.count
 }
 
-// OnActivate implements mitigation.Mitigator.
-func (s *SpaceSaving) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
+// AppendOnActivate implements mitigation.Mitigator.
+func (s *SpaceSaving) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram.Time) []mitigation.VictimRefresh {
 	for now >= s.windowEnd {
 		s.resetWindow()
 		s.windowEnd += s.window
@@ -170,11 +170,11 @@ func (s *SpaceSaving) OnActivate(row int, now dram.Time) []mitigation.VictimRefr
 		s.insert(row, est)
 	}
 	if est < s.t || est < s.trigger[row]+s.t {
-		return nil
+		return dst
 	}
 	s.trigger[row] = est
 	s.refreshes++
-	return []mitigation.VictimRefresh{{Aggressor: row, Distance: s.cfg.Distance}}
+	return append(dst, mitigation.VictimRefresh{Aggressor: row, Distance: s.cfg.Distance})
 }
 
 // bump moves n to the count+1 bucket and returns the new estimate.
@@ -310,8 +310,10 @@ func (s *SpaceSaving) unlinkBucket(b *ssBucket) {
 	s.freeB = b
 }
 
-// Tick implements mitigation.Mitigator.
-func (s *SpaceSaving) Tick(now dram.Time) []mitigation.VictimRefresh { return nil }
+// AppendTick implements mitigation.Mitigator.
+func (s *SpaceSaving) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {
+	return dst
+}
 
 func (s *SpaceSaving) resetWindow() {
 	for b := s.head; b != nil; {

@@ -113,19 +113,19 @@ func (t *TRR) Sampler() []int {
 	return out
 }
 
-// OnActivate implements mitigation.Mitigator: probabilistic sampling into
-// the tiny candidate table. A sampled row already present bumps its count;
-// otherwise it takes a free slot, or evicts the weakest candidate — the
-// capacity limit many-sided attacks exploit.
-func (t *TRR) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
+// AppendOnActivate implements mitigation.Mitigator: probabilistic sampling
+// into the tiny candidate table. A sampled row already present bumps its
+// count; otherwise it takes a free slot, or evicts the weakest candidate —
+// the capacity limit many-sided attacks exploit.
+func (t *TRR) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram.Time) []mitigation.VictimRefresh {
 	if t.cfg.SampleP < 1 && t.rng.Float64() >= t.cfg.SampleP {
-		return nil
+		return dst
 	}
 	weakest := -1
 	for i := range t.sampler {
 		if t.sampler[i].row == row {
 			t.sampler[i].count++
-			return nil
+			return dst
 		}
 		if weakest < 0 || t.sampler[i].count < t.sampler[weakest].count {
 			weakest = i
@@ -133,21 +133,21 @@ func (t *TRR) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
 	}
 	if len(t.sampler) < t.cfg.SamplerEntries {
 		t.sampler = append(t.sampler, candidate{row: row, count: 1})
-		return nil
+		return dst
 	}
 	// Evict the weakest candidate; the newcomer does not inherit its
 	// count (unlike Misra-Gries — this is what breaks the guarantee).
 	t.sampler[weakest] = candidate{row: row, count: 1}
-	return nil
+	return dst
 }
 
-// Tick implements mitigation.Mitigator: on every RefreshEvery-th REF, the
-// strongest candidate's neighborhood is refreshed and the candidate is
-// retired.
-func (t *TRR) Tick(now dram.Time) []mitigation.VictimRefresh {
+// AppendTick implements mitigation.Mitigator: on every RefreshEvery-th
+// REF, the strongest candidate's neighborhood is refreshed and the
+// candidate is retired.
+func (t *TRR) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {
 	t.ticks++
 	if t.ticks%int64(t.cfg.RefreshEvery) != 0 || len(t.sampler) == 0 {
-		return nil
+		return dst
 	}
 	strongest := 0
 	for i := range t.sampler {
@@ -158,7 +158,7 @@ func (t *TRR) Tick(now dram.Time) []mitigation.VictimRefresh {
 	row := t.sampler[strongest].row
 	t.sampler = append(t.sampler[:strongest], t.sampler[strongest+1:]...)
 	t.refreshes++
-	return []mitigation.VictimRefresh{{Aggressor: row, Distance: t.cfg.Distance}}
+	return append(dst, mitigation.VictimRefresh{Aggressor: row, Distance: t.cfg.Distance})
 }
 
 // Reset implements mitigation.Mitigator.

@@ -37,13 +37,13 @@ func TestSamplerTracksAndRetires(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		tr.OnActivate(100, 0)
+		tr.AppendOnActivate(nil, 100, 0)
 	}
-	tr.OnActivate(200, 0)
+	tr.AppendOnActivate(nil, 200, 0)
 	if got := len(tr.Sampler()); got != 2 {
 		t.Fatalf("sampler holds %d rows, want 2", got)
 	}
-	vrs := tr.Tick(0)
+	vrs := tr.AppendTick(nil, 0)
 	if len(vrs) != 1 || vrs[0].Aggressor != 100 {
 		t.Fatalf("Tick refreshed %v, want strongest candidate 100", vrs)
 	}
@@ -57,10 +57,10 @@ func TestEvictionLosesWeakest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr.OnActivate(1, 0)
-	tr.OnActivate(1, 0) // count 2
-	tr.OnActivate(2, 0) // count 1
-	tr.OnActivate(3, 0) // evicts row 2
+	tr.AppendOnActivate(nil, 1, 0)
+	tr.AppendOnActivate(nil, 1, 0) // count 2
+	tr.AppendOnActivate(nil, 2, 0) // count 1
+	tr.AppendOnActivate(nil, 3, 0) // evicts row 2
 	rows := tr.Sampler()
 	has := map[int]bool{}
 	for _, r := range rows {
@@ -76,11 +76,11 @@ func TestRefreshCadence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr.OnActivate(7, 0)
+	tr.AppendOnActivate(nil, 7, 0)
 	refreshes := 0
 	for i := 0; i < 8; i++ {
-		tr.OnActivate(7, 0)
-		refreshes += len(tr.Tick(0))
+		tr.AppendOnActivate(nil, 7, 0)
+		refreshes += len(tr.AppendTick(nil, 0))
 	}
 	if refreshes != 2 {
 		t.Errorf("refreshes = %d over 8 ticks at cadence 4, want 2", refreshes)

@@ -149,8 +149,8 @@ func (t *TWiCe) Prunes() int64 { return t.prunes }
 // Overflows returns how many allocations found the table full.
 func (t *TWiCe) Overflows() int64 { return t.overflows }
 
-// OnActivate implements mitigation.Mitigator.
-func (t *TWiCe) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
+// AppendOnActivate implements mitigation.Mitigator.
+func (t *TWiCe) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram.Time) []mitigation.VictimRefresh {
 	e, ok := t.table[row]
 	if !ok {
 		if len(t.table) >= t.params.MaxEntries {
@@ -161,10 +161,10 @@ func (t *TWiCe) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
 			// unreachable in practice; the counter records it).
 			t.overflows++
 			t.refreshes++
-			return []mitigation.VictimRefresh{{Aggressor: row, Distance: t.cfg.Distance}}
+			return append(dst, mitigation.VictimRefresh{Aggressor: row, Distance: t.cfg.Distance})
 		}
 		t.table[row] = &entry{count: 1}
-		return nil
+		return dst
 	}
 	e.count++
 	if e.count >= t.params.ThRH {
@@ -172,16 +172,16 @@ func (t *TWiCe) OnActivate(row int, now dram.Time) []mitigation.VictimRefresh {
 		e.count = 0
 		e.life = 0
 		t.refreshes++
-		return []mitigation.VictimRefresh{{Aggressor: row, Distance: t.cfg.Distance}}
+		return append(dst, mitigation.VictimRefresh{Aggressor: row, Distance: t.cfg.Distance})
 	}
-	return nil
+	return dst
 }
 
-// Tick implements mitigation.Mitigator: one pruning pass per tREFI. Entries
-// whose count lags life·th_PI can no longer reach th_RH in this window and
-// are dropped (§II-C "maximum frequency of ACTs is bounded ... by DRAM
-// timing parameters").
-func (t *TWiCe) Tick(now dram.Time) []mitigation.VictimRefresh {
+// AppendTick implements mitigation.Mitigator: one pruning pass per tREFI.
+// Entries whose count lags life·th_PI can no longer reach th_RH in this
+// window and are dropped (§II-C "maximum frequency of ACTs is bounded ...
+// by DRAM timing parameters").
+func (t *TWiCe) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {
 	for row, e := range t.table {
 		e.life++
 		if float64(e.count) < float64(e.life)*t.params.ThPI {
@@ -189,7 +189,7 @@ func (t *TWiCe) Tick(now dram.Time) []mitigation.VictimRefresh {
 			t.prunes++
 		}
 	}
-	return nil
+	return dst
 }
 
 // Reset implements mitigation.Mitigator.

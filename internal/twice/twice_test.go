@@ -55,11 +55,11 @@ func TestTriggerAtThRH(t *testing.T) {
 	}
 	th := tw.Params().ThRH
 	for i := int64(1); i < th; i++ {
-		if vrs := tw.OnActivate(5, 0); len(vrs) != 0 {
+		if vrs := tw.AppendOnActivate(nil, 5, 0); len(vrs) != 0 {
 			t.Fatalf("premature refresh at ACT %d", i)
 		}
 	}
-	vrs := tw.OnActivate(5, 0)
+	vrs := tw.AppendOnActivate(nil, 5, 0)
 	if len(vrs) != 1 || vrs[0].Aggressor != 5 || vrs[0].Distance != 1 {
 		t.Fatalf("at th_RH: %v, want ±1 refresh of row 5", vrs)
 	}
@@ -76,12 +76,12 @@ func TestPruningDropsColdEntries(t *testing.T) {
 	// One ACT each on many rows, then several pruning ticks: every entry
 	// falls behind the th_PI slope and is dropped.
 	for r := 0; r < 100; r++ {
-		tw.OnActivate(r, 0)
+		tw.AppendOnActivate(nil, r, 0)
 	}
 	if tw.Live() != 100 {
 		t.Fatalf("Live = %d, want 100", tw.Live())
 	}
-	tw.Tick(0)
+	tw.AppendTick(nil, 0)
 	if tw.Live() != 0 {
 		t.Errorf("after one pruning interval, Live = %d, want 0 (count 1 < th_PI)", tw.Live())
 	}
@@ -98,9 +98,9 @@ func TestHotEntriesSurvivePruning(t *testing.T) {
 	// A row activated faster than th_PI per interval must stay tracked.
 	for tick := 0; tick < 50; tick++ {
 		for i := 0; i < 10; i++ { // 10 ACTs per interval >> th_PI ≈ 1.5
-			tw.OnActivate(7, 0)
+			tw.AppendOnActivate(nil, 7, 0)
 		}
-		tw.Tick(0)
+		tw.AppendTick(nil, 0)
 		if tw.Live() != 1 {
 			t.Fatalf("tick %d: hot row pruned (live=%d)", tick, tw.Live())
 		}
@@ -113,9 +113,9 @@ func TestOverflowStillProtects(t *testing.T) {
 		t.Fatal(err)
 	}
 	for r := 0; r < 4; r++ {
-		tw.OnActivate(r, 0)
+		tw.AppendOnActivate(nil, r, 0)
 	}
-	vrs := tw.OnActivate(99, 0) // table full: conservative refresh
+	vrs := tw.AppendOnActivate(nil, 99, 0) // table full: conservative refresh
 	if len(vrs) != 1 || vrs[0].Aggressor != 99 {
 		t.Fatalf("overflow produced %v, want refresh of row 99's victims", vrs)
 	}
@@ -185,12 +185,12 @@ func TestNoFalseNegatives(t *testing.T) {
 				nextRef += refPeriod
 			}
 			for nextTick <= now {
-				tw.Tick(nextTick)
+				tw.AppendTick(nil, nextTick)
 				nextTick += timing.TREFI
 			}
 			row := stream(i)
-			o.Activate(row, now)
-			for _, vr := range tw.OnActivate(row, now) {
+			o.AppendActivate(nil, row, now)
+			for _, vr := range tw.AppendOnActivate(nil, row, now) {
 				for d := 1; d <= vr.Distance; d++ {
 					if r := vr.Aggressor - d; r >= 0 {
 						o.RefreshRow(r)
@@ -213,7 +213,7 @@ func TestResetClears(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 100; i++ {
-		tw.OnActivate(i, 0)
+		tw.AppendOnActivate(nil, i, 0)
 	}
 	tw.Reset()
 	if tw.Live() != 0 || tw.VictimRefreshes() != 0 || tw.Prunes() != 0 {

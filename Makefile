@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench bench-sweep bench-obs bench-fault bench-hotpath fuzz race tables security examples check
+.PHONY: all build vet test test-race test-short bench bench-sweep bench-obs bench-fault bench-hotpath bench-trace fuzz race tables security examples check
 
 all: check
 
@@ -55,13 +55,20 @@ bench-hotpath:
 	$(GO) test -run 'TestReplayHotPathZeroAlloc' ./internal/memctrl
 	$(GO) test -run xxx -bench 'BenchmarkHotPath' -benchtime 1000x -benchmem ./internal/memctrl | $(GO) run ./cmd/rhbench -o BENCH_hotpath.json -assert-zero-allocs 'BenchmarkHotPath'
 
+# Trace codec gate: parse+replay-ingest cost per ACT for the text vs
+# binary formats, recorded to machine-readable BENCH_trace.json, with
+# rhbench enforcing the ≥10x parse-throughput target on decode-blocks
+# (the BlockReader path bank-parallel replay ingests) vs the text parser.
+bench-trace:
+	$(GO) test -run xxx -bench 'BenchmarkTraceCodec' -benchtime 5x -count 3 ./internal/trace | $(GO) run ./cmd/rhbench -o BENCH_trace.json -assert-speedup 'decode-blocks:parse-text:10'
+
 # Race detector over the packages that run per-bank goroutines and the
 # sweep worker pool, plus the mitigation stack fuzz seeds (FuzzStackAppend
 # runs its corpus as regular tests here). -short skips the tens-of-seconds
 # full-scale run, which would dominate `make check` under the race
 # detector's overhead.
 race:
-	$(GO) test -race -short ./internal/faultinject/... ./internal/memctrl/... ./internal/sim/... ./internal/sched/... ./internal/mitigation/...
+	$(GO) test -race -short ./internal/faultinject/... ./internal/memctrl/... ./internal/sim/... ./internal/sched/... ./internal/mitigation/... ./internal/trace/...
 
 # Short exploratory fuzz passes over the core invariants.
 fuzz:
@@ -85,4 +92,4 @@ examples:
 	$(GO) run ./examples/pagepolicy
 	$(GO) run ./examples/observability
 
-check: build vet test race bench-sweep bench-fault bench-hotpath
+check: build vet test race bench-sweep bench-fault bench-hotpath bench-trace

@@ -8,6 +8,7 @@
 //
 //	go test -run xxx -bench 'HotPath' -benchmem ./internal/memctrl | rhbench -o BENCH_hotpath.json
 //	rhbench -i bench.txt -assert-zero-allocs 'HotPath'   # gate: allocs/op must be 0
+//	rhbench -i bench.txt -assert-speedup 'decode-blocks:parse-text:10'   # gate: ≥10x faster
 package main
 
 import (
@@ -19,9 +20,10 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("i", "", "bench output file to read (default stdin)")
-		out    = flag.String("o", "", "JSON output file (default stdout)")
-		assert = flag.String("assert-zero-allocs", "", "regexp of benchmark names whose allocs/op must be exactly 0")
+		in      = flag.String("i", "", "bench output file to read (default stdin)")
+		out     = flag.String("o", "", "JSON output file (default stdout)")
+		assert  = flag.String("assert-zero-allocs", "", "regexp of benchmark names whose allocs/op must be exactly 0")
+		speedup = flag.String("assert-speedup", "", "FAST:SLOW:MIN — benchmark FAST's ns/op must beat SLOW's by at least MINx")
 	)
 	flag.Parse()
 
@@ -60,6 +62,12 @@ func main() {
 
 	if *assert != "" {
 		if err := report.AssertZeroAllocs(*assert); err != nil {
+			fmt.Fprintln(os.Stderr, "rhbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *speedup != "" {
+		if err := report.AssertSpeedup(*speedup); err != nil {
 			fmt.Fprintln(os.Stderr, "rhbench:", err)
 			os.Exit(1)
 		}

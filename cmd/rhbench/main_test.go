@@ -108,3 +108,41 @@ func TestAssertZeroAllocs(t *testing.T) {
 		t.Error("invalid regexp accepted")
 	}
 }
+
+func TestAssertSpeedup(t *testing.T) {
+	rep := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkCodec/parse-text", Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "BenchmarkCodec/parse-binary", Metrics: map[string]float64{"ns/op": 90}},
+		{Name: "BenchmarkCodec/decode-blocks", Metrics: map[string]float64{"ns/op": 50}},
+		{Name: "BenchmarkCodec/no-ns", Metrics: map[string]float64{"MB/s": 12}},
+	}}
+	if err := rep.AssertSpeedup("decode-blocks:parse-text:10"); err != nil {
+		t.Errorf("20x speedup failed a 10x gate: %v", err)
+	}
+	// -count repetitions of one name fold to their best ns/op: the noisy
+	// 200 ns/op decode-blocks run must not drag 1000/50 = 20x under 12x.
+	reps := &Report{Benchmarks: append(rep.Benchmarks,
+		Benchmark{Name: "BenchmarkCodec/decode-blocks", Metrics: map[string]float64{"ns/op": 200}},
+		Benchmark{Name: "BenchmarkCodec/parse-text", Metrics: map[string]float64{"ns/op": 1100}},
+	)}
+	if err := reps.AssertSpeedup("decode-blocks:parse-text:12"); err != nil {
+		t.Errorf("best-of-N folding failed: %v", err)
+	}
+	if err := rep.AssertSpeedup("parse-binary:parse-text:12"); err == nil {
+		t.Error("11.1x speedup passed a 12x gate")
+	}
+	for _, spec := range []string{
+		"decode-blocks:parse-text",   // missing minimum
+		"decode-blocks:parse-text:0", // non-positive minimum
+		"decode-blocks:parse-text:x", // unparsable minimum
+		"absent:parse-text:2",        // no match
+		"parse-:parse-text:2",        // ambiguous match
+		"[:parse-text:2",             // bad regexp
+		"no-ns:parse-text:2",         // fast side lacks ns/op
+		"decode-blocks:no-ns:2",      // slow side lacks ns/op
+	} {
+		if err := rep.AssertSpeedup(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

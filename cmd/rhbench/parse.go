@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"regexp"
 	"strconv"
 	"strings"
@@ -108,6 +109,67 @@ func (r *Report) MarshalIndent() ([]byte, error) {
 		return nil, err
 	}
 	return append(data, '\n'), nil
+}
+
+// AssertSpeedup enforces a minimum throughput ratio between two
+// benchmarks. spec is "FAST:SLOW:MIN": a regexp selecting one benchmark
+// name for each side, and the minimum SLOW/FAST ns/op ratio. A pattern
+// matching several distinct names is an error — an ambiguous gate gates
+// nothing — but repetitions of one name (a `-count N` run) are folded to
+// their best ns/op, so one noisy repetition can't flip the verdict.
+func (r *Report) AssertSpeedup(spec string) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("bad -assert-speedup %q (want FAST:SLOW:MIN)", spec)
+	}
+	min, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || min <= 0 {
+		return fmt.Errorf("bad -assert-speedup minimum %q (want a positive number)", parts[2])
+	}
+	// pick resolves one side to its name and best (lowest) positive ns/op.
+	pick := func(pattern string) (string, float64, error) {
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			return "", 0, fmt.Errorf("bad -assert-speedup pattern %q: %v", pattern, err)
+		}
+		name, best := "", 0.0
+		var names []string
+		for _, b := range r.Benchmarks {
+			if !re.MatchString(b.Name) {
+				continue
+			}
+			if b.Name != name {
+				name = b.Name
+				names = append(names, b.Name)
+			}
+			if ns, ok := b.Metrics["ns/op"]; ok && ns > 0 && (best == 0 || ns < best) {
+				best = ns
+			}
+		}
+		switch {
+		case len(names) == 0:
+			return "", 0, fmt.Errorf("no benchmark matched %q", pattern)
+		case len(names) > 1:
+			return "", 0, fmt.Errorf("pattern %q matched %d benchmarks (%s); make it unambiguous", pattern, len(names), strings.Join(names, ", "))
+		case best == 0:
+			return "", 0, fmt.Errorf("benchmark %s has no positive ns/op", name)
+		}
+		return name, best, nil
+	}
+	fast, fns, err := pick(parts[0])
+	if err != nil {
+		return err
+	}
+	slow, sns, err := pick(parts[1])
+	if err != nil {
+		return err
+	}
+	ratio := sns / fns
+	if ratio < min {
+		return fmt.Errorf("speedup gate failed: %s is %.2fx faster than %s, want >= %gx", fast, ratio, slow, min)
+	}
+	fmt.Fprintf(os.Stderr, "rhbench: %s is %.2fx faster than %s (gate %gx)\n", fast, ratio, slow, min)
+	return nil
 }
 
 // AssertZeroAllocs fails if any benchmark matching pattern reports a

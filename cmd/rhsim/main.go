@@ -28,11 +28,13 @@ import (
 	"graphene/internal/sched"
 	"graphene/internal/sim"
 	"graphene/internal/stats"
+	"graphene/internal/trace"
 )
 
 // options carries one simulation request.
 type options struct {
 	workload string
+	trace    string
 	scheme   string
 	trh      int64
 	k        int
@@ -52,6 +54,7 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.workload, "workload", "mcf", "workload: a profile name (mcf, milc, …), S1-10, S1-20, S2, S3, S4, prohit-pattern, mrloc-pattern, or worst")
+	flag.StringVar(&o.trace, "trace", "", "replay a recorded trace file (text or binary) instead of -workload; geometry auto-sizes to the trace")
 	flag.StringVar(&o.scheme, "scheme", "graphene", "scheme: graphene, twice, cbt, para, prohit, mrloc, cra, perrow, none")
 	flag.Int64Var(&o.trh, "trh", 50000, "Row Hammer threshold")
 	flag.IntVar(&o.k, "k", 2, "Graphene reset-window divisor")
@@ -105,13 +108,29 @@ func run(w io.Writer, rec *obs.Recorder, o options) (flipped bool, err error) {
 	sc.WorkloadAccesses = o.acts
 	sc.AdversarialWindows = o.windows
 
-	gen, attack, err := sim.BuildWorkload(o.workload, sc, o.trh)
-	if err != nil {
-		return false, err
-	}
+	var gen, baseGen trace.Generator
 	geo := sc.Geometry
-	if attack {
-		geo = dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 1, RowsPerBank: sc.Geometry.RowsPerBank}
+	if o.trace != "" {
+		// A recorded trace replaces the generator on both runs; LoadTraces
+		// grows the geometry when the trace doesn't fit Quick()'s grid.
+		traces, eff, err := sim.LoadTraces(sc, []string{o.trace})
+		if err != nil {
+			return false, err
+		}
+		tr := traces[0]
+		gen, baseGen = tr.Generator(), tr.Generator()
+		geo = eff.Geometry
+		o.workload = tr.Name
+	} else {
+		var attack bool
+		gen, attack, err = sim.BuildWorkload(o.workload, sc, o.trh)
+		if err != nil {
+			return false, err
+		}
+		if attack {
+			geo = dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: 1, RowsPerBank: sc.Geometry.RowsPerBank}
+		}
+		baseGen, _, _ = sim.BuildWorkload(o.workload, sc, o.trh)
 	}
 	factory, name, err := sim.BuildScheme(o.scheme, o.trh, o.k, o.distance, geo.RowsPerBank, sc)
 	if err != nil {
@@ -122,7 +141,6 @@ func run(w io.Writer, rec *obs.Recorder, o options) (flipped bool, err error) {
 	// are independent simulations, so they go through the scheduler: with
 	// -jobs >= 2 they replay concurrently, and the progress line on stderr
 	// reports both.
-	baseGen, _, _ := sim.BuildWorkload(o.workload, sc, o.trh)
 	var base, res memctrl.Result
 	jobs := []sched.Job{
 		{Label: o.workload + "/baseline", Do: func(context.Context) error {

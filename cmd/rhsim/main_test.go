@@ -1,6 +1,11 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+
+	"graphene/internal/sim"
+	"graphene/internal/trace"
 	"strings"
 	"testing"
 )
@@ -76,5 +81,54 @@ func TestRunCRAReportsExtraTraffic(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "extra DRAM traffic") {
 		t.Errorf("CRA extra traffic not reported:\n%s", sb.String())
+	}
+}
+
+func TestRunRecordedTrace(t *testing.T) {
+	// -trace replays a recorded file (here binary) instead of a named
+	// workload; workload/name in the report comes from the trace header.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s3.bin")
+	sc := sim.Quick()
+	sc.WorkloadAccesses = 10_000
+	sc.AdversarialWindows = 0.05
+	gen, _, err := sim.BuildWorkload("S3", sc, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.WriteBinary(f, gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	flipped, err := run(&sb, nil, options{
+		trace: path, scheme: "graphene", trh: 50000,
+		k: 2, distance: 1, acts: 10_000, windows: 0.05, seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flipped {
+		t.Error("Graphene flipped replaying recorded S3")
+	}
+	out := sb.String()
+	for _, want := range []string{"workload           S3", "graphene-k2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	if _, err := run(&strings.Builder{}, nil, options{
+		trace: filepath.Join(dir, "absent.trace"), scheme: "graphene", trh: 50000,
+		k: 2, distance: 1,
+	}); err == nil {
+		t.Error("accepted a missing trace file")
 	}
 }

@@ -60,6 +60,7 @@ import (
 type options struct {
 	trh      int64
 	trhs     []int64
+	traces   []string
 	jobs     int
 	acts     int64
 	windows  float64
@@ -107,10 +108,11 @@ func (o options) simOpts() sim.Options {
 
 func main() {
 	var (
-		sweep    = flag.String("sweep", "k", "sweep: k, trh, distance, cbt, normal, adversarial, scaling-normal, scaling-adversarial")
+		sweep    = flag.String("sweep", "k", "sweep: k, trh, distance, cbt, normal, adversarial, trace, scaling-normal, scaling-adversarial")
 		trh      = flag.Int64("trh", 50000, "Row Hammer threshold")
 		format   = flag.String("format", "csv", "output format: csv or json")
 		trhsFlag = flag.String("trhs", "50000,25000,12500", "comma-separated thresholds for the scaling sweeps")
+		traces   = flag.String("traces", "", "comma-separated recorded trace files (text or binary) for -sweep trace")
 		jobs     = flag.Int("jobs", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
 		acts     = flag.Int64("acts", 200_000, "trace length for profile workloads (simulation sweeps)")
 		windows  = flag.Float64("windows", 0.25, "refresh windows sustained by attack patterns (simulation sweeps)")
@@ -162,7 +164,7 @@ func main() {
 		defer cancel()
 	}
 	o := options{
-		trh: *trh, trhs: trhs, jobs: *jobs, acts: *acts,
+		trh: *trh, trhs: trhs, traces: splitList(*traces), jobs: *jobs, acts: *acts,
 		windows: *windows, seed: *seed, full: *full, progress: *progress,
 		retries: *retries, rec: rec, ctx: ctx, fault: inj, ckpt: ckpt,
 	}
@@ -181,12 +183,14 @@ func main() {
 		run = func(w *csv.Writer) error { return sweepNormal(w, o) }
 	case "adversarial":
 		run = func(w *csv.Writer) error { return sweepAdversarial(w, o) }
+	case "trace":
+		run = func(w *csv.Writer) error { return sweepTrace(w, o) }
 	case "scaling-normal":
 		run = func(w *csv.Writer) error { return sweepScalingNormal(w, o) }
 	case "scaling-adversarial":
 		run = func(w *csv.Writer) error { return sweepScalingAdversarial(w, o) }
 	default:
-		fmt.Fprintf(os.Stderr, "rhsweep: unknown sweep %q (k|trh|distance|cbt|normal|adversarial|scaling-normal|scaling-adversarial)\n", *sweep)
+		fmt.Fprintf(os.Stderr, "rhsweep: unknown sweep %q (k|trh|distance|cbt|normal|adversarial|trace|scaling-normal|scaling-adversarial)\n", *sweep)
 		os.Exit(2)
 	}
 
@@ -389,6 +393,17 @@ func sweepCBT(w *csv.Writer, trh int64) error {
 	return nil
 }
 
+// splitList parses a comma-separated flag into its non-empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 // parseTRHs parses the -trhs comma list.
 func parseTRHs(s string) ([]int64, error) {
 	var out []int64
@@ -443,6 +458,23 @@ func sweepAdversarial(w *csv.Writer, o options) error {
 		return err
 	}
 	rows, err := sim.AdversarialSweepOpts(o.scale(), o.trh, o.simOpts())
+	if err != nil {
+		return err
+	}
+	return writeCells(w, rows)
+}
+
+// sweepTrace replays recorded trace files (-traces, text or binary) under
+// every counter scheme at one threshold — the recorded-trace counterpart
+// of -sweep normal. All traces share one geometry sized to fit them.
+func sweepTrace(w *csv.Writer, o options) error {
+	if len(o.traces) == 0 {
+		return fmt.Errorf("-sweep trace needs -traces file1[,file2,...]")
+	}
+	if err := w.Write(cellHeader); err != nil {
+		return err
+	}
+	rows, _, err := sim.TraceSweepOpts(o.scale(), o.trh, o.traces, o.simOpts())
 	if err != nil {
 		return err
 	}

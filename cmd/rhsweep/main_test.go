@@ -1,9 +1,14 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"graphene/internal/sim"
+	"graphene/internal/trace"
 	"strings"
 	"testing"
 )
@@ -168,5 +173,59 @@ func TestCBTLevelsMirrorsDefault(t *testing.T) {
 		if got := cbtLevels(counters); got != want {
 			t.Errorf("cbtLevels(%d) = %d, want %d", counters, got, want)
 		}
+	}
+}
+
+func TestSweepTrace(t *testing.T) {
+	// -sweep trace replays recorded files (one text, one binary) through
+	// the scheme grid; rows are keyed by the trace names.
+	dir := t.TempDir()
+	sc := sim.Quick()
+	sc.WorkloadAccesses = 20_000
+	sc.AdversarialWindows = 0.05
+	sc.Seed = 1
+	write := func(name, wl string, binary bool) string {
+		gen, _, err := sim.BuildWorkload(wl, sc, 50000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if binary {
+			_, err = trace.WriteBinary(f, gen)
+		} else {
+			_, err = trace.WriteTo(f, gen)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	text := write("s3.trace", "S3", false)
+	bin := write("s1.bin", "S1-10", true)
+
+	o := quickOpts()
+	o.traces = []string{text, bin}
+	rows := runSweep(t, func(w *csv.Writer) error { return sweepTrace(w, o) })
+	if len(rows) < 3 {
+		t.Fatalf("only %d rows", len(rows))
+	}
+	if got := rows[0][0]; got != "workload" {
+		t.Errorf("header starts with %q", got)
+	}
+	names := map[string]bool{}
+	for _, r := range rows[1:] {
+		names[r[0]] = true
+	}
+	if !names["S3"] || len(names) != 2 {
+		t.Errorf("trace names in CSV: %v", names)
+	}
+
+	if err := sweepTrace(csv.NewWriter(&strings.Builder{}), quickOpts()); err == nil {
+		t.Error("-sweep trace without -traces accepted")
 	}
 }

@@ -1,17 +1,25 @@
-// Command rhtrace records workload/attack generators into the text trace
-// format and replays trace files through the simulator — the glue for
-// exchanging activation streams with other tools.
+// Command rhtrace records workload/attack generators into trace files,
+// converts between the text and binary trace formats, and replays trace
+// files through the simulator — the glue for exchanging activation
+// streams with other tools.
 //
 // Usage:
 //
 //	rhtrace -record S3 -o attack.trace -windows 0.1   # generator -> file
-//	rhtrace -replay attack.trace -scheme graphene     # file -> simulator
-//	rhtrace -record mcf -acts 100000 -o mcf.trace
+//	rhtrace -record mcf -acts 100000 -to binary -o mcf.bin
+//	rhtrace -convert attack.trace -o attack.bin        # text <-> binary
+//	rhtrace -replay attack.bin -scheme graphene        # file -> simulator
+//
+// Replay and convert auto-detect the input format by magic; -to picks the
+// output format ("auto" converts to the opposite format and records text).
 package main
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"graphene/internal/dram"
@@ -24,8 +32,10 @@ import (
 func main() {
 	var (
 		record  = flag.String("record", "", "workload/attack name to record (see rhsim -workload)")
-		out     = flag.String("o", "", "output trace file for -record (default stdout)")
-		replay  = flag.String("replay", "", "trace file to replay")
+		convert = flag.String("convert", "", "trace file to convert (format auto-detected)")
+		out     = flag.String("o", "", "output trace file for -record/-convert (default stdout)")
+		to      = flag.String("to", "auto", "output format: text, binary, or auto (convert: opposite of input; record: text)")
+		replay  = flag.String("replay", "", "trace file to replay (text or binary)")
 		scheme  = flag.String("scheme", "graphene", "scheme for -replay (see rhsim -scheme)")
 		trh     = flag.Int64("trh", 50000, "Row Hammer threshold")
 		acts    = flag.Int64("acts", 200_000, "trace length for profile workloads")
@@ -35,12 +45,23 @@ func main() {
 	)
 	flag.Parse()
 
+	modes := 0
+	for _, m := range []string{*record, *convert, *replay} {
+		if m != "" {
+			modes++
+		}
+	}
 	switch {
-	case *record != "" && *replay != "":
-		fmt.Fprintln(os.Stderr, "rhtrace: -record and -replay are mutually exclusive")
+	case modes > 1:
+		fmt.Fprintln(os.Stderr, "rhtrace: -record, -convert, and -replay are mutually exclusive")
 		os.Exit(2)
 	case *record != "":
-		if err := doRecord(*record, *out, *trh, *acts, *windows, *seed); err != nil {
+		if err := doRecord(*record, *out, *to, *trh, *acts, *windows, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "rhtrace:", err)
+			os.Exit(1)
+		}
+	case *convert != "":
+		if err := doConvert(*convert, *out, *to); err != nil {
 			fmt.Fprintln(os.Stderr, "rhtrace:", err)
 			os.Exit(1)
 		}
@@ -55,7 +76,35 @@ func main() {
 	}
 }
 
-func doRecord(name, out string, trh, acts int64, windows float64, seed int64) error {
+// writeTrace serializes gen to w in the requested format ("text" or
+// "binary") and returns the access count.
+func writeTrace(w io.Writer, gen trace.Generator, format string) (int64, error) {
+	switch format {
+	case "text":
+		return trace.WriteTo(w, gen)
+	case "binary":
+		return trace.WriteBinary(w, gen)
+	default:
+		return 0, fmt.Errorf("unknown output format %q (want text, binary, or auto)", format)
+	}
+}
+
+// openOut resolves the -o flag: stdout when empty, else a created file.
+func openOut(out string) (io.Writer, func() error, error) {
+	if out == "" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func doRecord(name, out, format string, trh, acts int64, windows float64, seed int64) error {
+	if format == "auto" {
+		format = "text"
+	}
 	sc := sim.Quick()
 	sc.Seed = seed
 	sc.WorkloadAccesses = acts
@@ -64,65 +113,125 @@ func doRecord(name, out string, trh, acts int64, windows float64, seed int64) er
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	n, err := trace.WriteTo(w, gen)
+	w, done, err := openOut(out)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "rhtrace: recorded %d accesses of %s\n", n, name)
+	n, err := writeTrace(w, gen, format)
+	if err != nil {
+		done()
+		return err
+	}
+	if err := done(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rhtrace: recorded %d accesses of %s (%s)\n", n, name, format)
 	return nil
 }
 
+// doConvert reads a trace in either format and rewrites it in the
+// requested one. "auto" flips the format: a text input becomes binary and
+// vice versa, so `rhtrace -convert f -o g` round-trips without flags.
+func doConvert(in, out, to string) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	src := bufio.NewReader(f)
+	from := "text"
+	if trace.IsBinary(src) {
+		from = "binary"
+	}
+	tr, err := trace.ReadAuto(src, in)
+	if err != nil {
+		return err
+	}
+	if to == "auto" {
+		to = "text"
+		if from == "text" {
+			to = "binary"
+		}
+	}
+	w, done, err := openOut(out)
+	if err != nil {
+		return err
+	}
+	n, err := writeTrace(w, tr.Generator(), to)
+	if err != nil {
+		done()
+		return err
+	}
+	if err := done(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rhtrace: converted %s (%d accesses) %s -> %s\n", tr.Name, n, from, to)
+	return nil
+}
+
+// doReplay runs a trace file through the simulator under one scheme. The
+// format is auto-detected: a binary trace streams block-direct into the
+// bank-parallel replay path, with the geometry's bank count read straight
+// from the header; a text trace is parsed once and its single in-memory
+// pass both sizes the geometry and feeds the replay (the old path parsed
+// the file and then drained a generator copy a second time).
 func doReplay(path, scheme string, trh int64, banks int, seed int64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	gen, err := trace.ReadFrom(f, path)
-	if err != nil {
-		return err
-	}
-	// Materialize to size the geometry, then replay.
-	accs := trace.Collect(gen)
-	maxBank := 0
-	for _, a := range accs {
-		if a.Bank > maxBank {
-			maxBank = a.Bank
-		}
-	}
-	if banks == 0 {
-		banks = maxBank + 1
-	}
 
 	sc := sim.Quick()
 	sc.Seed = seed
-	geo := dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: banks, RowsPerBank: sc.Geometry.RowsPerBank}
-	factory, name, err := sim.BuildScheme(scheme, trh, 2, 1, geo.RowsPerBank, sc)
-	if err != nil {
+	replay := func(banks int, name string, naccs int64, run func(memctrl.Config) (memctrl.Result, error)) error {
+		if banks == 0 {
+			banks = 1 // empty trace: keep a valid 1-bank geometry
+		}
+		geo := dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: banks, RowsPerBank: sc.Geometry.RowsPerBank}
+		factory, schemeName, err := sim.BuildScheme(scheme, trh, 2, 1, geo.RowsPerBank, sc)
+		if err != nil {
+			return err
+		}
+		res, err := run(memctrl.Config{
+			Geometry: geo, Timing: sc.Timing, Factory: factory, TRH: trh,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace              %s (%d accesses, %d banks)\n", name, naccs, banks)
+		fmt.Printf("scheme             %s\n", schemeName)
+		fmt.Printf("victim refreshes   %d commands, %d rows\n", res.NRRCommands, res.RowsVictim)
+		fmt.Printf("refresh overhead   %s\n", stats.Pct(res.RefreshOverhead()))
+		fmt.Printf("bit flips          %d\n", len(res.Flips))
+		if len(res.Flips) > 0 {
+			return fmt.Errorf("protection failed with %d bit flips", len(res.Flips))
+		}
+		return nil
+	}
+
+	src := bufio.NewReader(f)
+	br, err := trace.NewBlockReader(src)
+	switch {
+	case err == nil:
+		if banks == 0 {
+			banks = br.Banks()
+		}
+		return replay(banks, br.Name(), br.Total(), func(cfg memctrl.Config) (memctrl.Result, error) {
+			return memctrl.RunBlocks(cfg, br)
+		})
+	case errors.Is(err, trace.ErrNotBinary):
+		tr, err := trace.ReadAll(src, path)
+		if err != nil {
+			return err
+		}
+		if banks == 0 {
+			banks, _ = tr.Dims()
+		}
+		return replay(banks, tr.Name, int64(len(tr.Accs)), func(cfg memctrl.Config) (memctrl.Result, error) {
+			return memctrl.Run(cfg, tr.Generator())
+		})
+	default:
 		return err
 	}
-	res, err := memctrl.Run(memctrl.Config{
-		Geometry: geo, Timing: sc.Timing, Factory: factory, TRH: trh,
-	}, trace.FromSlice(gen.Name(), accs))
-	if err != nil {
-		return err
-	}
-	fmt.Printf("trace              %s (%d accesses, %d banks)\n", gen.Name(), len(accs), banks)
-	fmt.Printf("scheme             %s\n", name)
-	fmt.Printf("victim refreshes   %d commands, %d rows\n", res.NRRCommands, res.RowsVictim)
-	fmt.Printf("refresh overhead   %s\n", stats.Pct(res.RefreshOverhead()))
-	fmt.Printf("bit flips          %d\n", len(res.Flips))
-	if len(res.Flips) > 0 {
-		return fmt.Errorf("protection failed with %d bit flips", len(res.Flips))
-	}
-	return nil
 }

@@ -1,15 +1,19 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"graphene/internal/trace"
 )
 
 func TestRecordAndReplayRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "s3.trace")
-	if err := doRecord("S3", path, 50000, 0, 0.01, 1); err != nil {
+	if err := doRecord("S3", path, "auto", 50000, 0, 0.01, 1); err != nil {
 		t.Fatalf("record: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -26,7 +30,7 @@ func TestRecordAndReplayRoundTrip(t *testing.T) {
 
 func TestRecordProfileWorkload(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "mcf.trace")
-	if err := doRecord("mcf", path, 50000, 5000, 0, 1); err != nil {
+	if err := doRecord("mcf", path, "auto", 50000, 5000, 0, 1); err != nil {
 		t.Fatalf("record: %v", err)
 	}
 	if err := doReplay(path, "twice", 50000, 0, 1); err != nil {
@@ -35,7 +39,7 @@ func TestRecordProfileWorkload(t *testing.T) {
 }
 
 func TestRecordUnknownWorkload(t *testing.T) {
-	if err := doRecord("nope", "", 50000, 10, 0.1, 1); err == nil {
+	if err := doRecord("nope", "", "auto", 50000, 10, 0.1, 1); err == nil {
 		t.Error("accepted unknown workload")
 	}
 }
@@ -50,11 +54,131 @@ func TestReplayDetectsUnprotectedFlips(t *testing.T) {
 	// A full-window single-row hammer replayed against "none" must report
 	// the protection failure as an error.
 	path := filepath.Join(t.TempDir(), "hot.trace")
-	if err := doRecord("S3", path, 50000, 0, 0.2, 1); err != nil {
+	if err := doRecord("S3", path, "auto", 50000, 0, 0.2, 1); err != nil {
 		t.Fatal(err)
 	}
 	// 0.2 windows ≈ 271K ACTs > TRH 50K: flips guaranteed unprotected.
 	if err := doReplay(path, "none", 50000, 0, 1); err == nil {
 		t.Error("unprotected replay with flips did not error")
+	}
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	// text -> binary -> text with -to auto must reproduce the original
+	// file byte for byte (the header is already sanitized on record).
+	dir := t.TempDir()
+	text := filepath.Join(dir, "s3.trace")
+	bin := filepath.Join(dir, "s3.bin")
+	back := filepath.Join(dir, "back.trace")
+	if err := doRecord("S3", text, "text", 50000, 0, 0.01, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := doConvert(text, bin, "auto"); err != nil {
+		t.Fatalf("to binary: %v", err)
+	}
+	raw, err := os.ReadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trace.IsBinary(bufio.NewReader(bytes.NewReader(raw))) {
+		t.Fatal("auto-converted text trace is not binary")
+	}
+	if err := doConvert(bin, back, "auto"); err != nil {
+		t.Fatalf("back to text: %v", err)
+	}
+	orig, err := os.ReadFile(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, got) {
+		t.Errorf("text->binary->text not identical:\norig %d bytes\n got %d bytes", len(orig), len(got))
+	}
+}
+
+func TestConvertExplicitFormats(t *testing.T) {
+	dir := t.TempDir()
+	text := filepath.Join(dir, "s3.trace")
+	if err := doRecord("S3", text, "text", 50000, 0, 0.01, 1); err != nil {
+		t.Fatal(err)
+	}
+	// -to text on a text input is an identity conversion.
+	same := filepath.Join(dir, "same.trace")
+	if err := doConvert(text, same, "text"); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(text)
+	b, _ := os.ReadFile(same)
+	if !bytes.Equal(a, b) {
+		t.Error("-to text identity conversion changed the file")
+	}
+	if err := doConvert(text, filepath.Join(dir, "x"), "tsv"); err == nil {
+		t.Error("accepted unknown output format")
+	}
+	if err := doConvert(filepath.Join(dir, "absent"), "", "auto"); err == nil {
+		t.Error("accepted missing input")
+	}
+}
+
+func TestRecordBinaryAndReplay(t *testing.T) {
+	// -record -to binary produces a binary file that -replay auto-detects
+	// and streams through the block-direct path.
+	path := filepath.Join(t.TempDir(), "s3.bin")
+	if err := doRecord("S3", path, "binary", 50000, 0, 0.01, 1); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trace.IsBinary(bufio.NewReader(bytes.NewReader(raw))) {
+		t.Fatal("-to binary did not produce a binary trace")
+	}
+	if err := doReplay(path, "graphene", 50000, 0, 1); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+func TestReplayBinaryMatchesText(t *testing.T) {
+	// The same workload replayed from its text and binary recordings must
+	// agree on the flips verdict; doReplay returns an error iff flips > 0.
+	dir := t.TempDir()
+	text := filepath.Join(dir, "hot.trace")
+	if err := doRecord("S3", text, "text", 50000, 0, 0.2, 1); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "hot.bin")
+	if err := doConvert(text, bin, "binary"); err != nil {
+		t.Fatal(err)
+	}
+	terr := doReplay(text, "none", 50000, 0, 1)
+	berr := doReplay(bin, "none", 50000, 0, 1)
+	if (terr == nil) != (berr == nil) {
+		t.Errorf("text and binary replay disagree: text=%v binary=%v", terr, berr)
+	}
+	if terr == nil {
+		t.Error("unprotected replay with flips did not error")
+	}
+}
+
+func TestReplayRejectsTornBinary(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "s3.bin")
+	if err := doRecord("S3", bin, "binary", 50000, 0, 0.01, 1); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.bin")
+	if err := os.WriteFile(torn, raw[:len(raw)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := doReplay(torn, "graphene", 50000, 0, 1); err == nil {
+		t.Error("replayed a torn binary trace without error")
 	}
 }

@@ -1,0 +1,159 @@
+package memctrl
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"graphene/internal/faultinject"
+	"graphene/internal/sched"
+	"graphene/internal/trace"
+)
+
+// blockDepth is how many decoded blocks may queue per bank before the
+// router blocks (backpressure). Blocks arrive pre-partitioned and carry up
+// to a segment's worth of one bank's accesses, so a shallow queue is
+// enough to keep banks busy while bounding peak memory.
+const blockDepth = 2
+
+// BlockSource streams a trace as per-bank blocks — the shape
+// trace.BlockReader produces from the binary format. Next must follow that
+// reader's contract: every access in a returned block belongs to
+// Block.Bank in stream order, buf[:0] is reused for the block's backing
+// storage, and io.EOF marks a clean end of trace.
+type BlockSource interface {
+	Name() string
+	Next(buf []trace.Access) (trace.Block, error)
+}
+
+// RunBlocks replays a pre-partitioned block stream to completion under
+// cfg. It is Run for the binary trace format: the serial partitioner
+// disappears — the router hands each decoded block straight to its bank's
+// replay goroutine on the sched pool — and per-bank access order is the
+// block stream's order, so the Result is byte-identical to Run over the
+// same trace (the golden differential suite pins this for every recorded
+// scheme×workload cell).
+func RunBlocks(cfg Config, src BlockSource) (Result, error) {
+	return run(cfg, src.Name(), func(cfg Config, states []*bankState) ([]bankOut, error) {
+		return replayBlocks(cfg, src, states)
+	})
+}
+
+// replayBlocks routes src's blocks into per-bank channels drained by one
+// sched job per bank. Block buffers recycle through a shared free pool:
+// the router decodes into a recycled buffer, the bank job returns it after
+// replay, so steady-state allocation is O(banks × blockDepth) buffers
+// regardless of trace length.
+//
+// Error discipline mirrors the streaming path: a bank job stores its first
+// error in its bankOut and keeps draining (never failing the pool, which
+// would strand the router mid-send), and a router error — decode failure,
+// out-of-range bank, injected partition fault — fails the run even if
+// every started bank replayed cleanly.
+func replayBlocks(cfg Config, src BlockSource, states []*bankState) ([]bankOut, error) {
+	nbanks := len(states)
+	outs := make([]bankOut, nbanks)
+
+	// Shared buffer pool. The budget covers every block that can be in
+	// flight at once (queued per bank plus one being replayed and one being
+	// decoded); buffers allocate lazily, so a trace touching few banks
+	// circulates few buffers.
+	budget := nbanks*(blockDepth+1) + 1
+	free := make(chan []trace.Access, budget)
+	made := 0
+	buffer := func() []trace.Access {
+		select {
+		case b := <-free:
+			return b
+		default:
+		}
+		if made < budget {
+			made++
+			return nil // Next appends; the buffer sizes itself to its block
+		}
+		return <-free
+	}
+
+	chans := make([]chan trace.Block, nbanks)
+	jobs := make([]sched.Job, nbanks)
+	for bi := range states {
+		chans[bi] = make(chan trace.Block, blockDepth)
+		bi := bi
+		jobs[bi] = sched.Job{
+			Label: fmt.Sprintf("bank %d", bi),
+			Do: func(context.Context) error {
+				s, out := states[bi], &outs[bi]
+				for blk := range chans[bi] {
+					if out.err == nil {
+						out.err = replayBlock(cfg, nbanks, s, bi, out, blk.Accs)
+					}
+					// Recycle even after an error: the router may be blocked
+					// waiting for a free buffer. The free channel holds the
+					// whole budget, so this send never blocks.
+					free <- blk.Accs[:0]
+				}
+				// Errors live in outs: failing the pool would cancel sibling
+				// jobs and strand the router mid-send.
+				return nil
+			},
+		}
+	}
+
+	routed := make(chan error, 1)
+	go func() {
+		routed <- func() error {
+			defer func() {
+				for _, c := range chans {
+					close(c)
+				}
+			}()
+			for {
+				blk, err := src.Next(buffer())
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				if blk.Bank < 0 || blk.Bank >= nbanks {
+					// Route the whole block through the shared validator so
+					// the failure emits the same validate_fail event an
+					// out-of-range access does on the streaming path.
+					row := 0
+					if len(blk.Accs) > 0 {
+						row = blk.Accs[0].Row
+					}
+					return validateAccess(cfg, nbanks, trace.Access{Bank: blk.Bank, Row: row})
+				}
+				if err := cfg.Fault.Hit(faultinject.SitePartition); err != nil {
+					return err
+				}
+				chans[blk.Bank] <- blk
+			}
+		}()
+	}()
+
+	// Every job gets a worker (Jobs = nbanks = len(jobs)), so each bank's
+	// channel is guaranteed a drainer and the router cannot deadlock.
+	if err := sched.Run(sched.Options{Jobs: nbanks}, jobs); err != nil {
+		<-routed
+		return nil, err
+	}
+	if err := <-routed; err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// replayBlock validates and replays one block on its bank. The streaming
+// path validates in the serial partitioner; here validation rides with the
+// bank job — same checks, same validate_fail events — so the router stays
+// on its decode hot path.
+func replayBlock(cfg Config, nbanks int, s *bankState, bi int, out *bankOut, accs []trace.Access) error {
+	for _, a := range accs {
+		if err := validateAccess(cfg, nbanks, a); err != nil {
+			return err
+		}
+	}
+	return replayChunk(cfg, s, bi, out, accs)
+}

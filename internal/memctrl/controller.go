@@ -187,20 +187,27 @@ func (s *bankState) phys(row int) int {
 // per-bank replay goroutines through bounded chunked channels (stream.go),
 // so memory stays O(banks × chunk) regardless of trace length.
 func Run(cfg Config, gen trace.Generator) (Result, error) {
-	return run(cfg, gen, replayStreaming)
+	return run(cfg, gen.Name(), func(cfg Config, states []*bankState) ([]bankOut, error) {
+		return replayStreaming(cfg, gen, states)
+	})
 }
 
 // runBuffered replays through the original O(total ACTs)-memory path that
 // materialized the whole stream into per-bank slices before replaying. The
 // differential tests keep it as the oracle for the streaming path.
 func runBuffered(cfg Config, gen trace.Generator) (Result, error) {
-	return run(cfg, gen, replayBuffered)
+	return run(cfg, gen.Name(), func(cfg Config, states []*bankState) ([]bankOut, error) {
+		return replayBuffered(cfg, gen, states)
+	})
 }
 
-// replayFunc partitions gen across the per-bank goroutines and replays it,
-// returning one bankOut per bank. Implementations must preserve the
-// per-bank access order and must not touch states after returning.
-type replayFunc func(cfg Config, gen trace.Generator, states []*bankState) ([]bankOut, error)
+// replayFunc partitions the trace across the per-bank goroutines and
+// replays it, returning one bankOut per bank. Implementations must
+// preserve the per-bank access order and must not touch states after
+// returning. The generator-driven strategies (stream.go, buffered.go) are
+// adapted into this shape by the entry points above; the block-direct path
+// (blocks.go) pulls from a BlockSource instead.
+type replayFunc func(cfg Config, states []*bankState) ([]bankOut, error)
 
 // bankOut is one bank goroutine's share of the run.
 type bankOut struct {
@@ -230,7 +237,7 @@ func validateAccess(cfg Config, nbanks int, a trace.Access) error {
 	return err
 }
 
-func run(cfg Config, gen trace.Generator, replay replayFunc) (Result, error) {
+func run(cfg Config, workload string, replay replayFunc) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Geometry.Validate(); err != nil {
 		return Result{}, err
@@ -278,7 +285,7 @@ func run(cfg Config, gen trace.Generator, replay replayFunc) (Result, error) {
 		states[i] = s
 	}
 
-	res := Result{Workload: gen.Name(), Scheme: "none"}
+	res := Result{Workload: workload, Scheme: "none"}
 	if cfg.Factory != nil {
 		res.Scheme = states[0].mit.Name()
 		res.CostPerBank = states[0].mit.Cost()
@@ -288,7 +295,7 @@ func run(cfg Config, gen trace.Generator, replay replayFunc) (Result, error) {
 	// concurrently; the replay strategy partitions the stream (preserving
 	// per-bank order) and results merge deterministically in bank order
 	// below.
-	outs, err := replay(cfg, gen, states)
+	outs, err := replay(cfg, states)
 	if err != nil {
 		return Result{}, err
 	}

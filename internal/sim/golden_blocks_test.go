@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"graphene/internal/memctrl"
+	"graphene/internal/obs"
+	"graphene/internal/trace"
+)
+
+// goldenBinaries encodes each golden workload's trace into the binary
+// format once; every block-direct subtest decodes its own reader over the
+// shared bytes.
+func goldenBinaries(t testing.TB, sc Scale) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for wl, mk := range goldenWorkloads(sc) {
+		var buf bytes.Buffer
+		if _, err := trace.WriteBinary(&buf, mk()); err != nil {
+			t.Fatalf("WriteBinary(%s): %v", wl, err)
+		}
+		out[wl] = buf.Bytes()
+	}
+	return out
+}
+
+// TestGoldenBlockDirectResultIdentical gates the bank-direct parallel
+// ingest path (memctrl.RunBlocks) against the recorded goldens: for every
+// scheme×workload cell, replaying the binary-encoded trace through the
+// block-direct path must produce a Result byte-identical to the golden's
+// result — itself recorded from the serial/streaming paths. Only the
+// Result is compared: the obs event stream legitimately differs in
+// replay-progress chunking (per decoded block vs per streamChunk).
+func TestGoldenBlockDirectResultIdentical(t *testing.T) {
+	sc := goldenScale()
+	bins := goldenBinaries(t, sc)
+
+	var labels []string
+	for label := range goldenSchemes(t, sc) {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	var wls []string
+	for wl := range bins {
+		wls = append(wls, wl)
+	}
+	sort.Strings(wls)
+
+	for _, label := range labels {
+		for _, wl := range wls {
+			label, wl := label, wl
+			t.Run(label+"/"+wl, func(t *testing.T) {
+				t.Parallel()
+				factory := goldenSchemes(t, sc)[label]
+				rec := obs.New()
+				sink := &obs.Collect{}
+				rec.SetSink(sink)
+				br, err := trace.NewBlockReader(bytes.NewReader(bins[wl]))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := memctrl.RunBlocks(memctrl.Config{
+					Geometry: sc.Geometry, Timing: sc.Timing,
+					Factory: factory,
+					TRH:     goldenTRH,
+					Obs:     rec,
+				}, br)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := canonicalize(res, rec, sink)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotRaw, err := json.MarshalIndent(got.Result, "", "\t")
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				path := filepath.Join("testdata", "golden", fmt.Sprintf("%s__%s.json", label, wl))
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden (record with UPDATE_GOLDEN=1 go test -run TestGoldenSchemeDifferential): %v", err)
+				}
+				var want struct {
+					Result memctrl.Result `json:"result"`
+				}
+				if err := json.Unmarshal(raw, &want); err != nil {
+					t.Fatal(err)
+				}
+				wantRaw, err := json.MarshalIndent(want.Result, "", "\t")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(gotRaw, wantRaw) {
+					t.Errorf("block-direct Result diverged from golden %s:\n%s", path, firstDiff(gotRaw, wantRaw))
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenTracesBinaryRoundTrip pins the binary codec to the text reader
+// over the golden traces themselves: encoding each golden workload to
+// binary and decoding it must reproduce exactly what the text write→read
+// round trip yields — same name, same accesses, same global order.
+func TestGoldenTracesBinaryRoundTrip(t *testing.T) {
+	sc := goldenScale()
+	for wl, mk := range goldenWorkloads(sc) {
+		wl, mk := wl, mk
+		t.Run(wl, func(t *testing.T) {
+			t.Parallel()
+			var text bytes.Buffer
+			if _, err := trace.WriteTo(&text, mk()); err != nil {
+				t.Fatal(err)
+			}
+			ref, err := trace.ReadAll(bytes.NewReader(text.Bytes()), "fallback")
+			if err != nil {
+				t.Fatalf("text reference: %v", err)
+			}
+
+			var bin bytes.Buffer
+			if _, err := trace.WriteBinary(&bin, mk()); err != nil {
+				t.Fatal(err)
+			}
+			tr, err := trace.ReadBinary(bytes.NewReader(bin.Bytes()))
+			if err != nil {
+				t.Fatalf("binary round trip: %v", err)
+			}
+			if tr.Name != ref.Name {
+				t.Errorf("name = %q, text reader got %q", tr.Name, ref.Name)
+			}
+			if len(tr.Accs) != len(ref.Accs) {
+				t.Fatalf("binary decoded %d accesses, text %d", len(tr.Accs), len(ref.Accs))
+			}
+			for i := range ref.Accs {
+				if tr.Accs[i] != ref.Accs[i] {
+					t.Fatalf("access %d: binary %+v, text %+v", i, tr.Accs[i], ref.Accs[i])
+				}
+			}
+		})
+	}
+}

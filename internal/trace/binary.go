@@ -1,0 +1,706 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"graphene/internal/dram"
+)
+
+// Binary trace format (DESIGN.md §10). The stream is:
+//
+//	magic    "RHTB1\n" (6 bytes)
+//	header   uvarint nameLen (≤ MaxNameLen), nameLen name bytes
+//	         uvarint banks  (max bank index + 1; 0 for an empty trace)
+//	         uvarint total  (access count)
+//	segments repeated: uvarint payloadLen (> 0), payloadLen payload bytes
+//	end      uvarint 0
+//
+// Each segment covers up to segmentAccs consecutive accesses of the
+// stream and lays them out columnarly per bank:
+//
+//	uvarint nblocks (≥ 1)
+//	nblocks × block, in strictly ascending bank order:
+//	    uvarint bank, uvarint count (≥ 1)
+//	    count × varint rowDelta   (zigzag; vs the bank's previous row,
+//	                               starting at 0 at the stream head)
+//	    count × varint gapDelta   (zigzag; vs the bank's previous gap)
+//	uvarint nruns (≥ 1)
+//	nruns × (uvarint bank, uvarint runLen ≥ 1)
+//
+// The blocks carry everything replay needs — per-bank access order is the
+// only order the timing model observes — so the block reader hands them
+// to per-bank consumers without touching the run list. The runs record
+// the original global interleaving as run-length-encoded bank indices, so
+// ReadBinary reconstructs the exact access sequence and a text↔binary
+// round trip is lossless. Delta state (previous row/gap per bank) runs
+// across segment boundaries.
+//
+// Every field a hostile stream controls is bounded before allocation
+// (name length, segment payload size, bank index), decoded values are
+// checked against the shared limits in io.go, and the header's total must
+// match the decoded count — so a torn or truncated tail is always an
+// error, never a silently short trace.
+
+var binaryMagic = []byte("RHTB1\n")
+
+const (
+	// MaxNameLen bounds the stored trace name.
+	MaxNameLen = 4096
+
+	// segmentAccs is how many accesses the writer packs per segment: large
+	// enough to amortize framing and give replay consumers full blocks,
+	// small enough that one decoded segment stays a few hundred KB.
+	segmentAccs = 1 << 16
+
+	// maxSegmentBytes rejects absurd payload lengths before allocating.
+	// The writer's segments encode ≤ segmentAccs accesses at ≤ 20 bytes
+	// each plus framing, far under this.
+	maxSegmentBytes = 16 << 20
+)
+
+// ErrNotBinary reports that a stream does not start with the binary
+// magic; ReadAuto uses it to fall back to the text parser.
+var ErrNotBinary = errors.New("trace: not a binary trace (magic mismatch)")
+
+// IsBinary reports whether r's next bytes are the binary trace magic,
+// without consuming them. A stream shorter than the magic is not binary.
+func IsBinary(r *bufio.Reader) bool {
+	head, err := r.Peek(len(binaryMagic))
+	return err == nil && bytes.Equal(head, binaryMagic)
+}
+
+// binErrf wraps binary-codec errors with a uniform prefix.
+func binErrf(format string, args ...any) error {
+	return fmt.Errorf("trace: binary: "+format, args...)
+}
+
+// ---------------------------------------------------------------- writer
+
+// binEncoder accumulates the stream segment by segment. Header fields
+// (banks, total) are only known once the generator is drained, so encoded
+// segment bytes buffer in memory — a few bytes per access — and flush to
+// the writer after the header.
+type binEncoder struct {
+	scratch []Access // current segment, arrival order
+	body    []byte   // encoded segments so far
+	payload []byte   // reused per-segment encode buffer
+	runsEnc []byte   // reused run-list encode buffer
+
+	prevRow []int64 // per-bank delta state, grown on demand
+	prevGap []int64
+
+	maxBank int
+	total   int64
+}
+
+// grow extends the per-bank delta-state arrays to cover bank.
+func (e *binEncoder) grow(bank int) {
+	for len(e.prevRow) <= bank {
+		e.prevRow = append(e.prevRow, 0)
+		e.prevGap = append(e.prevGap, 0)
+	}
+}
+
+func (e *binEncoder) add(a Access) {
+	e.scratch = append(e.scratch, a)
+	if a.Bank > e.maxBank {
+		e.maxBank = a.Bank
+	}
+	e.total++
+	if len(e.scratch) >= segmentAccs {
+		e.flush()
+	}
+}
+
+// flush encodes the scratch segment into body.
+func (e *binEncoder) flush() {
+	if len(e.scratch) == 0 {
+		return
+	}
+	// Group per bank, preserving per-bank order.
+	banks := map[int][]Access{}
+	var order []int
+	for _, a := range e.scratch {
+		if _, ok := banks[a.Bank]; !ok {
+			order = append(order, a.Bank)
+		}
+		banks[a.Bank] = append(banks[a.Bank], a)
+	}
+	sort.Ints(order)
+
+	p := e.payload[:0]
+	p = binary.AppendUvarint(p, uint64(len(order)))
+	for _, bank := range order {
+		e.grow(bank)
+		col := banks[bank]
+		p = binary.AppendUvarint(p, uint64(bank))
+		p = binary.AppendUvarint(p, uint64(len(col)))
+		for _, a := range col {
+			p = binary.AppendVarint(p, int64(a.Row)-e.prevRow[bank])
+			e.prevRow[bank] = int64(a.Row)
+		}
+		for _, a := range col {
+			p = binary.AppendVarint(p, int64(a.Gap)-e.prevGap[bank])
+			e.prevGap[bank] = int64(a.Gap)
+		}
+	}
+	// Run-length encode the original interleaving into a side buffer (the
+	// run count precedes the runs, and is only known afterwards).
+	var runs int
+	rb := e.runsEnc[:0]
+	for i := 0; i < len(e.scratch); {
+		j := i + 1
+		for j < len(e.scratch) && e.scratch[j].Bank == e.scratch[i].Bank {
+			j++
+		}
+		rb = binary.AppendUvarint(rb, uint64(e.scratch[i].Bank))
+		rb = binary.AppendUvarint(rb, uint64(j-i))
+		runs++
+		i = j
+	}
+	e.runsEnc = rb
+	p = binary.AppendUvarint(p, uint64(runs))
+	p = append(p, rb...)
+
+	e.body = binary.AppendUvarint(e.body, uint64(len(p)))
+	e.body = append(e.body, p...)
+	e.payload = p[:0]
+	e.scratch = e.scratch[:0]
+}
+
+// WriteBinary drains gen into w in the binary trace format and returns
+// the number of accesses written. The trace name is stored verbatim
+// (length-prefixed, so unlike the text header it needs no sanitizing) but
+// must fit MaxNameLen; every access must satisfy the shared limits.
+func WriteBinary(w io.Writer, gen Generator) (int64, error) {
+	name := gen.Name()
+	if len(name) > MaxNameLen {
+		return 0, binErrf("name is %d bytes, limit %d", len(name), MaxNameLen)
+	}
+	enc := &binEncoder{}
+	for {
+		a, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := checkLimits(int64(a.Bank), int64(a.Row), int64(a.Gap)); err != nil {
+			return 0, binErrf("access %d: %w", enc.total, err)
+		}
+		enc.add(a)
+	}
+	enc.flush()
+
+	head := append([]byte{}, binaryMagic...)
+	head = binary.AppendUvarint(head, uint64(len(name)))
+	head = append(head, name...)
+	banks := 0
+	if enc.total > 0 {
+		banks = enc.maxBank + 1
+	}
+	head = binary.AppendUvarint(head, uint64(banks))
+	head = binary.AppendUvarint(head, uint64(enc.total))
+	if _, err := w.Write(head); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(enc.body); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write([]byte{0}); err != nil { // end marker
+		return 0, err
+	}
+	return enc.total, nil
+}
+
+// ---------------------------------------------------------------- reader
+
+// Block is one bank's slice of a segment: up to segmentAccs consecutive
+// accesses of that bank, in stream order. Accs aliases the buffer passed
+// to BlockReader.Next.
+type Block struct {
+	Bank int
+	Accs []Access
+}
+
+// segBlock records one decoded block of the current segment, for
+// validating the segment's run list against its blocks.
+type segBlock struct {
+	bank  int
+	count int64
+}
+
+// BlockReader streams a binary trace as per-bank blocks, skipping the
+// global-order reconstruction — the ingest path for bank-parallel replay
+// (memctrl.RunBlocks). The header is read eagerly, so Name, Banks, and
+// Total are available before any block decodes; Banks in particular makes
+// geometry auto-detection free, where the text format needs a full pass.
+type BlockReader struct {
+	src   *bufio.Reader
+	name  string
+	banks int
+	total int64
+
+	prevRow []int64
+	prevGap []int64
+
+	payload    []byte // current segment bytes, reused
+	off        int    // decode cursor within payload
+	segOpen    bool   // a segment's run list is still pending
+	blocksLeft int    // blocks not yet returned from the current segment
+	segAccs    int64  // accesses decoded from the current segment
+	segBlocks  []segBlock
+	consumed   []int64 // runList's per-bank accounting, reused across segments
+
+	decoded int64
+	done    bool
+}
+
+// NewBlockReader checks the magic and reads the header. A stream that
+// does not start with the binary magic returns ErrNotBinary with nothing
+// consumed beyond the peek (r is internally buffered; use ReadAuto for
+// transparent fallback to the text parser).
+func NewBlockReader(r io.Reader) (*BlockReader, error) {
+	src, ok := r.(*bufio.Reader)
+	if !ok {
+		src = bufio.NewReader(r)
+	}
+	head, err := src.Peek(len(binaryMagic))
+	if err != nil || !bytes.Equal(head, binaryMagic) {
+		return nil, ErrNotBinary
+	}
+	if _, err := src.Discard(len(binaryMagic)); err != nil {
+		return nil, binErrf("header: %w", err)
+	}
+	nameLen, err := binary.ReadUvarint(src)
+	if err != nil {
+		return nil, binErrf("header: truncated name length: %w", noEOF(err))
+	}
+	if nameLen > MaxNameLen {
+		return nil, binErrf("header: name length %d exceeds limit %d", nameLen, MaxNameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(src, name); err != nil {
+		return nil, binErrf("header: truncated name: %w", noEOF(err))
+	}
+	banks, err := binary.ReadUvarint(src)
+	if err != nil {
+		return nil, binErrf("header: truncated bank count: %w", noEOF(err))
+	}
+	if banks > MaxBank+1 {
+		return nil, binErrf("header: %d banks exceeds limit %d", banks, MaxBank+1)
+	}
+	total, err := binary.ReadUvarint(src)
+	if err != nil {
+		return nil, binErrf("header: truncated access count: %w", noEOF(err))
+	}
+	if total > 1<<62 {
+		return nil, binErrf("header: absurd access count %d", total)
+	}
+	return &BlockReader{src: src, name: string(name), banks: int(banks), total: int64(total)}, nil
+}
+
+// noEOF upgrades a bare io.EOF to io.ErrUnexpectedEOF: every mid-stream
+// EOF in the binary codec means a torn tail, and io.EOF must stay
+// reserved for BlockReader.Next's clean end-of-trace.
+func noEOF(err error) error {
+	if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Name returns the trace name stored in the header.
+func (br *BlockReader) Name() string { return br.name }
+
+// Banks returns the header's bank count (max bank index + 1).
+func (br *BlockReader) Banks() int { return br.banks }
+
+// Total returns the header's access count.
+func (br *BlockReader) Total() int64 { return br.total }
+
+// uvarint decodes an unsigned varint from the current payload.
+func (br *BlockReader) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(br.payload[br.off:])
+	if n <= 0 {
+		return 0, binErrf("segment: truncated %s", what)
+	}
+	br.off += n
+	return v, nil
+}
+
+// Next decodes the next block, appending its accesses to buf[:0] (pass
+// nil to allocate). It returns io.EOF after the end marker of a complete,
+// length-consistent stream; a torn tail or any malformed field is a
+// non-EOF error.
+func (br *BlockReader) Next(buf []Access) (Block, error) {
+	if br.done {
+		return Block{}, io.EOF
+	}
+	for br.blocksLeft == 0 {
+		if br.segOpen {
+			// Finish the open segment: its run list must replay exactly
+			// the blocks it came with.
+			if _, err := br.runList(nil, false); err != nil {
+				return Block{}, err
+			}
+			continue
+		}
+		if err := br.nextSegment(); err != nil {
+			if err == io.EOF {
+				br.done = true
+			}
+			return Block{}, err
+		}
+	}
+	return br.decodeBlock(buf)
+}
+
+// nextSegment reads the next segment payload, returning io.EOF on a clean
+// end marker.
+func (br *BlockReader) nextSegment() error {
+	n, err := binary.ReadUvarint(br.src)
+	if err != nil {
+		return binErrf("truncated stream (missing end marker): %w", noEOF(err))
+	}
+	if n == 0 {
+		if br.decoded != br.total {
+			return binErrf("truncated stream: header promises %d accesses, segments carry %d", br.total, br.decoded)
+		}
+		return io.EOF
+	}
+	if n > maxSegmentBytes {
+		return binErrf("segment of %d bytes exceeds limit %d", n, maxSegmentBytes)
+	}
+	if cap(br.payload) < int(n) {
+		br.payload = make([]byte, n)
+	}
+	br.payload = br.payload[:n]
+	if _, err := io.ReadFull(br.src, br.payload); err != nil {
+		return binErrf("truncated segment: %w", noEOF(err))
+	}
+	br.off = 0
+	nblocks, err := br.uvarint("block count")
+	if err != nil {
+		return err
+	}
+	if nblocks == 0 || nblocks > uint64(MaxBank)+1 {
+		return binErrf("segment: bad block count %d", nblocks)
+	}
+	br.segOpen = true
+	br.blocksLeft = int(nblocks)
+	br.segAccs = 0
+	br.segBlocks = br.segBlocks[:0]
+	return nil
+}
+
+// decodeBlock decodes one block from the open segment into buf[:0].
+func (br *BlockReader) decodeBlock(buf []Access) (Block, error) {
+	bank64, err := br.uvarint("bank")
+	if err != nil {
+		return Block{}, err
+	}
+	if bank64 > MaxBank {
+		return Block{}, binErrf("segment: %w", checkLimits(int64(bank64), 0, 0))
+	}
+	bank := int(bank64)
+	if bank >= br.banks {
+		return Block{}, binErrf("segment: block for bank %d, header has %d banks", bank, br.banks)
+	}
+	if n := len(br.segBlocks); n > 0 && br.segBlocks[n-1].bank >= bank {
+		return Block{}, binErrf("segment: bank %d out of order (blocks must ascend)", bank)
+	}
+	count, err := br.uvarint("access count")
+	if err != nil {
+		return Block{}, err
+	}
+	// The writer never packs more than segmentAccs accesses into one
+	// segment; enforcing that here bounds what a hostile count field can
+	// make the decoder allocate.
+	if count == 0 || count > segmentAccs || br.segAccs+int64(count) > segmentAccs {
+		return Block{}, binErrf("segment: bad block length %d (segment limit %d accesses)", count, segmentAccs)
+	}
+	for len(br.prevRow) <= bank {
+		br.prevRow = append(br.prevRow, 0)
+		br.prevGap = append(br.prevGap, 0)
+	}
+	accs := buf[:0]
+	if cap(accs) < int(count) {
+		accs = make([]Access, count)
+	} else {
+		accs = accs[:count]
+	}
+	// The two column loops below are the decoder's per-access hot path —
+	// the throughput `make bench-trace` gates — so the varints decode
+	// inline with a single-byte fast path (most deltas are small) instead
+	// of through the method helpers, and the cursor lives in a local.
+	p, off := br.payload, br.off
+	prev := br.prevRow[bank]
+	for i := range accs {
+		if off >= len(p) {
+			return Block{}, binErrf("segment: truncated row delta")
+		}
+		c := p[off]
+		off++
+		u := uint64(c)
+		if c >= 0x80 {
+			u &= 0x7f
+			for shift := uint(7); ; shift += 7 {
+				if off >= len(p) || shift > 63 {
+					return Block{}, binErrf("segment: truncated row delta")
+				}
+				c = p[off]
+				off++
+				u |= uint64(c&0x7f) << shift
+				if c < 0x80 {
+					break
+				}
+			}
+		}
+		row := prev + (int64(u>>1) ^ -int64(u&1)) // zigzag decode
+		if row < 0 || row > MaxRow {
+			return Block{}, binErrf("segment: %w", checkLimits(int64(bank), row, 0))
+		}
+		prev = row
+		accs[i] = Access{Bank: bank, Row: int(row)}
+	}
+	br.prevRow[bank] = prev
+	prev = br.prevGap[bank]
+	for i := range accs {
+		if off >= len(p) {
+			return Block{}, binErrf("segment: truncated gap delta")
+		}
+		c := p[off]
+		off++
+		u := uint64(c)
+		if c >= 0x80 {
+			u &= 0x7f
+			for shift := uint(7); ; shift += 7 {
+				if off >= len(p) || shift > 63 {
+					return Block{}, binErrf("segment: truncated gap delta")
+				}
+				c = p[off]
+				off++
+				u |= uint64(c&0x7f) << shift
+				if c < 0x80 {
+					break
+				}
+			}
+		}
+		gap := prev + (int64(u>>1) ^ -int64(u&1))
+		if gap < 0 {
+			return Block{}, binErrf("segment: %w", checkLimits(int64(bank), 0, gap))
+		}
+		prev = gap
+		accs[i].Gap = dram.Time(gap)
+	}
+	br.prevGap[bank] = prev
+	br.off = off
+	br.segBlocks = append(br.segBlocks, segBlock{bank: bank, count: int64(count)})
+	br.blocksLeft--
+	br.segAccs += int64(count)
+	br.decoded += int64(count)
+	return Block{Bank: bank, Accs: accs}, nil
+}
+
+// runList parses the segment's run list, validating it against segBlocks:
+// every run must name a bank with a block in this segment, and per bank
+// the run lengths must sum to exactly the block length. When collect is
+// set the runs are appended to dst[:0] (ReadBinary needs them to
+// reconstruct global order); the block-ingest path skips that. On any
+// error the reader is poisoned — callers must not continue decoding.
+func (br *BlockReader) runList(dst []run, collect bool) ([]run, error) {
+	dst = dst[:0]
+	nruns, err := br.uvarint("run count")
+	if err != nil {
+		return nil, err
+	}
+	if nruns == 0 || nruns > uint64(maxSegmentBytes) {
+		return nil, binErrf("segment: bad run count %d", nruns)
+	}
+	// consumed is reused across segments (zeroed on every exit path below);
+	// a dense slice beats a map at typical run counts — one short run per
+	// couple of accesses.
+	if br.consumed == nil {
+		br.consumed = make([]int64, br.banks)
+	}
+	named := 0
+	p, off := br.payload, br.off
+	for i := uint64(0); i < nruns; i++ {
+		var vals [2]uint64 // bank, length — same inline varint as decodeBlock
+		for f := 0; f < 2; f++ {
+			if off >= len(p) {
+				return nil, binErrf("segment: truncated run list")
+			}
+			c := p[off]
+			off++
+			u := uint64(c)
+			if c >= 0x80 {
+				u &= 0x7f
+				for shift := uint(7); ; shift += 7 {
+					if off >= len(p) || shift > 63 {
+						return nil, binErrf("segment: truncated run list")
+					}
+					c = p[off]
+					off++
+					u |= uint64(c&0x7f) << shift
+					if c < 0x80 {
+						break
+					}
+				}
+			}
+			vals[f] = u
+		}
+		bank64, length := vals[0], vals[1]
+		if bank64 >= uint64(br.banks) {
+			return nil, binErrf("segment: run for bank %d, header has %d banks", bank64, br.banks)
+		}
+		if length == 0 {
+			return nil, binErrf("segment: zero-length run")
+		}
+		if br.consumed[bank64] == 0 {
+			named++
+		}
+		br.consumed[bank64] += int64(length)
+		if collect {
+			dst = append(dst, run{bank: int(bank64), n: int64(length)})
+		}
+	}
+	br.off = off
+	if br.off != len(br.payload) {
+		return nil, binErrf("segment: %d trailing bytes", len(br.payload)-br.off)
+	}
+	if named != len(br.segBlocks) {
+		return nil, binErrf("segment: run list names %d banks, blocks cover %d", named, len(br.segBlocks))
+	}
+	for _, sb := range br.segBlocks {
+		if br.consumed[sb.bank] != sb.count {
+			return nil, binErrf("segment: runs replay %d accesses of bank %d, block carries %d", br.consumed[sb.bank], sb.bank, sb.count)
+		}
+	}
+	// All named banks are segment banks (named == len(segBlocks) and every
+	// segment bank is named with a non-zero count), so this zeroes the
+	// whole slice back for the next segment.
+	for _, sb := range br.segBlocks {
+		br.consumed[sb.bank] = 0
+	}
+	br.segOpen = false
+	br.payload = br.payload[:0]
+	return dst, nil
+}
+
+type run struct {
+	bank int
+	n    int64
+}
+
+// ReadBinary reads a complete binary trace from r, reconstructing the
+// exact global access order from the per-segment run lists, so a
+// text→binary→text round trip is byte-identical modulo header
+// sanitization.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br, err := NewBlockReader(r)
+	if err != nil {
+		return nil, err
+	}
+	prealloc := br.total
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20 // cap what a hostile header can make us allocate up front
+	}
+	out := make([]Access, 0, prealloc)
+	// Per-bank pending accesses of the open segment, with a read cursor per
+	// bank, and a pool recycling the block buffers across segments so the
+	// steady state allocates nothing per block.
+	cols := make([][]Access, br.banks)
+	cur := make([]int64, br.banks)
+	var pool [][]Access
+	var runs []run
+	for {
+		if br.blocksLeft > 0 {
+			var buf []Access
+			if n := len(pool); n > 0 {
+				buf, pool = pool[n-1], pool[:n-1]
+			}
+			blk, err := br.decodeBlock(buf)
+			if err != nil {
+				return nil, err
+			}
+			cols[blk.Bank] = blk.Accs
+			continue
+		}
+		if br.segOpen {
+			// Segment complete: apply its runs to recover global order.
+			// runList guarantees every run's bank has a block in this
+			// segment and the per-bank run lengths sum to exactly the block
+			// lengths, so the copies below can never run past a column.
+			segAccs := br.segAccs
+			runs, err = br.runList(runs, true)
+			if err != nil {
+				return nil, err
+			}
+			// Grow once for the whole segment, then place each run with an
+			// element loop: typical runs are a handful of accesses, where
+			// the per-append grow checks and memmove calls dominate.
+			base := len(out)
+			for int64(cap(out)-base) < segAccs {
+				out = append(out[:cap(out)], Access{})
+			}
+			out = out[:base+int(segAccs)]
+			for _, ru := range runs {
+				col := cols[ru.bank]
+				c := cur[ru.bank]
+				for i := int64(0); i < ru.n; i++ {
+					out[base] = col[c+i]
+					base++
+				}
+				cur[ru.bank] = c + ru.n
+			}
+			for _, sb := range br.segBlocks {
+				if cur[sb.bank] != sb.count { // invariant, per runList above
+					return nil, binErrf("segment: runs replay %d accesses of bank %d, block carries %d", cur[sb.bank], sb.bank, sb.count)
+				}
+				pool = append(pool, cols[sb.bank])
+				cols[sb.bank] = nil
+				cur[sb.bank] = 0
+			}
+			continue
+		}
+		if err := br.nextSegment(); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+	}
+	return &Trace{Name: br.name, Accs: out}, nil
+}
+
+// ---------------------------------------------------------- auto-detect
+
+// ReadAuto reads a trace in either format, sniffing the binary magic and
+// falling back to the text parser. fallbackName applies only to text
+// traces without a header line (the binary header always carries a name).
+func ReadAuto(r io.Reader, fallbackName string) (*Trace, error) {
+	src := bufio.NewReader(r)
+	if IsBinary(src) {
+		return ReadBinary(src)
+	}
+	return ReadAll(src, fallbackName)
+}
+
+// LoadFile reads a trace file in either format. The fallback name for
+// headerless text traces is the file's base name.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAuto(f, filepath.Base(path))
+}

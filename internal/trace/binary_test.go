@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"graphene/internal/dram"
+)
+
+// mixedTrace builds a deterministic multi-bank trace with bursty bank
+// runs, zero and large gaps, and rows jumping both directions — the
+// shapes the delta encoder must survive.
+func mixedTrace(n, banks int, seed int64) []Access {
+	rng := rand.New(rand.NewSource(seed))
+	accs := make([]Access, 0, n)
+	for len(accs) < n {
+		bank := rng.Intn(banks)
+		run := 1 + rng.Intn(5)
+		for r := 0; r < run && len(accs) < n; r++ {
+			acc := Access{Bank: bank, Row: rng.Intn(1 << 16)}
+			switch rng.Intn(3) {
+			case 0: // back-to-back
+			case 1:
+				acc.Gap = dram.Time(rng.Intn(100_000))
+			default:
+				acc.Gap = dram.Time(rng.Int63n(int64(1) << 40))
+			}
+			accs = append(accs, acc)
+		}
+	}
+	return accs
+}
+
+func encodeBinary(t testing.TB, name string, accs []Access) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := WriteBinary(&buf, FromSlice(name, accs))
+	if err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	if n != int64(len(accs)) {
+		t.Fatalf("WriteBinary wrote %d accesses, want %d", n, len(accs))
+	}
+	return buf.Bytes()
+}
+
+func TestBinaryRoundTripExactOrder(t *testing.T) {
+	cases := map[string][]Access{
+		"empty":       nil,
+		"single":      {{Bank: 0, Row: 42, Gap: 7}},
+		"single-bank": mixedTrace(5000, 1, 1),
+		"multi-bank":  mixedTrace(20_000, 7, 2),
+		"many-banks":  mixedTrace(3000, 64, 3),
+		// More accesses than one segment holds: delta state and run
+		// reconstruction must survive segment boundaries.
+		"multi-segment": mixedTrace(segmentAccs*2+123, 5, 4),
+	}
+	for name, accs := range cases {
+		t.Run(name, func(t *testing.T) {
+			data := encodeBinary(t, "rt-"+name, accs)
+			tr, err := ReadBinary(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("ReadBinary: %v", err)
+			}
+			if tr.Name != "rt-"+name {
+				t.Errorf("name = %q, want %q", tr.Name, "rt-"+name)
+			}
+			if len(tr.Accs) != len(accs) {
+				t.Fatalf("decoded %d accesses, want %d", len(tr.Accs), len(accs))
+			}
+			for i := range accs {
+				if tr.Accs[i] != accs[i] {
+					t.Fatalf("access %d = %+v, want %+v", i, tr.Accs[i], accs[i])
+				}
+			}
+		})
+	}
+}
+
+func TestBinaryPreservesHostileName(t *testing.T) {
+	// The binary header is length-prefixed, so names the text format must
+	// sanitize survive verbatim.
+	name := "evil\n7 7 7\n# trace imposter"
+	data := encodeBinary(t, name, []Access{{Bank: 0, Row: 1, Gap: 2}})
+	tr, err := ReadBinary(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != name {
+		t.Errorf("name = %q, want %q", tr.Name, name)
+	}
+}
+
+func TestBlockReaderHeaderAndBlocks(t *testing.T) {
+	accs := mixedTrace(10_000, 4, 9)
+	data := encodeBinary(t, "blocks", accs)
+	br, err := NewBlockReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Name() != "blocks" || br.Banks() != 4 || br.Total() != int64(len(accs)) {
+		t.Fatalf("header = (%q, %d, %d), want (blocks, 4, %d)", br.Name(), br.Banks(), br.Total(), len(accs))
+	}
+	// Blocks must reproduce exactly the per-bank partition, in per-bank
+	// order — the only order replay observes.
+	want := map[int][]Access{}
+	for _, a := range accs {
+		want[a.Bank] = append(want[a.Bank], a)
+	}
+	got := map[int][]Access{}
+	var buf []Access
+	for {
+		blk, err := br.Next(buf[:0])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if len(blk.Accs) == 0 {
+			t.Fatal("empty block")
+		}
+		for _, a := range blk.Accs {
+			if a.Bank != blk.Bank {
+				t.Fatalf("block for bank %d carries access %+v", blk.Bank, a)
+			}
+			got[blk.Bank] = append(got[blk.Bank], a)
+		}
+		buf = blk.Accs // recycled: Next appends into buf[:0]
+	}
+	if len(got) != len(want) {
+		t.Fatalf("blocks cover %d banks, want %d", len(got), len(want))
+	}
+	for bank, ws := range want {
+		gs := got[bank]
+		if len(gs) != len(ws) {
+			t.Fatalf("bank %d: %d accesses, want %d", bank, len(gs), len(ws))
+		}
+		for i := range ws {
+			if gs[i] != ws[i] {
+				t.Fatalf("bank %d access %d = %+v, want %+v", bank, i, gs[i], ws[i])
+			}
+		}
+	}
+	// After EOF the reader stays at EOF.
+	if _, err := br.Next(nil); err != io.EOF {
+		t.Fatalf("post-EOF Next: %v", err)
+	}
+}
+
+func TestBinaryRejectsTornTail(t *testing.T) {
+	accs := mixedTrace(segmentAccs+500, 3, 5) // two segments
+	data := encodeBinary(t, "torn", accs)
+	// Every proper prefix must fail — never parse as a silently shorter
+	// trace. Step through a spread of cut points including all short ones.
+	cuts := []int{0, 1, 3, 5}
+	for c := 6; c < len(data)-1; c += 997 {
+		cuts = append(cuts, c)
+	}
+	cuts = append(cuts, len(data)-1)
+	for _, cut := range cuts {
+		_, err := ReadBinary(bytes.NewReader(data[:cut]))
+		if err == nil {
+			t.Fatalf("accepted %d-byte prefix of %d-byte trace", cut, len(data))
+		}
+	}
+	// The full stream still parses (the loop above must not be vacuous).
+	if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+		t.Fatalf("full stream: %v", err)
+	}
+}
+
+func TestBinaryRejectsCorruptStream(t *testing.T) {
+	base := encodeBinary(t, "x", mixedTrace(100, 2, 6))
+	mut := func(mutate func(d []byte)) error {
+		d := append([]byte(nil), base...)
+		mutate(d)
+		_, err := ReadBinary(bytes.NewReader(d))
+		return err
+	}
+	if err := mut(func(d []byte) { d[0] = 'X' }); !errors.Is(err, ErrNotBinary) {
+		t.Errorf("bad magic: %v, want ErrNotBinary", err)
+	}
+	// Flip a byte mid-segment: either a decode error or a run/total
+	// mismatch, but never a clean parse of different data length... a
+	// value flip CAN decode to different-but-valid accesses (no checksum),
+	// so only assert it never panics and the strict validators still run.
+	for i := len(binaryMagic); i < len(base); i += 7 {
+		_ = mut(func(d []byte) { d[i] ^= 0x80 })
+	}
+}
+
+func TestWriteBinaryRejectsOutOfRange(t *testing.T) {
+	cases := map[string][]Access{
+		"bank": {{Bank: MaxBank + 1, Row: 0}},
+		"row":  {{Bank: 0, Row: MaxRow + 1}},
+		"gap":  {{Bank: 0, Row: 0, Gap: -1}},
+	}
+	for name, accs := range cases {
+		var buf bytes.Buffer
+		if _, err := WriteBinary(&buf, FromSlice("x", accs)); err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("%s: err = %v, want out-of-range", name, err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := WriteBinary(&buf, FromSlice(strings.Repeat("n", MaxNameLen+1), nil)); err == nil {
+		t.Error("accepted over-long name")
+	}
+}
+
+func TestReadAutoDetectsFormat(t *testing.T) {
+	accs := mixedTrace(500, 3, 7)
+
+	var text strings.Builder
+	if _, err := WriteTo(&text, FromSlice("auto", accs)); err != nil {
+		t.Fatal(err)
+	}
+	bin := encodeBinary(t, "auto", accs)
+
+	for name, src := range map[string]io.Reader{
+		"text":   strings.NewReader(text.String()),
+		"binary": bytes.NewReader(bin),
+	} {
+		tr, err := ReadAuto(src, "fallback")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tr.Name != "auto" || len(tr.Accs) != len(accs) {
+			t.Fatalf("%s: (%q, %d accesses), want (auto, %d)", name, tr.Name, len(tr.Accs), len(accs))
+		}
+		for i := range accs {
+			if tr.Accs[i] != accs[i] {
+				t.Fatalf("%s: access %d = %+v, want %+v", name, i, tr.Accs[i], accs[i])
+			}
+		}
+	}
+}
+
+// TestBinaryMatchesTextReader pins the two codecs to each other over a
+// text fixture: parse text (reference), convert to binary, and require the
+// binary reader to reproduce the reference stream exactly.
+func TestBinaryMatchesTextReader(t *testing.T) {
+	src := "# trace fixture\n0 5 0\n1 6 100\n1 7 0\n0 5 20\n2 70000 7800000\n"
+	ref, err := ReadAll(strings.NewReader(src), "fb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := encodeBinary(t, ref.Name, ref.Accs)
+	tr, err := ReadBinary(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != ref.Name || len(tr.Accs) != len(ref.Accs) {
+		t.Fatalf("binary = (%q, %d), text = (%q, %d)", tr.Name, len(tr.Accs), ref.Name, len(ref.Accs))
+	}
+	for i := range ref.Accs {
+		if tr.Accs[i] != ref.Accs[i] {
+			t.Fatalf("access %d: binary %+v, text %+v", i, tr.Accs[i], ref.Accs[i])
+		}
+	}
+}

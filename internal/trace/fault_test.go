@@ -1,7 +1,9 @@
 package trace_test
 
 import (
+	"bytes"
 	"errors"
+	"io"
 	"strings"
 	"testing"
 
@@ -48,5 +50,71 @@ func TestFaultInjectTraceReadPropagates(t *testing.T) {
 	}
 	if n != 50_000 {
 		t.Fatalf("parsed %d accesses, want 50000", n)
+	}
+}
+
+// TestFaultInjectBlockReaderPropagates: the binary block reader must
+// surface an injected mid-stream read fault as an error wrapping
+// ErrInjected — never io.EOF, never a short block sequence that looks like
+// a complete trace.
+func TestFaultInjectBlockReaderPropagates(t *testing.T) {
+	// Multi-segment binary fixture so reads span several segment payloads.
+	accs := make([]trace.Access, 0, 150_000)
+	for i := 0; i < 150_000; i++ {
+		accs = append(accs, trace.Access{Bank: i % 4, Row: i % 1024, Gap: 10})
+	}
+	var bb bytes.Buffer
+	if _, err := trace.WriteBinary(&bb, trace.FromSlice("fault-bin", accs)); err != nil {
+		t.Fatal(err)
+	}
+
+	inj, err := faultinject.New("trace.read:error:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := trace.NewBlockReader(inj.Reader(faultinject.SiteTraceRead, bytes.NewReader(bb.Bytes())))
+	if err != nil {
+		// The fault may already hit inside the header read; that is a valid
+		// propagation too, as long as it is the injected error.
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("NewBlockReader err = %v, want injected fault", err)
+		}
+		return
+	}
+	for {
+		_, err := br.Next(nil)
+		if err == nil {
+			continue
+		}
+		if err == io.EOF {
+			t.Fatal("block reader reached clean EOF through an injected fault")
+		}
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("Next err = %v, want injected fault", err)
+		}
+		if !strings.HasPrefix(err.Error(), "trace: ") {
+			t.Fatalf("fault not wrapped as a trace error: %v", err)
+		}
+		break
+	}
+
+	// Without the fault the same stream block-decodes completely.
+	br, err = trace.NewBlockReader(bytes.NewReader(bb.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for {
+		blk, err := br.Next(nil)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += int64(len(blk.Accs))
+	}
+	if total != int64(len(accs)) {
+		t.Fatalf("decoded %d accesses, want %d", total, len(accs))
 	}
 }

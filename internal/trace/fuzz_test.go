@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -23,6 +25,7 @@ func FuzzReadFrom(f *testing.F) {
 			return
 		}
 		accs := Collect(gen)
+		name := gen.Name()
 		for _, a := range accs {
 			if a.Bank < 0 || a.Row < 0 || a.Gap < 0 {
 				t.Fatalf("parser admitted negative field: %+v", a)
@@ -45,6 +48,141 @@ func FuzzReadFrom(f *testing.F) {
 		for i := range got {
 			if got[i] != accs[i] {
 				t.Fatalf("round trip changed access %d: %+v vs %+v", i, got[i], accs[i])
+			}
+		}
+
+		// Binary↔text equivalence: whatever the text reference parses, the
+		// binary codec must reproduce — name, length, and exact global order.
+		// (A text header line can exceed the binary name limit; clamp, since
+		// the name is not what this target is about.)
+		if len(name) > MaxNameLen {
+			name = name[:MaxNameLen]
+		}
+		var bb bytes.Buffer
+		if _, err := WriteBinary(&bb, FromSlice(name, accs)); err != nil {
+			t.Fatalf("WriteBinary rejected text-parsed trace: %v", err)
+		}
+		tr, err := ReadBinary(bytes.NewReader(bb.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadBinary failed on own output: %v", err)
+		}
+		if tr.Name != name {
+			t.Fatalf("binary round trip changed name: %q vs %q", tr.Name, name)
+		}
+		if len(tr.Accs) != len(accs) {
+			t.Fatalf("binary round trip changed length: %d vs %d", len(tr.Accs), len(accs))
+		}
+		for i := range tr.Accs {
+			if tr.Accs[i] != accs[i] {
+				t.Fatalf("binary round trip changed access %d: %+v vs %+v", i, tr.Accs[i], accs[i])
+			}
+		}
+		// The block reader's per-bank partition must match the reference's.
+		want := map[int][]Access{}
+		for _, a := range accs {
+			want[a.Bank] = append(want[a.Bank], a)
+		}
+		br, err := NewBlockReader(bytes.NewReader(bb.Bytes()))
+		if err != nil {
+			t.Fatalf("NewBlockReader: %v", err)
+		}
+		got2 := map[int][]Access{}
+		for {
+			blk, err := br.Next(nil)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("BlockReader.Next: %v", err)
+			}
+			got2[blk.Bank] = append(got2[blk.Bank], blk.Accs...)
+		}
+		if len(got2) != len(want) {
+			t.Fatalf("block partition covers %d banks, want %d", len(got2), len(want))
+		}
+		for bank, ws := range want {
+			gs := got2[bank]
+			if len(gs) != len(ws) {
+				t.Fatalf("bank %d: blocks carry %d accesses, want %d", bank, len(gs), len(ws))
+			}
+			for i := range ws {
+				if gs[i] != ws[i] {
+					t.Fatalf("bank %d access %d: %+v vs %+v", bank, i, gs[i], ws[i])
+				}
+			}
+		}
+	})
+}
+
+// FuzzBinaryReader hardens the binary decoder: arbitrary bytes after the
+// magic must either decode cleanly or error — never panic or over-allocate
+// — and whatever decodes must re-encode to an equivalent trace.
+func FuzzBinaryReader(f *testing.F) {
+	seed := func(accs []Access) []byte {
+		var bb bytes.Buffer
+		if _, err := WriteBinary(&bb, FromSlice("seed", accs)); err != nil {
+			f.Fatal(err)
+		}
+		return bb.Bytes()
+	}
+	f.Add(seed(nil))
+	f.Add(seed([]Access{{Bank: 0, Row: 1, Gap: 2}}))
+	f.Add(seed([]Access{{Bank: 1, Row: 9, Gap: 0}, {Bank: 0, Row: 3, Gap: 5}, {Bank: 1, Row: 9, Gap: 5}}))
+	f.Add([]byte("RHTB1\n"))
+	f.Add([]byte("RHTB1\n\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var bb bytes.Buffer
+		if _, err := WriteBinary(&bb, tr.Generator()); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		back, err := ReadBinary(bytes.NewReader(bb.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.Name != tr.Name || len(back.Accs) != len(tr.Accs) {
+			t.Fatalf("re-round-trip changed shape: (%q, %d) vs (%q, %d)", back.Name, len(back.Accs), tr.Name, len(tr.Accs))
+		}
+		for i := range back.Accs {
+			if back.Accs[i] != tr.Accs[i] {
+				t.Fatalf("re-round-trip changed access %d", i)
+			}
+		}
+	})
+}
+
+// FuzzWriteName: hostile names must never corrupt the text format — the
+// written stream must parse, carry the same accesses, and exactly one
+// header line.
+func FuzzWriteName(f *testing.F) {
+	f.Add("plain")
+	f.Add("evil\n7 7 7")
+	f.Add("a\r\nb")
+	f.Add("# trace imposter")
+	f.Add("\n\n\n")
+	f.Fuzz(func(t *testing.T, name string) {
+		in := []Access{{Bank: 1, Row: 2, Gap: 3}, {Bank: 0, Row: 9, Gap: 0}}
+		var sb strings.Builder
+		if _, err := WriteTo(&sb, FromSlice(name, in)); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		if got := strings.Count(sb.String(), "\n"); got != len(in)+1 {
+			t.Fatalf("name %q injected lines: %d newlines, want %d", name, got, len(in)+1)
+		}
+		gen, err := ReadFrom(strings.NewReader(sb.String()), "fallback")
+		if err != nil {
+			t.Fatalf("written trace does not parse: %v", err)
+		}
+		out := Collect(gen)
+		if len(out) != len(in) {
+			t.Fatalf("name %q corrupted accesses: got %d, want %d", name, len(out), len(in))
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatalf("access %d: %+v vs %+v", i, out[i], in[i])
 			}
 		}
 	})

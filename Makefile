@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench bench-sweep bench-obs bench-fault bench-hotpath bench-trace fuzz race tables security examples check
+.PHONY: all build vet test test-race test-short bench bench-sweep bench-obs bench-fault bench-hotpath bench-trace bench-replay fuzz race tables security examples check
 
 all: check
 
@@ -62,6 +62,23 @@ bench-hotpath:
 bench-trace:
 	$(GO) test -run xxx -bench 'BenchmarkTraceCodec' -benchtime 5x -count 3 ./internal/trace | $(GO) run ./cmd/rhbench -o BENCH_trace.json -assert-speedup 'decode-blocks:parse-text:10'
 
+# Batched replay gate (DESIGN.md §11): the zero-alloc test pins the batch
+# core's steady state at exactly 0 allocations, then the engine pair
+# benchmarks (identical ACT runs through the scalar replayOne loop vs the
+# batched replayRun) and the all-banks aggregate pair (buffered per-ACT
+# replay vs columnar RunBlocks ingest) record single-bank and aggregate
+# ACT/s into BENCH_replay.json. rhbench asserts the ISSUE 7 floors: ≥3x
+# batch-vs-scalar on trigger-light replay, ≥1.3x end-to-end aggregate,
+# and 0 allocs/op on every batch engine bench.
+bench-replay:
+	$(GO) test -run 'TestReplayBatchZeroAlloc' ./internal/memctrl
+	$(GO) test -run xxx -bench 'BenchmarkReplayEngine' -benchtime 500x -count 3 -benchmem ./internal/memctrl > BENCH_replay.txt
+	$(GO) test -run xxx -bench 'BenchmarkReplayAggregate' -benchtime 3x -count 3 -benchmem ./internal/memctrl >> BENCH_replay.txt
+	$(GO) run ./cmd/rhbench -i BENCH_replay.txt -o BENCH_replay.json -assert-speedup 'ReplayEngine/batch-trigger-light:ReplayEngine/scalar-trigger-light:3'
+	$(GO) run ./cmd/rhbench -i BENCH_replay.txt -o /dev/null -assert-speedup 'batch-allbanks:scalar-allbanks:1.3'
+	$(GO) run ./cmd/rhbench -i BENCH_replay.txt -o /dev/null -assert-zero-allocs 'BenchmarkReplayEngine/batch'
+	rm -f BENCH_replay.txt
+
 # Race detector over the packages that run per-bank goroutines and the
 # sweep worker pool, plus the mitigation stack fuzz seeds (FuzzStackAppend
 # runs its corpus as regular tests here). -short skips the tens-of-seconds
@@ -75,6 +92,7 @@ fuzz:
 	$(GO) test ./internal/graphene -fuzz=FuzzTableInvariants -fuzztime=30s -run xxx
 	$(GO) test ./internal/graphene -fuzz=FuzzBankNeverMissesTheorem -fuzztime=30s -run xxx
 	$(GO) test ./internal/graphene -fuzz=FuzzTableMatchesReference -fuzztime=30s -run xxx
+	$(GO) test ./internal/graphene -fuzz=FuzzBatchAppend -fuzztime=30s -run xxx
 	$(GO) test ./internal/memctrl -fuzz=FuzzStreamingMatchesBuffered -fuzztime=30s -run xxx
 	$(GO) test ./internal/mitigation -fuzz=FuzzStackAppend -fuzztime=30s -run xxx
 
@@ -92,4 +110,4 @@ examples:
 	$(GO) run ./examples/pagepolicy
 	$(GO) run ./examples/observability
 
-check: build vet test race bench-sweep bench-fault bench-hotpath bench-trace
+check: build vet test race bench-sweep bench-fault bench-hotpath bench-trace bench-replay

@@ -25,6 +25,7 @@ import (
 	"graphene/internal/memctrl"
 	"graphene/internal/mitigation"
 	"graphene/internal/obs"
+	"graphene/internal/prof"
 	"graphene/internal/sched"
 	"graphene/internal/sim"
 	"graphene/internal/stats"
@@ -46,9 +47,11 @@ type options struct {
 	progress bool
 	timeout  time.Duration
 	faults   string
-	metrics  string
-	events   string
-	pprof    string
+	metrics    string
+	events     string
+	pprof      string
+	cpuprofile string
+	memprofile string
 }
 
 func main() {
@@ -69,6 +72,8 @@ func main() {
 	flag.StringVar(&o.metrics, "metrics", "", "write a JSON metrics snapshot to this file at exit (stderr or - for standard error)")
 	flag.StringVar(&o.events, "events", "", "stream JSON-line mitigation events to this file (stderr or - for standard error; never stdout)")
 	flag.StringVar(&o.pprof, "pprof", "", "serve /debug/pprof/ and live /metrics on this address (e.g. localhost:6060)")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof format)")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
 	rec, closeObs, err := obs.NewFromPaths(o.metrics, o.events)
@@ -81,7 +86,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rhsim: pprof:", http.ListenAndServe(o.pprof, obs.DebugMux(rec)))
 		}()
 	}
+	stopCPU, err := prof.StartCPU(o.cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhsim:", err)
+		os.Exit(2)
+	}
 	flipped, err := run(os.Stdout, rec, o)
+	if perr := stopCPU(); perr != nil && err == nil {
+		err = perr
+	}
+	if perr := prof.WriteHeap(o.memprofile); perr != nil && err == nil {
+		err = perr
+	}
 	if cerr := closeObs(); cerr != nil && err == nil {
 		err = cerr
 	}

@@ -50,6 +50,7 @@ import (
 	"graphene/internal/graphene"
 	"graphene/internal/model"
 	"graphene/internal/obs"
+	"graphene/internal/prof"
 	"graphene/internal/sched"
 	"graphene/internal/security"
 	"graphene/internal/sim"
@@ -126,6 +127,8 @@ func main() {
 		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit (stderr or - for standard error)")
 		events   = flag.String("events", "", "stream JSON-line mitigation events to this file (stderr or - for standard error; never stdout)")
 		pprof    = flag.String("pprof", "", "serve /debug/pprof/ and live /metrics on this address (e.g. localhost:6060)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof format)")
+		memprof  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -194,6 +197,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	stopCPU, err := prof.StartCPU(*cpuprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhsweep:", err)
+		os.Exit(2)
+	}
 	switch *format {
 	case "csv":
 		w := csv.NewWriter(os.Stdout)
@@ -204,6 +212,12 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "rhsweep: unknown format %q (csv|json)\n", *format)
 		os.Exit(2)
+	}
+	if perr := stopCPU(); perr != nil && err == nil {
+		err = perr
+	}
+	if perr := prof.WriteHeap(*memprof); perr != nil && err == nil {
+		err = perr
 	}
 	if cerr := o.ckpt.Close(); cerr != nil && err == nil {
 		err = cerr

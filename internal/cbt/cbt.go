@@ -230,6 +230,13 @@ func (c *CBT) appendVictimRefreshes(dst []mitigation.VictimRefresh, lo, hi int) 
 	return dst
 }
 
+// AppendOnActivateBatch implements mitigation.Mitigator through the
+// shared scalar-loop adapter (the controller's batch replay still saves
+// the per-ACT dispatch and timing work around it).
+func (c *CBT) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
+	return mitigation.ScalarBatch(c, dst, rows, now)
+}
+
 // AppendTick implements mitigation.Mitigator; CBT takes no refresh-time
 // action.
 func (c *CBT) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {

@@ -120,6 +120,13 @@ func (c *CRA) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram
 	return append(dst, mitigation.VictimRefresh{Aggressor: row, Distance: c.cfg.Distance})
 }
 
+// AppendOnActivateBatch implements mitigation.Mitigator through the
+// shared scalar-loop adapter (the controller's batch replay still saves
+// the per-ACT dispatch and timing work around it).
+func (c *CRA) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
+	return mitigation.ScalarBatch(c, dst, rows, now)
+}
+
 // AppendTick implements mitigation.Mitigator; CRA takes no refresh-time
 // action.
 func (c *CRA) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {

@@ -100,6 +100,19 @@ func (b *Bank) Activate(row int, now Time) (done Time, err error) {
 	return end, nil
 }
 
+// ActivateRun accounts a run of count activations in one step — the batched
+// replay's bank-side bookkeeping (DESIGN.md §11). The caller has already
+// walked the occupancy recurrence Activate uses (start = max(arrival,
+// busyUntil), end = start + tRC, arrival_next = end + gap) across the run;
+// end is the completion time of the run's last activation, and the rows
+// must have been range-checked upstream. Equivalent to count Activate
+// calls: same ACT count, same tRC-per-ACT busy time, same final busyUntil.
+func (b *Bank) ActivateRun(count int, end Time) {
+	b.stats.ACTs += int64(count)
+	b.stats.BusyTime += Time(count) * b.timing.TRC
+	b.busyUntil = end
+}
+
 // AutoRefresh performs one REF command at or after now, refreshing the next
 // rowsPerREF rows in sequence. It returns the completion time and the rows
 // covered (so callers can restore their charge model). The returned slice
@@ -111,7 +124,11 @@ func (b *Bank) AutoRefresh(now Time) (done Time, rows []int) {
 	for i := 0; i < b.rowsPerREF; i++ {
 		b.rowScratch = append(b.rowScratch, b.refPtr)
 		b.lastRefresh[b.refPtr] = end
-		b.refPtr = (b.refPtr + 1) % b.rows
+		// refPtr stays in [0, rows), so a wrap compare replaces the modulo —
+		// this runs once per refreshed row on every replay path.
+		if b.refPtr++; b.refPtr == b.rows {
+			b.refPtr = 0
+		}
 	}
 	b.stats.REFCommands++
 	b.stats.RowsAutoRefresh += int64(b.rowsPerREF)

@@ -115,6 +115,48 @@ func (b *Bank) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dra
 	return append(dst, mitigation.VictimRefresh{Aggressor: row, Distance: b.cfg.Distance})
 }
 
+// AppendOnActivateBatch implements mitigation.Mitigator — the fused batch
+// path of DESIGN.md §11. The run is sliced at reset-window boundaries
+// (windows depend only on now, never on the rows), each slice streams
+// through Table.ObserveRun's hoisted Misra-Gries loop, and the batch stops
+// at the first trigger exactly as the contract requires. A spillover-alert
+// rising edge also ends an ObserveRun — the table can't know event times —
+// so the alert is emitted here at the edge ACT's timestamp and the run
+// resumes; every counter, event, and append is byte-identical to feeding
+// the same ACTs through AppendOnActivate.
+func (b *Bank) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
+	i, n := 0, len(rows)
+	for i < n {
+		for now[i] >= b.windowEnd {
+			b.snapshotWindow()
+			b.table.Reset()
+			b.windowEnd += b.params.Window
+			b.resets++
+		}
+		j := i + 1
+		for j < n && now[j] < b.windowEnd {
+			j++
+		}
+		consumed, trigger, alertEdge := b.table.ObserveRun(rows[i:j])
+		i += consumed
+		if trigger {
+			b.refreshes++
+			return append(dst, mitigation.VictimRefresh{Aggressor: int(rows[i-1]), Distance: b.cfg.Distance}), i
+		}
+		if alertEdge {
+			b.alerts++
+			b.alertsC.Inc()
+			if b.rec != nil {
+				b.rec.Emit(obs.Event{
+					Kind: obs.KindSpillAlert, Scheme: b.Name(), Bank: b.obsBank,
+					Time: int64(now[i-1]), Value: b.table.Spillover(),
+				})
+			}
+		}
+	}
+	return dst, n
+}
+
 // AppendTick implements mitigation.Mitigator; Graphene takes no
 // refresh-time action.
 func (b *Bank) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {

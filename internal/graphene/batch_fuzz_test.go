@@ -1,0 +1,95 @@
+package graphene
+
+import (
+	"reflect"
+	"testing"
+
+	"graphene/internal/dram"
+	"graphene/internal/mitigation"
+)
+
+// FuzzBatchAppend is the differential fuzz target behind the fused batch
+// path (DESIGN.md §11): an arbitrary byte-encoded stream of (row, gap)
+// pairs is replayed against two identical banks — one through
+// AppendOnActivateBatch (window slicing + ObserveRun), one through the
+// shared scalar-loop reference mitigation.ScalarBatch — in fuzz-derived
+// batch sizes. Every call must return byte-identical appends and consumed
+// counts, and the engines must agree on every observable (refreshes,
+// alerts, window resets, spillover, observed ACTs) with table invariants
+// intact throughout.
+func FuzzBatchAppend(f *testing.F) {
+	// A hammered pair reaching T with window crossings interleaved.
+	f.Add([]byte{7, 1, 7, 1, 7, 1, 7, 30, 7, 1, 7, 1, 8, 1, 8, 1, 8, 1})
+	// All-distinct rows: spillover climbs toward the alert edge.
+	f.Add([]byte{0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6, 0, 7, 0, 8, 0, 9, 0})
+	// Large gaps: every ACT lands in a fresh reset window.
+	f.Add([]byte{3, 255, 3, 255, 3, 255, 3, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := Config{TRH: 600, K: 2, Rows: 256, Timing: smallTiming()}
+		batch, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		step := batch.Params().Window / 64
+		if step == 0 {
+			step = 1
+		}
+
+		var rows []int32
+		var times []dram.Time
+		now := dram.Time(0)
+		for i := 0; i+1 < len(data); i += 2 {
+			rows = append(rows, int32(data[i])%int32(cfg.Rows))
+			now += dram.Time(data[i+1]%96) * step
+			times = append(times, now)
+		}
+
+		var dstB, dstS []mitigation.VictimRefresh
+		i, k := 0, 0
+		for i < len(rows) {
+			size := int(data[k%len(data)]%7) + 1
+			k++
+			j := i + size
+			if j > len(rows) {
+				j = len(rows)
+			}
+			for i < j {
+				dstB = dstB[:0]
+				dstS = dstS[:0]
+				var nb, ns int
+				dstB, nb = batch.AppendOnActivateBatch(dstB, rows[i:j], times[i:j])
+				dstS, ns = mitigation.ScalarBatch(scalar, dstS, rows[i:j], times[i:j])
+				if nb != ns {
+					t.Fatalf("ACT %d: batch consumed %d, scalar reference %d", i, nb, ns)
+				}
+				if nb < 1 || nb > j-i {
+					t.Fatalf("ACT %d: batch consumed %d of %d, outside the contract", i, nb, j-i)
+				}
+				if !reflect.DeepEqual(dstB, dstS) {
+					t.Fatalf("ACT %d: batch appended %+v, scalar reference %+v", i, dstB, dstS)
+				}
+				i += nb
+			}
+			if err := batch.Table().CheckInvariants(); err != nil {
+				t.Fatalf("ACT %d: %v", i, err)
+			}
+			if batch.VictimRefreshes() != scalar.VictimRefreshes() ||
+				batch.Alerts() != scalar.Alerts() ||
+				batch.Resets() != scalar.Resets() {
+				t.Fatalf("ACT %d: refreshes/alerts/resets %d/%d/%d, scalar reference %d/%d/%d",
+					i, batch.VictimRefreshes(), batch.Alerts(), batch.Resets(),
+					scalar.VictimRefreshes(), scalar.Alerts(), scalar.Resets())
+			}
+			if batch.Table().Spillover() != scalar.Table().Spillover() ||
+				batch.Table().Observed() != scalar.Table().Observed() {
+				t.Fatalf("ACT %d: spillover/observed %d/%d, scalar reference %d/%d",
+					i, batch.Table().Spillover(), batch.Table().Observed(),
+					scalar.Table().Spillover(), scalar.Table().Observed())
+			}
+		}
+	})
+}

@@ -188,10 +188,15 @@ func (tb *Table) Observe(row int) (trigger bool) {
 		return false
 	}
 
-	// Row address MISS: the single Count-CAM search of Fig. 5, answered in
-	// O(1) by the head bucket of the count index (every non-overflow count
-	// is >= the spillover count, so a candidate exists iff the minimum
-	// count equals it).
+	return tb.observeMiss(addr)
+}
+
+// observeMiss handles an address-missing activation: the single Count-CAM
+// search of Fig. 5, answered in O(1) by the head bucket of the count index
+// (every non-overflow count is >= the spillover count, so a candidate
+// exists iff the minimum count equals it). Shared by Observe and the
+// fused ObserveRun loop so the replacement/spill logic exists once.
+func (tb *Table) observeMiss(addr int32) (trigger bool) {
 	if i, ok := tb.idx.candidate(tb.spill); ok {
 		// Entry replace: carry the old count over, +1 for this ACT.
 		tb.replacements++
@@ -226,6 +231,76 @@ func (tb *Table) Observe(row int) (trigger bool) {
 	tb.spills++
 	tb.spill++
 	return false
+}
+
+// ObserveRun feeds a run of row activations to the table — the batch
+// replay's Misra-Gries inner loop (DESIGN.md §11). It processes rows in
+// order and stops immediately after the first row that either reaches a
+// multiple of T (trigger, the caller issues victim refreshes and the run
+// ends per the batch contract) or raises the spillover alert's rising edge
+// (alertEdge, at most once per reset window — the caller emits the alert
+// and resumes). consumed counts the rows processed, including the stopping
+// one; trigger and alertEdge are never both set (triggers come from the
+// hit/replace paths, the alert edge only from the spill path).
+//
+// The address-CAM probe and the hit-path count increment are inlined with
+// the index arrays, threshold, and entry slice loaded once per run instead
+// of once per ACT; misses fall through to the shared observeMiss slow
+// path. Every observable — counters, bucket index, eviction events —
+// mutates exactly as the equivalent Observe sequence would.
+func (tb *Table) ObserveRun(rows []int32) (consumed int, trigger, alertEdge bool) {
+	keys, vals, mask := tb.index.keys, tb.index.vals, tb.index.mask
+	entries, t := tb.entries, tb.t
+	n := 0
+	for _, addr := range rows {
+		if addr < 0 {
+			panic(fmt.Sprintf("graphene: row %d outside the int32 address space", addr))
+		}
+		n++
+		slot := -1
+		for i := (uint32(addr) * 2654435761) & mask; ; i = (i + 1) & mask {
+			k := keys[i]
+			if k == addr {
+				slot = int(vals[i])
+				break
+			}
+			if k == -1 {
+				break
+			}
+		}
+		if slot >= 0 { // row address HIT
+			tb.hits++
+			e := &entries[slot]
+			e.count++
+			if e.count == t {
+				e.count = 0
+				if !e.overflow {
+					e.overflow = true
+					tb.idx.pin(slot)
+				}
+				e.triggers++
+				tb.triggers++
+				tb.windowTriggers++
+				tb.observed += int64(n)
+				return n, true, false
+			}
+			if !e.overflow {
+				tb.idx.increment(slot)
+			}
+			continue
+		}
+		preSpill := tb.spill
+		if tb.observeMiss(addr) {
+			tb.observed += int64(n)
+			return n, true, false
+		}
+		if preSpill < t && tb.spill >= t {
+			tb.observed += int64(n)
+			return n, false, true
+		}
+	}
+	tb.observed += int64(n)
+	return n, false, false
 }
 
 // EstimatedCount returns the uncompressed tracked estimate for row since

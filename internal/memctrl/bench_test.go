@@ -5,6 +5,7 @@ import (
 
 	"graphene/internal/dram"
 	"graphene/internal/graphene"
+	"graphene/internal/obs"
 	"graphene/internal/workload"
 )
 
@@ -12,8 +13,10 @@ import (
 // against a protected bank through the chosen replay path. The B/op column
 // is the point of the comparison: the streaming path recycles a bounded set
 // of chunk buffers, the buffered path materializes the whole window
-// (timing.MaxACTs(TREFW) ≈ 1.36M accesses).
-func benchmarkReplay(b *testing.B, buffered bool) {
+// (timing.MaxACTs(TREFW) ≈ 1.36M accesses). rec attaches a live recorder
+// (the obs-on parity leg: per-ACT instrumentation is amortized per batch
+// run, so an enabled recorder must stay within noise of a nil one).
+func benchmarkReplay(b *testing.B, buffered bool, rec *obs.Recorder) {
 	const rows = 64 * 1024
 	const trh = 50000
 	timing := dram.DDR4()
@@ -25,6 +28,7 @@ func benchmarkReplay(b *testing.B, buffered bool) {
 			Geometry: geo, Timing: timing,
 			Factory: graphene.Factory(graphene.Config{TRH: trh, K: 2, Rows: rows, Timing: timing}),
 			TRH:     trh,
+			Obs:     rec,
 		}
 		gen := workload.S1(0, rows, 10, total)
 		var res Result
@@ -47,6 +51,7 @@ func BenchmarkReplayFullScaleAdversarial(b *testing.B) {
 	if testing.Short() {
 		b.Skip("full-scale window; skipped in -short")
 	}
-	b.Run("streaming", func(b *testing.B) { benchmarkReplay(b, false) })
-	b.Run("buffered", func(b *testing.B) { benchmarkReplay(b, true) })
+	b.Run("streaming", func(b *testing.B) { benchmarkReplay(b, false, nil) })
+	b.Run("streaming-obs", func(b *testing.B) { benchmarkReplay(b, false, obs.New()) })
+	b.Run("buffered", func(b *testing.B) { benchmarkReplay(b, true, nil) })
 }

@@ -33,7 +33,17 @@ type BlockSource interface {
 // block stream's order, so the Result is byte-identical to Run over the
 // same trace (the golden differential suite pins this for every recorded
 // scheme×workload cell).
+//
+// A source that also implements ColBlockSource (trace.BlockReader does)
+// is routed columnarly: decoded row/gap columns feed the batched replay
+// core directly, with no per-access structs materialized anywhere between
+// the codec and the mitigator (batch.go).
 func RunBlocks(cfg Config, src BlockSource) (Result, error) {
+	if cs, ok := src.(ColBlockSource); ok {
+		return run(cfg, src.Name(), func(cfg Config, states []*bankState) ([]bankOut, error) {
+			return replayColBlocks(cfg, cs, states)
+		})
+	}
 	return run(cfg, src.Name(), func(cfg Config, states []*bankState) ([]bankOut, error) {
 		return replayBlocks(cfg, src, states)
 	})

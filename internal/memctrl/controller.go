@@ -15,6 +15,7 @@ package memctrl
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"graphene/internal/dram"
@@ -173,6 +174,20 @@ type bankState struct {
 	vrScratch    []mitigation.VictimRefresh
 	flipStage    []hammer.Flip
 	remapScratch []int
+
+	// useScalar routes this bank's chunks through the per-ACT reference
+	// loop instead of the batched replay core (batch.go): set for schemes
+	// whose extra-DRAM-traffic stall must interleave with every ACT
+	// (CRA's counter cache) and for geometries whose rows overflow the
+	// batch path's int32 columns.
+	useScalar bool
+
+	// Columnar batch scratch (DESIGN.md §11): colRows/colGaps hold a
+	// struct chunk transposed for the batch core; runTimes holds the
+	// precomputed ACT start times of the current event-horizon run.
+	colRows  []int32
+	colGaps  []dram.Time
+	runTimes []dram.Time
 }
 
 // phys translates a logical row to the physical word line.
@@ -282,6 +297,7 @@ func run(cfg Config, workload string, replay replayFunc) (Result, error) {
 				return Result{}, err
 			}
 		}
+		s.useScalar = s.extraFn != nil || cfg.Geometry.RowsPerBank > math.MaxInt32
 		states[i] = s
 	}
 

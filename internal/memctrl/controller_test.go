@@ -371,6 +371,9 @@ func (e *evilMit) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mi
 	}
 	return append(dst, mitigation.VictimRefresh{Rows: []int{-1}})
 }
+func (e *evilMit) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
+	return mitigation.ScalarBatch(e, dst, rows, now)
+}
 func (e *evilMit) Reset()                        {}
 func (e *evilMit) Cost() mitigation.HardwareCost { return mitigation.HardwareCost{} }
 

@@ -123,6 +123,12 @@ func replayStreaming(cfg Config, gen trace.Generator, states []*bankState) ([]ba
 // bank's error instead of crashing the process: the goroutine keeps
 // draining and recycling chunks, so the partitioner never deadlocks
 // behind a dead consumer.
+//
+// The chunk normally transposes into the bank's recycled columns and
+// replays through the batched core (batch.go) — event-horizon runs, one
+// mitigator batch call and one bank accounting call per run. Banks marked
+// useScalar (CRA's per-ACT stall coupling, oversized geometries) keep the
+// per-ACT reference loop.
 func replayChunk(cfg Config, s *bankState, bi int, out *bankOut, chunk []trace.Access) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -132,8 +138,20 @@ func replayChunk(cfg Config, s *bankState, bi int, out *bankOut, chunk []trace.A
 	if err := cfg.Fault.Hit(faultinject.SiteReplay); err != nil {
 		return fmt.Errorf("memctrl: bank %d: %w", bi, err)
 	}
-	for _, a := range chunk {
-		if err := s.replayOne(a, bi, out); err != nil {
+	if s.useScalar {
+		for _, a := range chunk {
+			if err := s.replayOne(a, bi, out); err != nil {
+				return err
+			}
+		}
+	} else {
+		rows, gaps := s.colRows[:0], s.colGaps[:0]
+		for _, a := range chunk {
+			rows = append(rows, int32(a.Row))
+			gaps = append(gaps, a.Gap)
+		}
+		s.colRows, s.colGaps = rows, gaps
+		if err := s.replayRun(rows, gaps, bi, out); err != nil {
 			return err
 		}
 	}

@@ -76,6 +76,26 @@ func (w *Instrumented) AppendOnActivate(dst []VictimRefresh, row int, now dram.T
 	return dst
 }
 
+// AppendOnActivateBatch implements Mitigator: the batch forwards to the
+// wrapped scheme whole, and the per-ACT counter work is amortized to one
+// atomic add per run — the "acts_observed_total" counter and the
+// ACTs-between-NRRs accumulator advance by the consumed count instead of
+// once per ACT, so an instrumented batch replay stays within noise of an
+// uninstrumented one (the DESIGN.md §7 overhead contract, re-pinned for
+// the batch path). Reported events and histogram observations are
+// identical to the scalar path: appends only ever come from the last
+// consumed ACT, whose time is now[n-1].
+func (w *Instrumented) AppendOnActivateBatch(dst []VictimRefresh, rows []int32, now []dram.Time) ([]VictimRefresh, int) {
+	pre := len(dst)
+	dst, n := w.inner.AppendOnActivateBatch(dst, rows, now)
+	w.actsC.Add(int64(n))
+	w.acts += int64(n)
+	if len(dst) > pre {
+		w.report(dst[pre:], now[n-1])
+	}
+	return dst, n
+}
+
 // AppendTick implements Mitigator: refresh-time victim refreshes (TWiCe
 // pruning-triggered, PRoHIT piggybacked) report through the same path as
 // activation-triggered ones.

@@ -67,6 +67,23 @@ type Mitigator interface {
 	// returning the extended slice.
 	AppendOnActivate(dst []VictimRefresh, row int, now dram.Time) []VictimRefresh
 
+	// AppendOnActivateBatch observes a run of ACTs — rows[i] at now[i],
+	// in stream order — and appends victim refreshes to dst, returning
+	// the extended slice and the number of ACTs consumed. The caller
+	// guarantees len(now) == len(rows) > 0 and that every row fits the
+	// int32 address space (trace.MaxRow); the callee must not retain
+	// either slice past the call.
+	//
+	// The batch contract (DESIGN.md §11): ACTs are consumed in order and
+	// the callee STOPS immediately after the first ACT that appended
+	// refreshes — consumed is that ACT's index + 1, or len(rows) when no
+	// ACT appended. Consuming past an appending ACT is a contract
+	// violation: applying the refreshes changes the caller's bank
+	// timeline, so every now[i] beyond the stop index is stale. A scheme
+	// with no fused path delegates to ScalarBatch, which implements the
+	// contract over AppendOnActivate.
+	AppendOnActivateBatch(dst []VictimRefresh, rows []int32, now []dram.Time) ([]VictimRefresh, int)
+
 	// AppendTick is called once per tREFI, when the controller schedules
 	// the REF command. Schemes that act at refresh granularity (TWiCe
 	// pruning, PRoHIT's piggybacked target refresh) append their
@@ -80,6 +97,24 @@ type Mitigator interface {
 
 	// Cost reports the scheme's per-bank hardware cost.
 	Cost() HardwareCost
+}
+
+// ScalarBatch implements the AppendOnActivateBatch contract by looping a
+// scheme's per-ACT AppendOnActivate: it consumes ACTs in order and stops
+// immediately after the first one that appended. Schemes without a fused
+// batch path delegate to it in one line, so the whole registry satisfies
+// the batch interface; the fused implementations (Graphene's hoisted
+// Misra-Gries loop, PARA, TWiCe) replace it where the per-call overhead
+// matters.
+func ScalarBatch(m Mitigator, dst []VictimRefresh, rows []int32, now []dram.Time) ([]VictimRefresh, int) {
+	for i, r := range rows {
+		pre := len(dst)
+		dst = m.AppendOnActivate(dst, int(r), now[i])
+		if len(dst) > pre {
+			return dst, i + 1
+		}
+	}
+	return dst, len(rows)
 }
 
 // HardwareCost describes per-bank tracking-structure cost in the units the

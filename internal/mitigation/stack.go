@@ -53,6 +53,28 @@ func (s *Stack) AppendOnActivate(dst []VictimRefresh, row int, now dram.Time) []
 	return dst
 }
 
+// AppendOnActivateBatch implements Mitigator. Composition quantizes the
+// batch to single ACTs: appends from different layers must interleave in
+// ACT order (layer B's trigger at ACT 3 ends the run before layer A ever
+// sees ACT 4), and scheme state cannot be unwound, so no layer may consume
+// ahead of the stack's own stop index. The stack therefore walks the run
+// one ACT at a time, fanning each ACT to every layer exactly as the scalar
+// path does — the surrounding controller batch (event-horizon slicing,
+// columnar feed, batched bank accounting) still applies.
+func (s *Stack) AppendOnActivateBatch(dst []VictimRefresh, rows []int32, now []dram.Time) ([]VictimRefresh, int) {
+	layers := s.layers
+	for i, r := range rows {
+		pre := len(dst)
+		for _, l := range layers {
+			dst = l.AppendOnActivate(dst, int(r), now[i])
+		}
+		if len(dst) > pre {
+			return dst, i + 1
+		}
+	}
+	return dst, len(rows)
+}
+
 // AppendTick implements Mitigator.
 func (s *Stack) AppendTick(dst []VictimRefresh, now dram.Time) []VictimRefresh {
 	for _, l := range s.layers {

@@ -34,6 +34,9 @@ func (m *scriptedMit) AppendOnActivate(dst []VictimRefresh, row int, now dram.Ti
 func (m *scriptedMit) AppendTick(dst []VictimRefresh, now dram.Time) []VictimRefresh {
 	return append(dst, m.take()...)
 }
+func (m *scriptedMit) AppendOnActivateBatch(dst []VictimRefresh, rows []int32, now []dram.Time) ([]VictimRefresh, int) {
+	return ScalarBatch(m, dst, rows, now)
+}
 func (m *scriptedMit) Reset()             { m.call = 0 }
 func (m *scriptedMit) Cost() HardwareCost { return HardwareCost{} }
 

@@ -153,6 +153,13 @@ func (m *MRLoc) enqueue(victim int) {
 	m.pos[victim] = len(m.queue) - 1
 }
 
+// AppendOnActivateBatch implements mitigation.Mitigator through the
+// shared scalar-loop adapter (the controller's batch replay still saves
+// the per-ACT dispatch and timing work around it).
+func (m *MRLoc) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
+	return mitigation.ScalarBatch(m, dst, rows, now)
+}
+
 // AppendTick implements mitigation.Mitigator; MRLoc takes no refresh-time
 // action.
 func (m *MRLoc) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {

@@ -119,6 +119,37 @@ func (p *Para) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dra
 	return dst
 }
 
+// AppendOnActivateBatch implements mitigation.Mitigator with a fused loop:
+// the probability table, RNG, and bank bound load once per run instead of
+// once per ACT, and the RNG draw order is exactly the scalar path's, so a
+// seeded batch replay stays byte-identical to a seeded scalar one.
+func (p *Para) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
+	probs, rng, nrows := p.cfg.Probabilities, p.rng, p.cfg.Rows
+	for i, r := range rows {
+		pre := len(dst)
+		row := int(r)
+		for d, prob := range probs {
+			if prob == 0 || rng.Float64() >= prob {
+				continue
+			}
+			victim := row + (d + 1)
+			if rng.Intn(2) == 0 {
+				victim = row - (d + 1)
+			}
+			if victim < 0 || victim >= nrows {
+				continue
+			}
+			p.refreshes++
+			p.victimCells[d] = victim
+			dst = append(dst, mitigation.VictimRefresh{Rows: p.victimCells[d : d+1 : d+1]})
+		}
+		if len(dst) > pre {
+			return dst, i + 1
+		}
+	}
+	return dst, len(rows)
+}
+
 // AppendTick implements mitigation.Mitigator; PARA takes no refresh-time
 // action.
 func (p *Para) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {

@@ -111,6 +111,13 @@ func (p *PerRow) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now d
 	return append(dst, mitigation.VictimRefresh{Aggressor: row, Distance: p.cfg.Distance})
 }
 
+// AppendOnActivateBatch implements mitigation.Mitigator through the
+// shared scalar-loop adapter (the controller's batch replay still saves
+// the per-ACT dispatch and timing work around it).
+func (p *PerRow) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
+	return mitigation.ScalarBatch(p, dst, rows, now)
+}
+
 // AppendTick implements mitigation.Mitigator: clear the counters of the
 // rows the auto-refresh routine just covered (their victims are clean
 // again).

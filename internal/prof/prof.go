@@ -1,0 +1,59 @@
+// Package prof wires the -cpuprofile/-memprofile file flags of the CLIs
+// to runtime/pprof. It complements the live -pprof HTTP endpoint
+// (obs.DebugMux): the HTTP server suits long-running interactive
+// inspection, while these write standalone profile files for offline
+// `go tool pprof` analysis of a single batch run.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins CPU profiling into path and returns a stop function
+// that ends profiling and closes the file. An empty path is a no-op:
+// the returned stop does nothing and never fails.
+func StartCPU(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("prof: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("prof: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("prof: cpu profile: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// WriteHeap writes an up-to-date allocation profile to path. An empty
+// path is a no-op. It runs a GC first so the heap profile reflects live
+// objects at the call, matching `go test -memprofile`.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: mem profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("prof: mem profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("prof: mem profile: %w", err)
+	}
+	return nil
+}

@@ -149,6 +149,13 @@ func (p *PRoHIT) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now d
 	return dst
 }
 
+// AppendOnActivateBatch implements mitigation.Mitigator through the
+// shared scalar-loop adapter (the controller's batch replay still saves
+// the per-ACT dispatch and timing work around it).
+func (p *PRoHIT) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
+	return mitigation.ScalarBatch(p, dst, rows, now)
+}
+
 // AppendTick implements mitigation.Mitigator: at each REF command, with
 // probability TickRefreshP, the current top of the hot table is refreshed.
 // The entry is neither retired nor reordered: hot-table order changes only

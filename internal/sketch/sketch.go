@@ -179,6 +179,13 @@ func (c *CMS) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram
 	return append(dst, mitigation.VictimRefresh{Aggressor: row, Distance: c.cfg.Distance})
 }
 
+// AppendOnActivateBatch implements mitigation.Mitigator through the
+// shared scalar-loop adapter (the controller's batch replay still saves
+// the per-ACT dispatch and timing work around it).
+func (c *CMS) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
+	return mitigation.ScalarBatch(c, dst, rows, now)
+}
+
 // AppendTick implements mitigation.Mitigator.
 func (c *CMS) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {
 	return dst

@@ -310,6 +310,13 @@ func (s *SpaceSaving) unlinkBucket(b *ssBucket) {
 	s.freeB = b
 }
 
+// AppendOnActivateBatch implements mitigation.Mitigator through the
+// shared scalar-loop adapter (the controller's batch replay still saves
+// the per-ACT dispatch and timing work around it).
+func (s *SpaceSaving) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
+	return mitigation.ScalarBatch(s, dst, rows, now)
+}
+
 // AppendTick implements mitigation.Mitigator.
 func (s *SpaceSaving) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {
 	return dst

@@ -400,35 +400,55 @@ func (br *BlockReader) nextSegment() error {
 	return nil
 }
 
-// decodeBlock decodes one block from the open segment into buf[:0].
-func (br *BlockReader) decodeBlock(buf []Access) (Block, error) {
+// blockHead parses and validates the bank/count header of the next block
+// in the open segment, growing the per-bank delta state to cover the bank.
+// Shared by the struct (decodeBlock) and columnar (decodeBlockCols)
+// decoders so the hostile-field checks exist once.
+func (br *BlockReader) blockHead() (bank, count int, err error) {
 	bank64, err := br.uvarint("bank")
 	if err != nil {
-		return Block{}, err
+		return 0, 0, err
 	}
 	if bank64 > MaxBank {
-		return Block{}, binErrf("segment: %w", checkLimits(int64(bank64), 0, 0))
+		return 0, 0, binErrf("segment: %w", checkLimits(int64(bank64), 0, 0))
 	}
-	bank := int(bank64)
+	bank = int(bank64)
 	if bank >= br.banks {
-		return Block{}, binErrf("segment: block for bank %d, header has %d banks", bank, br.banks)
+		return 0, 0, binErrf("segment: block for bank %d, header has %d banks", bank, br.banks)
 	}
 	if n := len(br.segBlocks); n > 0 && br.segBlocks[n-1].bank >= bank {
-		return Block{}, binErrf("segment: bank %d out of order (blocks must ascend)", bank)
+		return 0, 0, binErrf("segment: bank %d out of order (blocks must ascend)", bank)
 	}
-	count, err := br.uvarint("access count")
+	count64, err := br.uvarint("access count")
 	if err != nil {
-		return Block{}, err
+		return 0, 0, err
 	}
 	// The writer never packs more than segmentAccs accesses into one
 	// segment; enforcing that here bounds what a hostile count field can
 	// make the decoder allocate.
-	if count == 0 || count > segmentAccs || br.segAccs+int64(count) > segmentAccs {
-		return Block{}, binErrf("segment: bad block length %d (segment limit %d accesses)", count, segmentAccs)
+	if count64 == 0 || count64 > segmentAccs || br.segAccs+int64(count64) > segmentAccs {
+		return 0, 0, binErrf("segment: bad block length %d (segment limit %d accesses)", count64, segmentAccs)
 	}
 	for len(br.prevRow) <= bank {
 		br.prevRow = append(br.prevRow, 0)
 		br.prevGap = append(br.prevGap, 0)
+	}
+	return bank, int(count64), nil
+}
+
+// blockDone records a fully decoded block in the segment accounting.
+func (br *BlockReader) blockDone(bank, count int) {
+	br.segBlocks = append(br.segBlocks, segBlock{bank: bank, count: int64(count)})
+	br.blocksLeft--
+	br.segAccs += int64(count)
+	br.decoded += int64(count)
+}
+
+// decodeBlock decodes one block from the open segment into buf[:0].
+func (br *BlockReader) decodeBlock(buf []Access) (Block, error) {
+	bank, count, err := br.blockHead()
+	if err != nil {
+		return Block{}, err
 	}
 	accs := buf[:0]
 	if cap(accs) < int(count) {
@@ -502,11 +522,134 @@ func (br *BlockReader) decodeBlock(buf []Access) (Block, error) {
 	}
 	br.prevGap[bank] = prev
 	br.off = off
-	br.segBlocks = append(br.segBlocks, segBlock{bank: bank, count: int64(count)})
-	br.blocksLeft--
-	br.segAccs += int64(count)
-	br.decoded += int64(count)
+	br.blockDone(bank, count)
 	return Block{Bank: bank, Accs: accs}, nil
+}
+
+// ColBlock is one bank's slice of a segment in columnar layout: Rows[i] at
+// Gaps[i] is the bank's i-th access of the block, in stream order. Rows fit
+// int32 because the shared limits cap row addresses at MaxRow = 2³¹−1 —
+// this is the layout the batched replay core consumes directly
+// (memctrl's event-horizon loop and Mitigator.AppendOnActivateBatch), so
+// block ingest never materializes per-access structs. Both columns alias
+// the buffer passed to NextCols.
+type ColBlock struct {
+	Bank int
+	Rows []int32
+	Gaps []dram.Time
+}
+
+// NextCols decodes the next block columnarly, appending into buf's columns
+// (pass the zero ColBlock to allocate). Block order, validation, and the
+// io.EOF end-of-trace contract match Next exactly; only the output layout
+// differs. Next and NextCols may be interleaved freely — delta state
+// advances identically through either.
+func (br *BlockReader) NextCols(buf ColBlock) (ColBlock, error) {
+	if br.done {
+		return ColBlock{}, io.EOF
+	}
+	for br.blocksLeft == 0 {
+		if br.segOpen {
+			if _, err := br.runList(nil, false); err != nil {
+				return ColBlock{}, err
+			}
+			continue
+		}
+		if err := br.nextSegment(); err != nil {
+			if err == io.EOF {
+				br.done = true
+			}
+			return ColBlock{}, err
+		}
+	}
+	return br.decodeBlockCols(buf)
+}
+
+// decodeBlockCols decodes one block from the open segment into buf's
+// columns. The column loops mirror decodeBlock's inline-varint hot path;
+// they diverge only in writing split int32/Time columns instead of Access
+// structs.
+func (br *BlockReader) decodeBlockCols(buf ColBlock) (ColBlock, error) {
+	bank, count, err := br.blockHead()
+	if err != nil {
+		return ColBlock{}, err
+	}
+	rows := buf.Rows[:0]
+	if cap(rows) < count {
+		rows = make([]int32, count)
+	} else {
+		rows = rows[:count]
+	}
+	gaps := buf.Gaps[:0]
+	if cap(gaps) < count {
+		gaps = make([]dram.Time, count)
+	} else {
+		gaps = gaps[:count]
+	}
+	p, off := br.payload, br.off
+	prev := br.prevRow[bank]
+	for i := range rows {
+		if off >= len(p) {
+			return ColBlock{}, binErrf("segment: truncated row delta")
+		}
+		c := p[off]
+		off++
+		u := uint64(c)
+		if c >= 0x80 {
+			u &= 0x7f
+			for shift := uint(7); ; shift += 7 {
+				if off >= len(p) || shift > 63 {
+					return ColBlock{}, binErrf("segment: truncated row delta")
+				}
+				c = p[off]
+				off++
+				u |= uint64(c&0x7f) << shift
+				if c < 0x80 {
+					break
+				}
+			}
+		}
+		row := prev + (int64(u>>1) ^ -int64(u&1)) // zigzag decode
+		if row < 0 || row > MaxRow {
+			return ColBlock{}, binErrf("segment: %w", checkLimits(int64(bank), row, 0))
+		}
+		prev = row
+		rows[i] = int32(row)
+	}
+	br.prevRow[bank] = prev
+	prev = br.prevGap[bank]
+	for i := range gaps {
+		if off >= len(p) {
+			return ColBlock{}, binErrf("segment: truncated gap delta")
+		}
+		c := p[off]
+		off++
+		u := uint64(c)
+		if c >= 0x80 {
+			u &= 0x7f
+			for shift := uint(7); ; shift += 7 {
+				if off >= len(p) || shift > 63 {
+					return ColBlock{}, binErrf("segment: truncated gap delta")
+				}
+				c = p[off]
+				off++
+				u |= uint64(c&0x7f) << shift
+				if c < 0x80 {
+					break
+				}
+			}
+		}
+		gap := prev + (int64(u>>1) ^ -int64(u&1))
+		if gap < 0 {
+			return ColBlock{}, binErrf("segment: %w", checkLimits(int64(bank), 0, gap))
+		}
+		prev = gap
+		gaps[i] = dram.Time(gap)
+	}
+	br.prevGap[bank] = prev
+	br.off = off
+	br.blockDone(bank, count)
+	return ColBlock{Bank: bank, Rows: rows, Gaps: gaps}, nil
 }
 
 // runList parses the segment's run list, validating it against segBlocks:

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"graphene/internal/dram"
+)
+
+// TestNextColsMatchesNext decodes the same binary stream through the
+// struct and columnar block decoders and requires identical blocks —
+// same bank sequence, same rows, same gaps, same clean EOF — including
+// across segment boundaries where per-bank delta state carries over, and
+// with the two decoders interleaved on one reader (the contract that
+// Next/NextCols share one delta-state cursor).
+func TestNextColsMatchesNext(t *testing.T) {
+	cases := map[string][]Access{
+		"single-bank":   mixedTrace(5000, 1, 1),
+		"multi-bank":    mixedTrace(20_000, 7, 2),
+		"multi-segment": mixedTrace(segmentAccs*2+123, 5, 4),
+	}
+	for name, accs := range cases {
+		accs := accs
+		t.Run(name, func(t *testing.T) {
+			data := encodeBinary(t, name, accs)
+			structs, err := NewBlockReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cols, err := NewBlockReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sbuf []Access
+			var cbuf ColBlock
+			for bi := 0; ; bi++ {
+				sb, serr := structs.Next(sbuf)
+				cb, cerr := cols.NextCols(cbuf)
+				if (serr == nil) != (cerr == nil) {
+					t.Fatalf("block %d: struct err %v, columnar err %v", bi, serr, cerr)
+				}
+				if serr == io.EOF {
+					break
+				}
+				if serr != nil {
+					t.Fatalf("block %d: %v", bi, serr)
+				}
+				if cb.Bank != sb.Bank || len(cb.Rows) != len(sb.Accs) || len(cb.Gaps) != len(sb.Accs) {
+					t.Fatalf("block %d: columnar bank %d len %d/%d, struct bank %d len %d",
+						bi, cb.Bank, len(cb.Rows), len(cb.Gaps), sb.Bank, len(sb.Accs))
+				}
+				for i, a := range sb.Accs {
+					if int(cb.Rows[i]) != a.Row || cb.Gaps[i] != a.Gap {
+						t.Fatalf("block %d access %d: columnar (%d, %d), struct (%d, %d)",
+							bi, i, cb.Rows[i], cb.Gaps[i], a.Row, a.Gap)
+					}
+				}
+				sbuf, cbuf = sb.Accs, cb
+			}
+		})
+	}
+
+	// Interleaved decode on a single reader against a pure struct decode.
+	accs := mixedTrace(segmentAccs+4096, 6, 9)
+	data := encodeBinary(t, "interleave", accs)
+	ref, err := NewBlockReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := NewBlockReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi := 0; ; bi++ {
+		rb, rerr := ref.Next(nil)
+		var bank int
+		var rows []int32
+		var gaps []dram.Time
+		var merr error
+		if bi%2 == 0 {
+			var cb ColBlock
+			cb, merr = mixed.NextCols(ColBlock{})
+			bank, rows, gaps = cb.Bank, cb.Rows, cb.Gaps
+		} else {
+			var mb Block
+			mb, merr = mixed.Next(nil)
+			bank = mb.Bank
+			for _, a := range mb.Accs {
+				rows = append(rows, int32(a.Row))
+				gaps = append(gaps, a.Gap)
+			}
+		}
+		if (rerr == nil) != (merr == nil) {
+			t.Fatalf("block %d: ref err %v, interleaved err %v", bi, rerr, merr)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			t.Fatalf("block %d: %v", bi, rerr)
+		}
+		if bank != rb.Bank || len(rows) != len(rb.Accs) {
+			t.Fatalf("block %d: interleaved bank %d len %d, ref bank %d len %d", bi, bank, len(rows), rb.Bank, len(rb.Accs))
+		}
+		for i, a := range rb.Accs {
+			if int(rows[i]) != a.Row || gaps[i] != a.Gap {
+				t.Fatalf("block %d access %d: interleaved (%d, %d), ref (%d, %d)", bi, i, rows[i], gaps[i], a.Row, a.Gap)
+			}
+		}
+	}
+}
+
+// TestNextColsRejectsTornTail: the columnar decoder applies the same
+// torn-tail discipline as the struct decoder — a truncated stream is a
+// non-EOF error, never a silently short trace.
+func TestNextColsRejectsTornTail(t *testing.T) {
+	data := encodeBinary(t, "torn", mixedTrace(50_000, 3, 5))
+	for _, cut := range []int{len(data) - 1, len(data) * 2 / 3, len(data) / 3} {
+		br, err := NewBlockReader(bytes.NewReader(data[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: header: %v", cut, err)
+		}
+		var buf ColBlock
+		for {
+			buf, err = br.NextCols(buf)
+			if err != nil {
+				break
+			}
+		}
+		if err == io.EOF {
+			t.Errorf("cut %d: torn tail decoded to clean EOF", cut)
+		}
+	}
+}

@@ -141,6 +141,13 @@ func (t *TRR) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram
 	return dst
 }
 
+// AppendOnActivateBatch implements mitigation.Mitigator through the
+// shared scalar-loop adapter (the controller's batch replay still saves
+// the per-ACT dispatch and timing work around it).
+func (t *TRR) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
+	return mitigation.ScalarBatch(t, dst, rows, now)
+}
+
 // AppendTick implements mitigation.Mitigator: on every RefreshEvery-th
 // REF, the strongest candidate's neighborhood is refreshed and the
 // candidate is retired.

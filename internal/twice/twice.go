@@ -177,6 +177,35 @@ func (t *TWiCe) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dr
 	return dst
 }
 
+// AppendOnActivateBatch implements mitigation.Mitigator with a fused loop:
+// the table map, thresholds, and capacity load once per run, and the loop
+// stops after the first ACT that issues a refresh (threshold hit or
+// overflow), per the batch contract.
+func (t *TWiCe) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
+	table, thRH, maxEntries := t.table, t.params.ThRH, t.params.MaxEntries
+	for i, r := range rows {
+		row := int(r)
+		e, ok := table[row]
+		if !ok {
+			if len(table) >= maxEntries {
+				t.overflows++
+				t.refreshes++
+				return append(dst, mitigation.VictimRefresh{Aggressor: row, Distance: t.cfg.Distance}), i + 1
+			}
+			table[row] = &entry{count: 1}
+			continue
+		}
+		e.count++
+		if e.count >= thRH {
+			e.count = 0
+			e.life = 0
+			t.refreshes++
+			return append(dst, mitigation.VictimRefresh{Aggressor: row, Distance: t.cfg.Distance}), i + 1
+		}
+	}
+	return dst, len(rows)
+}
+
 // AppendTick implements mitigation.Mitigator: one pruning pass per tREFI.
 // Entries whose count lags life·th_PI can no longer reach th_RH in this
 // window and are dropped (§II-C "maximum frequency of ACTs is bounded ...

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench bench-sweep bench-obs bench-fault bench-hotpath bench-trace bench-replay fuzz race tables security examples check
+.PHONY: all build vet test test-race test-short bench bench-sweep bench-obs bench-fault bench-hotpath bench-trace bench-replay bench-serve fuzz race tables security examples check
 
 all: check
 
@@ -79,13 +79,27 @@ bench-replay:
 	$(GO) run ./cmd/rhbench -i BENCH_replay.txt -o /dev/null -assert-zero-allocs 'BenchmarkReplayEngine/batch'
 	rm -f BENCH_replay.txt
 
+# Serving-path gate (DESIGN.md §12): one benchmark pair replays the same
+# 8-tenant x 8-bank x 1M-ACT aggregate directly through memctrl.RunBlocks
+# and through a live rhsimd-style TCP daemon (frame encode, wire decode,
+# per-tenant replay, report round trip). rhbench asserts the ISSUE 8
+# floors on the serve side: within 2x of the direct path, ≥10M ACT/s
+# aggregate, and bounded memory (≤16 bytes/ACT across client+server, so
+# any per-ACT allocation on the hot path fails the gate).
+bench-serve:
+	$(GO) test -run xxx -bench 'BenchmarkServePath' -benchtime 1x -count 3 ./internal/serve > BENCH_serve.txt
+	$(GO) run ./cmd/rhbench -i BENCH_serve.txt -o BENCH_serve.json -assert-speedup 'serve-aggregate:direct-aggregate:0.5'
+	$(GO) run ./cmd/rhbench -i BENCH_serve.txt -o /dev/null -assert-min 'serve-aggregate:acts/s:10000000'
+	$(GO) run ./cmd/rhbench -i BENCH_serve.txt -o /dev/null -assert-max 'serve-aggregate:b/act:16'
+	rm -f BENCH_serve.txt
+
 # Race detector over the packages that run per-bank goroutines and the
 # sweep worker pool, plus the mitigation stack fuzz seeds (FuzzStackAppend
 # runs its corpus as regular tests here). -short skips the tens-of-seconds
 # full-scale run, which would dominate `make check` under the race
 # detector's overhead.
 race:
-	$(GO) test -race -short ./internal/faultinject/... ./internal/memctrl/... ./internal/sim/... ./internal/sched/... ./internal/mitigation/... ./internal/trace/...
+	$(GO) test -race -short ./internal/faultinject/... ./internal/memctrl/... ./internal/sim/... ./internal/sched/... ./internal/mitigation/... ./internal/trace/... ./internal/serve/... ./internal/obs/... ./cmd/rhsimd/... ./cmd/rhload/...
 
 # Short exploratory fuzz passes over the core invariants.
 fuzz:
@@ -95,6 +109,7 @@ fuzz:
 	$(GO) test ./internal/graphene -fuzz=FuzzBatchAppend -fuzztime=30s -run xxx
 	$(GO) test ./internal/memctrl -fuzz=FuzzStreamingMatchesBuffered -fuzztime=30s -run xxx
 	$(GO) test ./internal/mitigation -fuzz=FuzzStackAppend -fuzztime=30s -run xxx
+	$(GO) test ./internal/serve -fuzz=FuzzWireSession -fuzztime=30s -run xxx
 
 tables:
 	$(GO) run ./cmd/rhtables -all
@@ -110,4 +125,4 @@ examples:
 	$(GO) run ./examples/pagepolicy
 	$(GO) run ./examples/observability
 
-check: build vet test race bench-sweep bench-fault bench-hotpath bench-trace bench-replay
+check: build vet test race bench-sweep bench-fault bench-hotpath bench-trace bench-replay bench-serve

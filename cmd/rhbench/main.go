@@ -24,6 +24,8 @@ func main() {
 		out     = flag.String("o", "", "JSON output file (default stdout)")
 		assert  = flag.String("assert-zero-allocs", "", "regexp of benchmark names whose allocs/op must be exactly 0")
 		speedup = flag.String("assert-speedup", "", "FAST:SLOW:MIN — benchmark FAST's ns/op must beat SLOW's by at least MINx")
+		minGate = flag.String("assert-min", "", "PATTERN:UNIT:MIN — the matched benchmark's metric must be at least MIN (best of -count reps)")
+		maxGate = flag.String("assert-max", "", "PATTERN:UNIT:MAX — the matched benchmark's metric must be at most MAX (best of -count reps)")
 	)
 	flag.Parse()
 
@@ -68,6 +70,18 @@ func main() {
 	}
 	if *speedup != "" {
 		if err := report.AssertSpeedup(*speedup); err != nil {
+			fmt.Fprintln(os.Stderr, "rhbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *minGate != "" {
+		if err := report.AssertMetricMin(*minGate); err != nil {
+			fmt.Fprintln(os.Stderr, "rhbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *maxGate != "" {
+		if err := report.AssertMetricMax(*maxGate); err != nil {
 			fmt.Fprintln(os.Stderr, "rhbench:", err)
 			os.Exit(1)
 		}

@@ -146,3 +146,38 @@ func TestAssertSpeedup(t *testing.T) {
 		}
 	}
 }
+
+func TestAssertMetricMinMax(t *testing.T) {
+	rep := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkServePath/serve-aggregate", Metrics: map[string]float64{"acts/s": 22e6, "b/act": 2.5}},
+		{Name: "BenchmarkServePath/serve-aggregate", Metrics: map[string]float64{"acts/s": 14e6, "b/act": 4.0}},
+		{Name: "BenchmarkServePath/direct-aggregate", Metrics: map[string]float64{"acts/s": 40e6}},
+	}}
+	// Floor folds -count reps to the best (highest) value: 22e6 >= 20e6.
+	if err := rep.AssertMetricMin(`serve-aggregate:acts/s:20000000`); err != nil {
+		t.Errorf("22M acts/s failed a 20M floor: %v", err)
+	}
+	if err := rep.AssertMetricMin(`serve-aggregate:acts/s:25000000`); err == nil {
+		t.Error("22M acts/s passed a 25M floor")
+	}
+	// Ceiling folds to the best (lowest) value: 2.5 <= 3.
+	if err := rep.AssertMetricMax(`serve-aggregate:b/act:3`); err != nil {
+		t.Errorf("2.5 b/act failed a 3 b/act ceiling: %v", err)
+	}
+	if err := rep.AssertMetricMax(`serve-aggregate:b/act:2`); err == nil {
+		t.Error("2.5 b/act passed a 2 b/act ceiling")
+	}
+	for _, spec := range []string{
+		"serve-aggregate:acts/s",    // missing bound
+		"serve-aggregate:acts/s:x",  // unparsable bound
+		"absent:acts/s:1",           // no match
+		"aggregate:acts/s:1",        // ambiguous match
+		"[:acts/s:1",                // bad regexp
+		"serve-aggregate:ns/op:1",   // metric not reported
+		"direct-aggregate:b/act:10", // metric absent on that bench
+	} {
+		if err := rep.AssertMetricMin(spec); err == nil {
+			t.Errorf("min spec %q accepted", spec)
+		}
+	}
+}

@@ -172,6 +172,79 @@ func (r *Report) AssertSpeedup(spec string) error {
 	return nil
 }
 
+// AssertMetricMin enforces a floor on any reported metric. spec is
+// "PATTERN:UNIT:MIN": a regexp selecting one benchmark name, the metric
+// unit as printed by go test (ns/op, acts/s, any b.ReportMetric unit not
+// containing ':'), and the minimum value. Repetitions of one name (a
+// `-count N` run) fold to their best — highest — value, matching
+// AssertSpeedup's one-noisy-rep tolerance.
+func (r *Report) AssertMetricMin(spec string) error {
+	return r.assertMetric("-assert-min", spec, true)
+}
+
+// AssertMetricMax is AssertMetricMin's ceiling twin: the benchmark's best
+// — lowest — value across repetitions must not exceed the bound.
+func (r *Report) AssertMetricMax(spec string) error {
+	return r.assertMetric("-assert-max", spec, false)
+}
+
+// assertMetric implements both metric gates. floor selects the direction:
+// true keeps the highest repetition and requires value >= bound, false
+// keeps the lowest and requires value <= bound.
+func (r *Report) assertMetric(flag, spec string, floor bool) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("bad %s %q (want PATTERN:UNIT:BOUND)", flag, spec)
+	}
+	pattern, unit := parts[0], parts[1]
+	bound, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return fmt.Errorf("bad %s bound %q (want a number)", flag, parts[2])
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("bad %s pattern %q: %v", flag, pattern, err)
+	}
+	name, best, have := "", 0.0, false
+	var names []string
+	for _, b := range r.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		if b.Name != name {
+			name = b.Name
+			names = append(names, b.Name)
+		}
+		v, ok := b.Metrics[unit]
+		if !ok {
+			continue
+		}
+		if !have || (floor && v > best) || (!floor && v < best) {
+			best, have = v, true
+		}
+	}
+	switch {
+	case len(names) == 0:
+		return fmt.Errorf("no benchmark matched %q", pattern)
+	case len(names) > 1:
+		return fmt.Errorf("pattern %q matched %d benchmarks (%s); make it unambiguous", pattern, len(names), strings.Join(names, ", "))
+	case !have:
+		return fmt.Errorf("benchmark %s reports no %q metric", name, unit)
+	}
+	if floor && best < bound {
+		return fmt.Errorf("metric gate failed: %s %s = %g, want >= %g", name, unit, best, bound)
+	}
+	if !floor && best > bound {
+		return fmt.Errorf("metric gate failed: %s %s = %g, want <= %g", name, unit, best, bound)
+	}
+	op := ">="
+	if !floor {
+		op = "<="
+	}
+	fmt.Fprintf(os.Stderr, "rhbench: %s %s = %g (gate %s %g)\n", name, unit, best, op, bound)
+	return nil
+}
+
 // AssertZeroAllocs fails if any benchmark matching pattern reports a
 // nonzero allocs/op, or if none match at all (a gate that matches nothing
 // is a misconfigured gate).

@@ -1,0 +1,153 @@
+// Command rhload is the load generator for the rhsimd daemon: it spawns N
+// concurrent tenant clients, streams each a synthetic multi-bank ACT
+// trace, verifies every returned report, and prints the aggregate served
+// throughput.
+//
+// Usage:
+//
+//	rhload                                   # 4 tenants against localhost:9741
+//	rhload -tenants 8 -acts 1000000 -banks 8 # the bench-serve grid shape
+//	rhload -scheme para -oracle              # probabilistic scheme + ground truth
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"graphene/internal/dram"
+	"graphene/internal/serve"
+	"graphene/internal/trace"
+)
+
+// options carries one load-generation request.
+type options struct {
+	addr    string
+	tenants int
+	acts    int
+	banks   int
+	rows    int
+	scheme  string
+	trh     int64
+	seed    int64
+	oracle  bool
+	jsonOut bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "localhost:9741", "rhsimd daemon address")
+	flag.IntVar(&o.tenants, "tenants", 4, "concurrent tenant clients")
+	flag.IntVar(&o.acts, "acts", 200_000, "ACTs per tenant")
+	flag.IntVar(&o.banks, "banks", 8, "banks per tenant trace (round-robin)")
+	flag.IntVar(&o.rows, "rows", 64*1024, "rows per bank")
+	flag.StringVar(&o.scheme, "scheme", "graphene", "mitigation scheme each tenant requests")
+	flag.Int64Var(&o.trh, "trh", 12500, "Row Hammer threshold")
+	flag.Int64Var(&o.seed, "seed", 1, "seed for probabilistic schemes")
+	flag.BoolVar(&o.oracle, "oracle", false, "arm the ground-truth oracle (reports carry flip verdicts)")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit a JSON summary instead of the text table")
+	flag.Parse()
+
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rhload:", err)
+		os.Exit(1)
+	}
+}
+
+// summary is the -json output shape.
+type summary struct {
+	Tenants   int            `json:"tenants"`
+	ActsEach  int            `json:"acts_each"`
+	Banks     int            `json:"banks"`
+	Scheme    string         `json:"scheme"`
+	WallUS    int64          `json:"wall_us"`
+	ActsTotal int64          `json:"acts_total"`
+	ActsPerS  float64        `json:"acts_per_s"`
+	Flips     int            `json:"flips"`
+	Reports   []serve.Report `json:"reports"`
+}
+
+// run generates the per-tenant trace, fans out the clients, and verifies
+// every report against what was sent.
+func run(o options, out io.Writer) error {
+	if o.tenants < 1 || o.acts < 1 || o.banks < 1 || o.rows < 1 {
+		return fmt.Errorf("tenants, acts, banks, and rows must all be positive")
+	}
+	accs := make([]trace.Access, o.acts)
+	for i := range accs {
+		accs[i] = trace.Access{
+			Bank: i % o.banks,
+			Row:  (i * 7919) % o.rows,
+			Gap:  50 * dram.Nanosecond,
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := trace.WriteBinary(&buf, trace.FromSlice("rhload", accs)); err != nil {
+		return err
+	}
+	data := buf.Bytes()
+
+	reports := make([]serve.Report, o.tenants)
+	errs := make([]error, o.tenants)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < o.tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := serve.Dial(o.addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			reports[i], errs[i] = c.Run(serve.Hello{
+				Tenant: fmt.Sprintf("rhload-%d", i),
+				Scheme: o.scheme, TRH: o.trh, Rows: o.rows,
+				Seed: o.seed, Oracle: o.oracle,
+			}, bytes.NewReader(data))
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sum := summary{
+		Tenants: o.tenants, ActsEach: o.acts, Banks: o.banks,
+		WallUS: wall.Microseconds(), Reports: reports,
+	}
+	for i, rep := range reports {
+		if errs[i] != nil {
+			return fmt.Errorf("tenant %d: %w", i, errs[i])
+		}
+		if rep.Result.ACTs != int64(o.acts) {
+			return fmt.Errorf("tenant %d: daemon replayed %d ACTs, sent %d", i, rep.Result.ACTs, o.acts)
+		}
+		if got := len(rep.Result.PerBank); got != o.banks {
+			return fmt.Errorf("tenant %d: daemon saw %d banks, sent %d", i, got, o.banks)
+		}
+		sum.Scheme = rep.Scheme
+		sum.ActsTotal += rep.Result.ACTs
+		sum.Flips += rep.Flips
+	}
+	sum.ActsPerS = float64(sum.ActsTotal) / wall.Seconds()
+
+	if o.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sum)
+	}
+	fmt.Fprintf(out, "tenant        scheme          ACTs      NRRs  flips  overhead   wall\n")
+	for _, rep := range reports {
+		fmt.Fprintf(out, "%-12s  %-12s  %8d  %8d  %5d  %8.4f  %s\n",
+			rep.Tenant, rep.Scheme, rep.Result.ACTs, rep.Result.NRRCommands,
+			rep.Flips, rep.Overhead, time.Duration(rep.WallUS)*time.Microsecond)
+	}
+	fmt.Fprintf(out, "aggregate     %d tenants x %d banks: %d ACTs in %s = %.2fM ACT/s\n",
+		o.tenants, o.banks, sum.ActsTotal, wall.Round(time.Millisecond), sum.ActsPerS/1e6)
+	return nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"graphene/internal/serve"
+)
+
+// startDaemon boots an in-process serve.Server for the load generator to
+// hit.
+func startDaemon(t *testing.T) *serve.Server {
+	t.Helper()
+	s, err := serve.New(serve.Config{Addr: "127.0.0.1:0", MaxTenants: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+// TestLoadGenerator drives the full client fleet against a live daemon
+// and checks the verified text summary.
+func TestLoadGenerator(t *testing.T) {
+	s := startDaemon(t)
+	var out bytes.Buffer
+	o := options{
+		addr: s.Addr(), tenants: 3, acts: 2000, banks: 4, rows: 1024,
+		scheme: "graphene", trh: 12500, seed: 1,
+	}
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"rhload-0", "rhload-2", "graphene-k2", "aggregate", "3 tenants x 4 banks"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output misses %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestLoadGeneratorJSON checks the machine-readable summary: totals,
+// per-tenant reports, verified ACT counts.
+func TestLoadGeneratorJSON(t *testing.T) {
+	s := startDaemon(t)
+	var out bytes.Buffer
+	o := options{
+		addr: s.Addr(), tenants: 2, acts: 1500, banks: 2, rows: 1024,
+		scheme: "para", trh: 12500, seed: 7, oracle: true, jsonOut: true,
+	}
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	var sum summary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("bad JSON summary: %v\n%s", err, out.String())
+	}
+	if sum.ActsTotal != 3000 || len(sum.Reports) != 2 {
+		t.Fatalf("summary = %+v, want 3000 ACTs over 2 reports", sum)
+	}
+	if sum.ActsPerS <= 0 {
+		t.Fatalf("non-positive throughput %v", sum.ActsPerS)
+	}
+	if !strings.HasPrefix(sum.Scheme, "para-") {
+		t.Fatalf("scheme %q, want para-*", sum.Scheme)
+	}
+}
+
+// TestLoadGeneratorErrors pins the failure paths: unreachable daemon and
+// a scheme the daemon rejects.
+func TestLoadGeneratorErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(options{addr: "127.0.0.1:1", tenants: 1, acts: 10, banks: 1, rows: 16}, &out); err == nil {
+		t.Error("unreachable daemon: want error")
+	}
+	s := startDaemon(t)
+	if err := run(options{addr: s.Addr(), tenants: 1, acts: 10, banks: 1, rows: 16, scheme: "bogus"}, &out); err == nil {
+		t.Error("bogus scheme: want error surfaced from the daemon")
+	}
+	if err := run(options{addr: s.Addr(), tenants: 0, acts: 10, banks: 1, rows: 16}, &out); err == nil {
+		t.Error("zero tenants: want validation error")
+	}
+}

@@ -14,7 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -82,8 +81,16 @@ func main() {
 		os.Exit(2)
 	}
 	if o.pprof != "" {
-		go func() {
-			fmt.Fprintln(os.Stderr, "rhsim: pprof:", http.ListenAndServe(o.pprof, obs.DebugMux(rec)))
+		dbg, err := obs.ServeDebug(o.pprof, rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rhsim:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "rhsim: pprof: serving /debug/pprof/ and /metrics on http://%s\n", dbg.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			dbg.Shutdown(ctx)
 		}()
 	}
 	stopCPU, err := prof.StartCPU(o.cpuprofile)

@@ -37,7 +37,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -143,8 +142,16 @@ func main() {
 		os.Exit(2)
 	}
 	if *pprof != "" {
-		go func() {
-			fmt.Fprintln(os.Stderr, "rhsweep: pprof:", http.ListenAndServe(*pprof, obs.DebugMux(rec)))
+		dbg, err := obs.ServeDebug(*pprof, rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rhsweep:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "rhsweep: pprof: serving /debug/pprof/ and /metrics on http://%s\n", dbg.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			dbg.Shutdown(ctx)
 		}()
 	}
 	inj, err := faultinject.New(*faults)

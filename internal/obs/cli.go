@@ -51,6 +51,13 @@ func NewFromPaths(metricsPath, eventsPath string) (*Recorder, func() error, erro
 			return nil, nil, fmt.Errorf("obs: events: %w", err)
 		}
 		sink := NewJSONLines(w)
+		// A sink that sticks on a write error (events disk full mid-run)
+		// says so once, immediately, and counts every suppressed event into
+		// the snapshot — a long-lived daemon must not discover at exit that
+		// its event stream went dark hours earlier.
+		sink.Monitor(rec.Counter("events_dropped_total"), func(err error) {
+			fmt.Fprintf(os.Stderr, "obs: events sink failed (%v); dropping subsequent events\n", err)
+		})
 		rec.SetSink(sink)
 		closers = append(closers, sink.Flush)
 	}

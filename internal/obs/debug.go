@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// DebugServer serves DebugMux behind the CLIs' -pprof flag and the rhsimd
+// daemon's debug endpoints. Unlike a bare http.ListenAndServe it binds
+// synchronously (a bad address or occupied port fails the caller, not a
+// message racing by on stderr while the run continues without profiling),
+// reveals the actual bound address (":0" picks a free port), and carries
+// read/write/idle timeouts so one stuck client cannot pin the process or
+// hold a drain open forever.
+type DebugServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+	err  error
+}
+
+// ServeDebug binds addr, fails fast on any bind error, and serves
+// DebugMux(r) on the listener in the background. The timeouts are sized
+// for the debug workload: header/read limits keep half-open clients from
+// pinning connections, while the write timeout stays generous enough for
+// a 30-second /debug/pprof/profile stream.
+func ServeDebug(addr string, r *Recorder) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	d := &DebugServer{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           DebugMux(r),
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       time.Minute,
+			WriteTimeout:      5 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(d.done)
+		if err := d.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			d.err = err
+			fmt.Fprintln(os.Stderr, "obs: debug server:", err)
+		}
+	}()
+	return d, nil
+}
+
+// Addr returns the listener's actual address — the port the kernel chose
+// when the caller asked for ":0".
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Shutdown gracefully stops the server: no new connections, in-flight
+// requests run to completion or until ctx expires (then their connections
+// are closed). It returns the first error the background Serve loop hit,
+// if any. Nil-safe, so callers can hold an optional *DebugServer and shut
+// it down unconditionally.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	if d == nil {
+		return nil
+	}
+	err := d.srv.Shutdown(ctx)
+	<-d.done
+	if d.err != nil {
+		return d.err
+	}
+	return err
+}

@@ -69,6 +69,12 @@ const (
 	// KindFaultInjected is one fired fault-injection point (Label = site,
 	// Detail = fault kind, Value = the site hit count that triggered).
 	KindFaultInjected = "fault_injected"
+
+	// KindSessionStart / KindSessionFinish bracket one tenant session on
+	// the serving daemon (Label = tenant name, Value = session id; on
+	// finish, Detail carries the error if the session failed).
+	KindSessionStart  = "session_start"
+	KindSessionFinish = "session_finish"
 )
 
 // Event is one structured trace record. The fixed fields cover every kind

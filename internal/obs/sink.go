@@ -10,11 +10,21 @@ import (
 // JSONLines is a Sink writing one JSON object per event, newline
 // terminated (JSON Lines). Writes are buffered; call Flush before the
 // underlying writer goes away. Safe for concurrent Emit.
+//
+// The first encode or write error sticks: every later event is dropped,
+// not half-written into a stream that already failed. For a short CLI run
+// the final Flush surfaces the error; a long-lived daemon must not wait
+// that long to learn its event stream went dark, so Monitor attaches
+// early-warning hooks (a drop counter and a fire-once callback) and Err
+// exposes the sticky error for polling.
 type JSONLines struct {
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	enc *json.Encoder
-	err error
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	err     error
+	dropped int64
+	dropC   *Counter
+	onErr   func(error)
 }
 
 // NewJSONLines wraps w in a JSON-lines event sink.
@@ -23,26 +33,77 @@ func NewJSONLines(w io.Writer) *JSONLines {
 	return &JSONLines{bw: bw, enc: json.NewEncoder(bw)}
 }
 
-// Emit implements Sink. The first encode error sticks and suppresses
-// further output; Flush reports it.
+// Monitor attaches drop accounting: once the sink sticks on an error,
+// every suppressed event (including the one that hit the error) increments
+// c (nil is allowed), and fn — when non-nil — is invoked exactly once with
+// the sticky error as suppression begins, so a long-lived process logs the
+// failure when it happens instead of at exit. fn runs under the sink's
+// lock; keep it fast and never call back into the sink. Call Monitor
+// before sharing the sink across goroutines.
+func (s *JSONLines) Monitor(c *Counter, fn func(error)) {
+	s.mu.Lock()
+	s.dropC = c
+	s.onErr = fn
+	s.mu.Unlock()
+}
+
+// Emit implements Sink. The first encode/write error sticks and suppresses
+// further output (see Monitor for surfacing it early); Flush and Err
+// report it.
 func (s *JSONLines) Emit(e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
+		s.dropped++
+		s.dropC.Add(1)
 		return
 	}
-	s.err = s.enc.Encode(e) // Encode appends the newline
+	if err := s.enc.Encode(e); err != nil { // Encode appends the newline
+		s.fail(err)
+		s.dropped++
+		s.dropC.Add(1)
+	}
+}
+
+// fail records the sticky error and fires the Monitor callback. Callers
+// hold the lock and account any dropped event themselves.
+func (s *JSONLines) fail(err error) {
+	s.err = err
+	if s.onErr != nil {
+		s.onErr(err)
+	}
+}
+
+// Err returns the sticky error that froze the sink, or nil while it is
+// still healthy.
+func (s *JSONLines) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Dropped returns how many events were discarded since the sink stuck.
+func (s *JSONLines) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // Flush drains the buffer and returns the first error seen by Emit or the
-// flush itself.
+// flush itself. A flush failure sticks exactly like an Emit failure (and
+// fires the Monitor callback): a writer that rejected the buffered tail
+// will reject everything after it too.
 func (s *JSONLines) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
 		return s.err
 	}
-	return s.bw.Flush()
+	if err := s.bw.Flush(); err != nil {
+		s.fail(err)
+		return err
+	}
+	return nil
 }
 
 // Collect is an in-memory Sink for tests: it retains every event and

@@ -304,16 +304,19 @@ func TestRetryBackoffIsCappedExponential(t *testing.T) {
 }
 
 func TestParentContextAbortsPool(t *testing.T) {
+	// Jobs 0 and 1 occupy both workers and hold them until the parent
+	// cancels, so cancellation is observably ahead of the rest of the
+	// queue — no racing a fast worker through trivial jobs.
 	ctx, cancel := context.WithCancel(context.Background())
-	started := make(chan struct{})
+	started := make(chan struct{}, 2)
 	var ran atomic.Int64
 	jobs := make([]Job, 16)
 	for i := range jobs {
 		i := i
 		jobs[i] = Job{Label: fmt.Sprintf("cell-%d", i), Do: func(jctx context.Context) error {
 			ran.Add(1)
-			if i == 0 {
-				close(started)
+			if i < 2 {
+				started <- struct{}{}
 				<-jctx.Done() // drain only when the pool aborts
 			}
 			return nil
@@ -321,14 +324,15 @@ func TestParentContextAbortsPool(t *testing.T) {
 	}
 	go func() {
 		<-started
+		<-started
 		cancel()
 	}()
 	err := Run(Options{Jobs: 2, Ctx: ctx}, jobs)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	if got := ran.Load(); got == int64(len(jobs)) {
-		t.Error("cancelled pool still ran every job")
+	if got := ran.Load(); got != 2 {
+		t.Errorf("cancelled pool ran %d jobs, want just the 2 in flight", got)
 	}
 }
 

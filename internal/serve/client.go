@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Client speaks one rhsimd session over TCP. One session per connection:
+// Dial, Run, Close.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	// chunk is the streaming buffer: trace bytes are copied through it
+	// into DATA frames, so a whole Run allocates the buffer once.
+	chunk []byte
+	// Timeout bounds each network operation (default 2m).
+	Timeout time.Duration
+}
+
+// DialTimeout bounds connection establishment.
+const dialTimeout = 10 * time.Second
+
+// Dial connects to an rhsimd daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, 256<<10),
+		chunk:   make([]byte, 256<<10),
+		Timeout: 2 * time.Minute,
+	}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Run executes one session: handshake h, then the binary trace stream
+// from src (as written by trace.WriteBinary), then the server's verdict.
+// A server-reported failure comes back as the ERROR frame's message; if
+// streaming breaks mid-way Run still tries to read a buffered ERROR frame
+// first, since the server severing a bad session is the usual cause of a
+// client-side write error.
+func (c *Client) Run(h Hello, src io.Reader) (Report, error) {
+	if err := c.stream(h, src); err != nil {
+		// The write path broke. Prefer the server's explanation when one
+		// is already in flight; fall back to the local error.
+		if rep, rerr := c.response(); rerr == nil {
+			return rep, nil
+		} else if srvErr := (*ServerError)(nil); errors.As(rerr, &srvErr) {
+			return Report{}, rerr
+		}
+		return Report{}, err
+	}
+	return c.response()
+}
+
+// stream sends HELLO, the DATA frames, and FIN.
+func (c *Client) stream(h Hello, src io.Reader) error {
+	payload, err := json.Marshal(h)
+	if err != nil {
+		return fmt.Errorf("serve: encoding hello: %w", err)
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(c.Timeout))
+	if err := writeFrame(c.bw, FrameHello, payload); err != nil {
+		return fmt.Errorf("serve: sending hello: %w", err)
+	}
+	for {
+		n, err := src.Read(c.chunk)
+		if n > 0 {
+			c.conn.SetWriteDeadline(time.Now().Add(c.Timeout))
+			if werr := writeFrame(c.bw, FrameData, c.chunk[:n]); werr != nil {
+				return fmt.Errorf("serve: streaming trace: %w", werr)
+			}
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return fmt.Errorf("serve: reading trace source: %w", err)
+		}
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(c.Timeout))
+	if err := writeFrame(c.bw, FrameFin, nil); err != nil {
+		return fmt.Errorf("serve: sending fin: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("serve: flushing stream: %w", err)
+	}
+	return nil
+}
+
+// ServerError is a failure the daemon reported in an ERROR frame — the
+// session reached the server and was rejected there, as opposed to a
+// transport failure.
+type ServerError struct{ Msg string }
+
+// Error implements error.
+func (e *ServerError) Error() string { return "serve: server: " + e.Msg }
+
+// response reads the session verdict: one RESULT or ERROR frame.
+func (c *Client) response() (Report, error) {
+	fr := &frameReader{r: c.conn, extend: func() {
+		c.conn.SetReadDeadline(time.Now().Add(c.Timeout))
+	}}
+	typ, payload, err := fr.next(nil, MaxFramePayload)
+	if err != nil {
+		return Report{}, fmt.Errorf("serve: reading verdict: %w", noEOF(err))
+	}
+	switch typ {
+	case FrameResult:
+		var rep Report
+		if err := json.Unmarshal(payload, &rep); err != nil {
+			return Report{}, fmt.Errorf("serve: decoding report: %w", err)
+		}
+		return rep, nil
+	case FrameError:
+		return Report{}, &ServerError{Msg: string(payload)}
+	default:
+		return Report{}, fmt.Errorf("serve: unexpected %c frame as verdict", typ)
+	}
+}

@@ -1,0 +1,428 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphene/internal/dram"
+	"graphene/internal/memctrl"
+	"graphene/internal/mitigation"
+	"graphene/internal/obs"
+	"graphene/internal/sched"
+	"graphene/internal/sim"
+	"graphene/internal/trace"
+)
+
+// Hello is the tenant handshake: who is streaming and which mitigation
+// configuration their bank pipelines run. Zero fields take the golden
+// defaults (DESIGN.md §12), so a minimal client sends only Tenant and
+// Scheme.
+type Hello struct {
+	// Tenant names the stream for reports, metrics, and the checkpoint
+	// journal. Required; at most 64 bytes, no control characters.
+	Tenant string `json:"tenant"`
+
+	// Scheme selects the per-bank mitigation engine by registry name
+	// (sim.SchemeNames: graphene, twice, cbt, para, prohit, mrloc, cra,
+	// perrow, none). Default "graphene".
+	Scheme string `json:"scheme,omitempty"`
+
+	// TRH is the Row Hammer threshold the scheme is provisioned for.
+	// Default 12500 (the golden harness threshold).
+	TRH int64 `json:"trh,omitempty"`
+
+	// K is Graphene's reset-window divisor. Default 2.
+	K int `json:"k,omitempty"`
+
+	// Distance is the neighborhood refresh distance. Default 1.
+	Distance int `json:"distance,omitempty"`
+
+	// Rows is the per-bank row count of the simulated device. Default
+	// 65536. The bank count comes from the trace stream's own header.
+	Rows int `json:"rows,omitempty"`
+
+	// Seed drives the probabilistic schemes (para, prohit, mrloc).
+	// Default 1.
+	Seed int64 `json:"seed,omitempty"`
+
+	// Oracle arms the ground-truth disturbance oracle at TRH, so the
+	// Report carries bit-flip verdicts and residual-pressure victims.
+	// Off by default: a production mitigation daemon has no ground
+	// truth, and the oracle costs per-ACT accounting.
+	Oracle bool `json:"oracle,omitempty"`
+}
+
+// withDefaults fills the golden defaults into zero fields.
+func (h Hello) withDefaults() Hello {
+	if h.Scheme == "" {
+		h.Scheme = "graphene"
+	}
+	if h.TRH == 0 {
+		h.TRH = 12500
+	}
+	if h.K == 0 {
+		h.K = 2
+	}
+	if h.Distance == 0 {
+		h.Distance = 1
+	}
+	if h.Rows == 0 {
+		h.Rows = 64 * 1024
+	}
+	if h.Seed == 0 {
+		h.Seed = 1
+	}
+	return h
+}
+
+// validate rejects hellos the daemon must not act on.
+func (h Hello) validate() error {
+	if h.Tenant == "" {
+		return fmt.Errorf("serve: hello: tenant name is required")
+	}
+	if len(h.Tenant) > 64 {
+		return fmt.Errorf("serve: hello: tenant name is %d bytes, limit 64", len(h.Tenant))
+	}
+	for i := 0; i < len(h.Tenant); i++ {
+		if h.Tenant[i] < 0x20 || h.Tenant[i] == 0x7f {
+			return fmt.Errorf("serve: hello: tenant name contains control byte 0x%02x", h.Tenant[i])
+		}
+	}
+	if h.TRH < 0 || h.K < 0 || h.Distance < 0 || h.Rows < 0 || h.Rows > trace.MaxRow+1 {
+		return fmt.Errorf("serve: hello: negative or out-of-range parameter")
+	}
+	return nil
+}
+
+// Report is the server's verdict for one tenant session: the full replay
+// Result plus the headline numbers a tenant dashboard wants without
+// digging — flips, refresh overhead, and the serving wall time.
+type Report struct {
+	Tenant   string  `json:"tenant"`
+	Session  int64   `json:"session"`
+	Scheme   string  `json:"scheme"` // display name (graphene-k2, cbt-682, ...)
+	Flips    int     `json:"flips"`
+	Overhead float64 `json:"overhead"` // victim rows / auto-refreshed rows
+	WallUS   int64   `json:"wall_us"`  // serving wall time, microseconds
+
+	Result memctrl.Result `json:"result"`
+}
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Addr is the TCP listen address (":0" picks a free port).
+	Addr string
+
+	// MaxTenants bounds concurrent sessions. When every slot is busy the
+	// accept loop stops pulling new connections — backpressure at the
+	// listener, not an error. Default 64.
+	MaxTenants int
+
+	// MaxBanks bounds one tenant's bank count. The trace header is
+	// client-controlled and per-bank pipeline state is real memory, so a
+	// hostile header claiming trace.MaxBank banks must fail the session,
+	// not the daemon. Default 1024.
+	MaxBanks int
+
+	// IdleTimeout is the per-frame read deadline: a client that sends
+	// nothing for this long fails its session. Default 2m.
+	IdleTimeout time.Duration
+
+	// Obs, when non-nil, feeds the daemon's live metrics (/metrics via
+	// obs.ServeDebug) and session events: serve_sessions_total,
+	// serve_acts_total, serve_bytes_in_total, serve_session_errors_total,
+	// serve_tenants_active.
+	Obs *obs.Recorder
+
+	// ReplayObs additionally attaches Obs to every tenant's replay
+	// pipeline (per-bank NRR events, per-ACT counters via
+	// mitigation.Instrument). That instrumentation costs an atomic
+	// increment per ACT shared across all tenants, so it is a debugging
+	// mode, off by default — the serve-path throughput gate runs without
+	// it.
+	ReplayObs bool
+
+	// Checkpoint, when non-nil, journals every finished session's Report
+	// under "tenant/session" — the drain-then-report record a SIGTERM'd
+	// daemon leaves behind. Nil-safe by sched.Checkpoint's contract.
+	Checkpoint *sched.Checkpoint
+
+	// Logf, when non-nil, receives one line per session outcome and per
+	// server lifecycle step.
+	Logf func(format string, args ...any)
+}
+
+// Server is one listening daemon. Create with New, run with Serve, stop
+// with Shutdown.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	sessions  *obs.Counter
+	errors    *obs.Counter
+	acts      *obs.Counter
+	bytesIn   *obs.Counter
+	active    *obs.Gauge
+	seq       atomic.Int64
+	closing   atomic.Bool
+	wg        sync.WaitGroup
+	connsMu   sync.Mutex
+	conns     map[net.Conn]struct{}
+	semaphore chan struct{}
+}
+
+// New binds cfg.Addr and returns a server ready to Serve. Binding is
+// synchronous — a bad address fails here, not in a goroutine's log line.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = 64
+	}
+	if cfg.MaxBanks <= 0 {
+		cfg.MaxBanks = 1024
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 2 * time.Minute
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return &Server{
+		cfg:       cfg,
+		ln:        ln,
+		sessions:  cfg.Obs.Counter("serve_sessions_total"),
+		errors:    cfg.Obs.Counter("serve_session_errors_total"),
+		acts:      cfg.Obs.Counter("serve_acts_total"),
+		bytesIn:   cfg.Obs.Counter("serve_bytes_in_total"),
+		active:    cfg.Obs.Gauge("serve_tenants_active"),
+		conns:     map[net.Conn]struct{}{},
+		semaphore: make(chan struct{}, cfg.MaxTenants),
+	}, nil
+}
+
+// Addr returns the listener's actual address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// logf emits one daemon log line when a logger is configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts sessions until Shutdown closes the listener. It returns
+// nil on a clean shutdown, the accept error otherwise.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.closing.Load() {
+				return nil
+			}
+			return fmt.Errorf("serve: accept: %w", err)
+		}
+		// Tenant-slot backpressure: past MaxTenants concurrent sessions
+		// the accept loop holds here, queueing connections in the kernel
+		// rather than spawning unbounded pipelines.
+		s.semaphore <- struct{}{}
+		if s.closing.Load() {
+			<-s.semaphore
+			conn.Close()
+			return nil
+		}
+		s.track(conn, true)
+		s.wg.Add(1)
+		go func() {
+			defer func() {
+				s.track(conn, false)
+				conn.Close()
+				<-s.semaphore
+				s.wg.Done()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// track registers a live connection so an expired drain can sever it.
+func (s *Server) track(c net.Conn, add bool) {
+	s.connsMu.Lock()
+	if add {
+		s.conns[c] = struct{}{}
+	} else {
+		delete(s.conns, c)
+	}
+	s.connsMu.Unlock()
+}
+
+// Shutdown drains the daemon: the listener closes immediately (no new
+// sessions), in-flight sessions run to completion and deliver their
+// reports, and only then does Shutdown return. If ctx expires first the
+// remaining connections are severed and ctx.Err() comes back — the
+// drain-then-report discipline rhsimd runs on SIGTERM.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.closing.Swap(true) {
+		// Second call: just wait with the caller's deadline.
+	} else {
+		s.ln.Close()
+		s.logf("serve: draining %d active session(s)", s.active.Value())
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.connsMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connsMu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// handle runs one tenant session on conn: handshake, per-(tenant, bank)
+// replay, verdict.
+func (s *Server) handle(conn net.Conn) {
+	id := s.seq.Add(1)
+	s.sessions.Inc()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	fr := &frameReader{
+		r: br,
+		extend: func() {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		},
+	}
+	if c := s.bytesIn; c != nil {
+		fr.count = c.Add
+	}
+
+	typ, payload, err := fr.next(nil, maxHelloPayload)
+	if err != nil {
+		s.fail(conn, id, "", fmt.Errorf("reading hello: %w", noEOF(err)))
+		return
+	}
+	if typ != FrameHello {
+		s.fail(conn, id, "", fmt.Errorf("first frame is %c, want H", typ))
+		return
+	}
+	var h Hello
+	if err := json.Unmarshal(payload, &h); err != nil {
+		s.fail(conn, id, "", fmt.Errorf("decoding hello: %w", err))
+		return
+	}
+	h = h.withDefaults()
+	if err := h.validate(); err != nil {
+		s.fail(conn, id, h.Tenant, err)
+		return
+	}
+
+	sc := sim.Scale{Timing: dram.DDR4(), Seed: h.Seed}
+	factory, schemeName, err := sim.BuildScheme(h.Scheme, h.TRH, h.K, h.Distance, h.Rows, sc)
+	if err != nil {
+		s.fail(conn, id, h.Tenant, err)
+		return
+	}
+
+	s.cfg.Obs.Emit(obs.Event{Kind: obs.KindSessionStart, Bank: -1, Label: h.Tenant, Value: id, Detail: schemeName})
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	start := time.Now()
+	rep, err := s.replay(fr, h, factory, schemeName)
+	if err != nil {
+		s.fail(conn, id, h.Tenant, err)
+		return
+	}
+	rep.Tenant = h.Tenant
+	rep.Session = id
+	rep.WallUS = time.Since(start).Microseconds()
+
+	s.acts.Add(rep.Result.ACTs)
+	if err := s.cfg.Checkpoint.Record(fmt.Sprintf("%s/%d", h.Tenant, id), rep); err != nil {
+		s.logf("serve: checkpoint: session %d (%s): %v", id, h.Tenant, err)
+	}
+	s.cfg.Obs.Emit(obs.Event{Kind: obs.KindSessionFinish, Bank: -1, Label: h.Tenant, Value: id})
+
+	out, err := json.Marshal(rep)
+	if err != nil {
+		s.fail(conn, id, h.Tenant, err)
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	if err := writeFrame(conn, FrameResult, out); err != nil {
+		s.errors.Inc()
+		s.logf("serve: session %d (%s): writing result: %v", id, h.Tenant, err)
+		return
+	}
+	s.logf("serve: session %d (%s): %s, %d ACTs, %d banks, %d flips, %.3f overhead, %dus",
+		id, h.Tenant, schemeName, rep.Result.ACTs, len(rep.Result.PerBank), rep.Flips, rep.Overhead, rep.WallUS)
+}
+
+// replay decodes the session's trace stream and drives it through the
+// per-bank pipelines. The dataReader→BlockReader→RunBlocks chain is the
+// same columnar zero-alloc path the local tools replay files through; the
+// only per-session allocations are the decoder, the bank engines, and the
+// Result.
+func (s *Server) replay(fr *frameReader, h Hello, factory mitigation.Factory, schemeName string) (Report, error) {
+	reader, err := trace.NewBlockReader(&dataReader{fr: fr})
+	if err != nil {
+		return Report{}, fmt.Errorf("trace stream: %w", err)
+	}
+	banks := reader.Banks()
+	if banks == 0 {
+		banks = 1 // empty trace: keep a valid one-bank geometry
+	}
+	if banks > s.cfg.MaxBanks {
+		return Report{}, fmt.Errorf("trace stream claims %d banks, daemon limit %d", banks, s.cfg.MaxBanks)
+	}
+	cfg := memctrl.Config{
+		Geometry: dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: banks, RowsPerBank: h.Rows},
+		Timing:   dram.DDR4(),
+		Factory:  factory,
+	}
+	if s.cfg.ReplayObs {
+		cfg.Obs = s.cfg.Obs
+	}
+	if h.Oracle {
+		cfg.TRH = h.TRH
+	}
+	res, err := memctrl.RunBlocks(cfg, reader)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Scheme:   schemeName,
+		Flips:    len(res.Flips),
+		Overhead: res.RefreshOverhead(),
+		Result:   res,
+	}, nil
+}
+
+// fail answers a broken session with an ERROR frame, then drains the
+// client's remaining input briefly before the deferred close. Without the
+// drain, closing a socket with unread bytes can RST the connection and
+// destroy the very error frame the client needs to see.
+func (s *Server) fail(conn net.Conn, id int64, tenant string, err error) {
+	s.errors.Inc()
+	s.logf("serve: session %d (%s): %v", id, tenant, err)
+	s.cfg.Obs.Emit(obs.Event{Kind: obs.KindSessionFinish, Bank: -1, Label: tenant, Value: id, Detail: err.Error()})
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if werr := writeFrame(conn, FrameError, []byte(err.Error())); werr != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	io.CopyN(io.Discard, conn, 64<<20)
+}

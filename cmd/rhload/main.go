@@ -1,23 +1,30 @@
 // Command rhload is the load generator for the rhsimd daemon: it spawns N
 // concurrent tenant clients, streams each a synthetic multi-bank ACT
 // trace, verifies every returned report, and prints the aggregate served
-// throughput.
+// throughput. With -report-every it consumes the daemon's streaming
+// partial reports, and with -resume it survives a daemon restart
+// mid-stream: on a transport failure each tenant reconnects with the
+// session handle from its last partial report and the daemon continues
+// the half-streamed trace from its checkpoint journal.
 //
 // Usage:
 //
 //	rhload                                   # 4 tenants against localhost:9741
 //	rhload -tenants 8 -acts 1000000 -banks 8 # the bench-serve grid shape
 //	rhload -scheme para -oracle              # probabilistic scheme + ground truth
+//	rhload -report-every 2 -resume 5         # streaming reports + reconnect+resume
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graphene/internal/dram"
@@ -27,16 +34,19 @@ import (
 
 // options carries one load-generation request.
 type options struct {
-	addr    string
-	tenants int
-	acts    int
-	banks   int
-	rows    int
-	scheme  string
-	trh     int64
-	seed    int64
-	oracle  bool
-	jsonOut bool
+	addr        string
+	tenants     int
+	acts        int
+	banks       int
+	rows        int
+	scheme      string
+	trh         int64
+	seed        int64
+	oracle      bool
+	jsonOut     bool
+	reportEvery int
+	resume      int
+	stall       time.Duration
 }
 
 func main() {
@@ -51,6 +61,9 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "seed for probabilistic schemes")
 	flag.BoolVar(&o.oracle, "oracle", false, "arm the ground-truth oracle (reports carry flip verdicts)")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit a JSON summary instead of the text table")
+	flag.IntVar(&o.reportEvery, "report-every", 0, "ask for a partial report every N trace segments (0 = final report only)")
+	flag.IntVar(&o.resume, "resume", 0, "reconnect attempts after a transport failure, resuming from the last partial report (needs -report-every and a daemon -checkpoint)")
+	flag.DurationVar(&o.stall, "stall", 0, "hold each tenant's stream open for this long after its first partial report (a kill window for resume drills)")
 	flag.Parse()
 
 	if err := run(o, os.Stdout); err != nil {
@@ -69,7 +82,104 @@ type summary struct {
 	ActsTotal int64          `json:"acts_total"`
 	ActsPerS  float64        `json:"acts_per_s"`
 	Flips     int            `json:"flips"`
+	Partials  int64          `json:"partials,omitempty"`
+	Resumes   int64          `json:"resumes,omitempty"`
 	Reports   []serve.Report `json:"reports"`
+}
+
+// stallReader throttles one tenant's stream for the resume drill: after
+// `after` bytes it stops, waits (bounded) for the first partial report,
+// holds the stream open for the stall window — the moment to SIGTERM the
+// daemon — and then continues.
+type stallReader struct {
+	r       io.Reader
+	after   int
+	pause   time.Duration
+	gated   func() bool // a partial report has arrived
+	read    int
+	stalled bool
+}
+
+func (s *stallReader) Read(p []byte) (int, error) {
+	if !s.stalled {
+		if left := s.after - s.read; left <= 0 {
+			s.stalled = true
+			deadline := time.Now().Add(30 * time.Second)
+			for s.gated != nil && !s.gated() && time.Now().Before(deadline) {
+				time.Sleep(5 * time.Millisecond)
+			}
+			time.Sleep(s.pause)
+		} else if len(p) > left {
+			p = p[:left]
+		}
+	}
+	n, err := s.r.Read(p)
+	s.read += n
+	return n, err
+}
+
+// runTenant drives one tenant session to a final report, reconnecting and
+// resuming up to o.resume times on transport failures.
+func runTenant(o options, name string, data []byte, partials, resumes *atomic.Int64) (serve.Report, error) {
+	var handle atomic.Int64
+	var sawPartial atomic.Bool
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > o.resume {
+			return serve.Report{}, lastErr
+		}
+		if attempt > 0 {
+			resumes.Add(1)
+			backoff := time.Duration(attempt) * 250 * time.Millisecond
+			if backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			time.Sleep(backoff)
+		}
+		c, err := serve.Dial(o.addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.OnPartial = func(rep serve.Report) {
+			handle.Store(rep.Session)
+			sawPartial.Store(true)
+			partials.Add(1)
+		}
+		h := serve.Hello{
+			Tenant: name,
+			Scheme: o.scheme, TRH: o.trh, Rows: o.rows,
+			Seed: serve.Ptr(o.seed), Oracle: o.oracle,
+			ReportEvery: o.reportEvery,
+		}
+		if id := handle.Load(); id > 0 && attempt > 0 {
+			h.Resume = &serve.Resume{Session: id}
+		}
+		var src io.Reader = bytes.NewReader(data)
+		if o.stall > 0 && attempt == 0 {
+			gate := func() bool { return o.reportEvery <= 0 || sawPartial.Load() }
+			src = &stallReader{r: src, after: len(data) / 2, pause: o.stall, gated: gate}
+		}
+		rep, err := c.Run(h, src)
+		c.Close()
+		if err == nil {
+			return rep, nil
+		}
+		lastErr = err
+		var srvErr *serve.ServerError
+		if errors.As(err, &srvErr) {
+			if h.Resume != nil {
+				// The daemon rejected the handle (restarted without the
+				// journal, or the session is unknown there): fall back to
+				// a fresh session on the next attempt.
+				handle.Store(0)
+				continue
+			}
+			// A fresh session the server itself rejected will not get
+			// better by retrying.
+			return serve.Report{}, err
+		}
+	}
 }
 
 // run generates the per-tenant trace, fans out the clients, and verifies
@@ -77,6 +187,9 @@ type summary struct {
 func run(o options, out io.Writer) error {
 	if o.tenants < 1 || o.acts < 1 || o.banks < 1 || o.rows < 1 {
 		return fmt.Errorf("tenants, acts, banks, and rows must all be positive")
+	}
+	if o.resume > 0 && o.reportEvery <= 0 {
+		return fmt.Errorf("-resume needs -report-every: without partial reports there is no handle to resume from")
 	}
 	accs := make([]trace.Access, o.acts)
 	for i := range accs {
@@ -94,23 +207,14 @@ func run(o options, out io.Writer) error {
 
 	reports := make([]serve.Report, o.tenants)
 	errs := make([]error, o.tenants)
+	var partials, resumes atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < o.tenants; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c, err := serve.Dial(o.addr)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			defer c.Close()
-			reports[i], errs[i] = c.Run(serve.Hello{
-				Tenant: fmt.Sprintf("rhload-%d", i),
-				Scheme: o.scheme, TRH: o.trh, Rows: o.rows,
-				Seed: o.seed, Oracle: o.oracle,
-			}, bytes.NewReader(data))
+			reports[i], errs[i] = runTenant(o, fmt.Sprintf("rhload-%d", i), data, &partials, &resumes)
 		}(i)
 	}
 	wg.Wait()
@@ -119,6 +223,7 @@ func run(o options, out io.Writer) error {
 	sum := summary{
 		Tenants: o.tenants, ActsEach: o.acts, Banks: o.banks,
 		WallUS: wall.Microseconds(), Reports: reports,
+		Partials: partials.Load(), Resumes: resumes.Load(),
 	}
 	for i, rep := range reports {
 		if errs[i] != nil {
@@ -146,6 +251,9 @@ func run(o options, out io.Writer) error {
 		fmt.Fprintf(out, "%-12s  %-12s  %8d  %8d  %5d  %8.4f  %s\n",
 			rep.Tenant, rep.Scheme, rep.Result.ACTs, rep.Result.NRRCommands,
 			rep.Flips, rep.Overhead, time.Duration(rep.WallUS)*time.Microsecond)
+	}
+	if p, r := partials.Load(), resumes.Load(); p > 0 || r > 0 {
+		fmt.Fprintf(out, "streamed      %d partial report(s), %d reconnect(s)\n", p, r)
 	}
 	fmt.Fprintf(out, "aggregate     %d tenants x %d banks: %d ACTs in %s = %.2fM ACT/s\n",
 		o.tenants, o.banks, sum.ActsTotal, wall.Round(time.Millisecond), sum.ActsPerS/1e6)

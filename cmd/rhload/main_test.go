@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"graphene/internal/sched"
 	"graphene/internal/serve"
 )
 
@@ -72,6 +75,111 @@ func TestLoadGeneratorJSON(t *testing.T) {
 	}
 	if !strings.HasPrefix(sum.Scheme, "para-") {
 		t.Fatalf("scheme %q, want para-*", sum.Scheme)
+	}
+}
+
+// TestLoadGeneratorResume drives the full reconnect+resume loop: tenants
+// stall mid-stream (-stall), the daemon is severed and replaced by a new
+// one on the same address and checkpoint journal, and every tenant must
+// reconnect with its resume handle and still verify its full ACT count.
+func TestLoadGeneratorResume(t *testing.T) {
+	ckpath := filepath.Join(t.TempDir(), "sessions.ckpt")
+	ck1, err := sched.OpenCheckpoint(ckpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := serve.New(serve.Config{Addr: "127.0.0.1:0", MaxTenants: 8, Checkpoint: ck1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve1Err := make(chan error, 1)
+	go func() { serve1Err <- s1.Serve() }()
+	addr := s1.Addr()
+
+	// 150k ACTs span three binary segments, so partial reports and resume
+	// chunks exist; -stall holds each stream open after its first partial,
+	// which is the window this test severs the daemon in.
+	var out bytes.Buffer
+	o := options{
+		addr: addr, tenants: 2, acts: 150_000, banks: 2, rows: 1024,
+		scheme: "graphene", trh: 12500, seed: 1, jsonOut: true,
+		reportEvery: 1, resume: 8, stall: 5 * time.Second,
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(o, &out) }()
+
+	// Wait until every tenant's first resume chunk landed in the journal —
+	// the daemon writes each chunk before the partial report that opens
+	// that tenant's stall window — then give the in-flight partials a
+	// moment to reach their clients, so the kill hits inside both stalls.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if raw, err := os.ReadFile(ckpath); err == nil && strings.Count(string(raw), `/chunk/0"`) >= o.tenants {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("resume chunks never journaled before the kill window")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	// Sever daemon one mid-stall: an expired drain context cuts the held
+	// sessions instead of waiting out the stall.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	s1.Shutdown(ctx) // DeadlineExceeded by design: the stalled sessions cannot drain
+	cancel()
+	if err := <-serve1Err; err != nil {
+		t.Fatalf("daemon one serve: %v", err)
+	}
+	if err := ck1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Daemon two: same address, same journal, fresh process state.
+	ck2, err := sched.OpenCheckpoint(ckpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s2 *serve.Server
+	for attempt := 0; ; attempt++ {
+		s2, err = serve.New(serve.Config{Addr: addr, MaxTenants: 8, Checkpoint: ck2})
+		if err == nil {
+			break
+		}
+		if attempt > 50 {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	go s2.Serve()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s2.Shutdown(ctx)
+		ck2.Close()
+	})
+
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("rhload: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("rhload never finished after the daemon restart")
+	}
+	var sum summary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("bad JSON summary: %v\n%s", err, out.String())
+	}
+	if sum.ActsTotal != int64(o.tenants)*int64(o.acts) {
+		t.Fatalf("verified %d ACTs, want %d", sum.ActsTotal, int64(o.tenants)*int64(o.acts))
+	}
+	if sum.Resumes < 1 {
+		t.Fatalf("summary records %d reconnects, want at least 1:\n%s", sum.Resumes, out.String())
+	}
+	if sum.Partials < int64(o.tenants) {
+		t.Fatalf("summary records %d partials, want at least one per tenant", sum.Partials)
 	}
 }
 

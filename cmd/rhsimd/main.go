@@ -37,6 +37,8 @@ type options struct {
 	addr        string
 	maxTenants  int
 	maxBanks    int
+	shards      int
+	shardQueue  int
 	idleTimeout time.Duration
 	drain       time.Duration
 	checkpoint  string
@@ -51,6 +53,8 @@ func main() {
 	flag.StringVar(&o.addr, "addr", "localhost:9741", "TCP listen address (use :0 for a free port)")
 	flag.IntVar(&o.maxTenants, "max-tenants", 64, "concurrent tenant sessions before the accept loop backpressures")
 	flag.IntVar(&o.maxBanks, "max-banks", 1024, "per-tenant bank limit (a hostile trace header must not size real memory)")
+	flag.IntVar(&o.shards, "shards", 0, "session worker shards; sessions pin to shards by tenant-name hash (0 = one per CPU)")
+	flag.IntVar(&o.shardQueue, "shard-queue", 8, "pending sessions each shard queues before admission backpressures")
 	flag.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "per-frame read deadline; a silent client fails its session")
 	flag.DurationVar(&o.drain, "drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight sessions before severing them")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "journal every finished session's report to this file (sched checkpoint format)")
@@ -106,6 +110,8 @@ func run(o options, logw io.Writer, ready chan<- string, stop <-chan os.Signal) 
 		Addr:        o.addr,
 		MaxTenants:  o.maxTenants,
 		MaxBanks:    o.maxBanks,
+		Shards:      o.shards,
+		ShardQueue:  o.shardQueue,
 		IdleTimeout: o.idleTimeout,
 		Obs:         rec,
 		ReplayObs:   o.replayObs,
@@ -118,7 +124,7 @@ func run(o options, logw io.Writer, ready chan<- string, stop <-chan os.Signal) 
 		closeObs()
 		return err
 	}
-	fmt.Fprintf(logw, "rhsimd: listening on %s (max %d tenants)\n", s.Addr(), o.maxTenants)
+	fmt.Fprintf(logw, "rhsimd: listening on %s (max %d tenants, %d shard(s))\n", s.Addr(), o.maxTenants, s.Shards())
 	if ready != nil {
 		ready <- s.Addr()
 	}

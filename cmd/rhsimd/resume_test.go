@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"graphene/internal/memctrl"
+	"graphene/internal/serve"
+	"graphene/internal/trace"
+	"graphene/internal/workload"
+)
+
+// gateReader serves the first `limit` bytes of r, then blocks until the
+// gate closes and fails — a client whose stream froze mid-session and was
+// then torn down.
+type gateReader struct {
+	r     io.Reader
+	limit int
+	read  int
+	gate  chan struct{}
+}
+
+func (g *gateReader) Read(p []byte) (int, error) {
+	left := g.limit - g.read
+	if left <= 0 {
+		<-g.gate
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > left {
+		p = p[:left]
+	}
+	n, err := g.r.Read(p)
+	g.read += n
+	return n, err
+}
+
+// canonicalResult mirrors the serve test suite's canonical Result order:
+// the controller breaks disturbance ties arbitrarily, so both sides of an
+// identity check sort TopVictims the same way before comparing.
+func canonicalResult(t *testing.T, res memctrl.Result) []byte {
+	t.Helper()
+	sort.Slice(res.TopVictims, func(i, j int) bool {
+		a, b := res.TopVictims[i], res.TopVictims[j]
+		if a.Disturbance != b.Disturbance {
+			return a.Disturbance > b.Disturbance
+		}
+		if a.Bank != b.Bank {
+			return a.Bank < b.Bank
+		}
+		return a.Row < b.Row
+	})
+	out, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// startDaemon boots one full rhsimd body and returns its address plus the
+// stop/err channels.
+func startDaemon(t *testing.T, o options, logw *logBuffer) (addr string, stop chan os.Signal, runErr chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	stop = make(chan os.Signal, 1)
+	runErr = make(chan error, 1)
+	go func() { runErr <- run(o, logw, ready, stop) }()
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return addr, stop, runErr
+}
+
+// TestDaemonKillResume is the CLI-level acceptance drill for the resume
+// path: a real rhsimd daemon is SIGTERMed while a session is half
+// streamed, a second daemon boots on the same checkpoint journal, the
+// client reconnects with the session handle from its last partial report,
+// and the final Result must be byte-identical to an uninterrupted replay
+// of the same trace.
+func TestDaemonKillResume(t *testing.T) {
+	dir := t.TempDir()
+	ckpath := filepath.Join(dir, "sessions.ckpt")
+	o := options{
+		addr:        "127.0.0.1:0",
+		maxTenants:  4,
+		maxBanks:    16,
+		shards:      2,
+		idleTimeout: time.Minute,
+		drain:       500 * time.Millisecond, // SIGTERM must sever the frozen session, not wait it out
+		checkpoint:  ckpath,
+	}
+
+	// A trace long enough to span several binary segments, so partial
+	// reports and resume chunks exist.
+	var buf bytes.Buffer
+	if _, err := trace.WriteBinary(&buf, workload.S1(0, 64*1024, 10, 200_000)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Daemon one: stream half the trace, freeze, catch partial reports.
+	addr1, stop1, runErr1 := startDaemon(t, o, &logBuffer{})
+	var handle, partials atomic.Int64
+	gate := make(chan struct{})
+	clientErr := make(chan error, 1)
+	go func() {
+		c, err := serve.Dial(addr1)
+		if err != nil {
+			clientErr <- err
+			return
+		}
+		defer c.Close()
+		c.OnPartial = func(rep serve.Report) {
+			handle.Store(rep.Session)
+			partials.Add(1)
+		}
+		_, err = c.Run(serve.Hello{Tenant: "resumer", ReportEvery: 1},
+			&gateReader{r: bytes.NewReader(data), limit: len(data) / 2, gate: gate})
+		clientErr <- err
+	}()
+	deadline := time.Now().Add(15 * time.Second)
+	for partials.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no partial report arrived before the kill")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Kill mid-stream. The frozen session cannot drain, so the daemon
+	// severs it at the drain deadline and reports the expiry.
+	stop1 <- syscall.SIGTERM
+	select {
+	case err := <-runErr1:
+		if err == nil || !strings.Contains(err.Error(), "drain") {
+			t.Fatalf("daemon one exit = %v, want a drain-deadline error for the severed session", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon one did not exit after SIGTERM")
+	}
+	close(gate)
+	if err := <-clientErr; err == nil {
+		t.Fatal("severed session reported success")
+	}
+
+	// Daemon two: same journal, fresh port. Resume by handle, then run an
+	// uninterrupted reference session of the same trace beside it.
+	logw2 := &logBuffer{}
+	addr2, stop2, runErr2 := startDaemon(t, o, logw2)
+	c, err := serve.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var ack serve.Report
+	c.OnPartial = func(rep serve.Report) {
+		if rep.Resumed {
+			ack = rep
+		}
+	}
+	rep, err := c.Run(serve.Hello{Tenant: "resumer", Resume: &serve.Resume{Session: handle.Load()}},
+		bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("resume across daemon restart: %v", err)
+	}
+	if !ack.Resumed || ack.Segments < 1 {
+		t.Fatalf("resume ack = %+v, want at least one journaled segment restored", ack)
+	}
+
+	ref, err := serve.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	refRep, err := ref.Run(serve.Hello{Tenant: "reference"}, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := canonicalResult(t, rep.Result)
+	want := canonicalResult(t, refRep.Result)
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed Result differs from uninterrupted replay\nresumed: %s\nwant:    %s", got, want)
+	}
+
+	stop2 <- syscall.SIGTERM
+	select {
+	case err := <-runErr2:
+		if err != nil {
+			t.Fatalf("daemon two drain: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon two did not drain after SIGTERM")
+	}
+	if out := logw2.String(); !strings.Contains(out, "2 shard(s)") {
+		t.Errorf("daemon log misses the shard count:\n%s", out)
+	}
+}

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -21,9 +23,11 @@ import (
 )
 
 // Hello is the tenant handshake: who is streaming and which mitigation
-// configuration their bank pipelines run. Zero fields take the golden
+// configuration their bank pipelines run. Absent fields take the golden
 // defaults (DESIGN.md §12), so a minimal client sends only Tenant and
-// Scheme.
+// Scheme. K and Seed are pointers because their zero values are
+// meaningful: an explicit "seed": 0 is honored verbatim and an explicit
+// "k": 0 is rejected loudly — neither is silently rewritten to a default.
 type Hello struct {
 	// Tenant names the stream for reports, metrics, and the checkpoint
 	// journal. Required; at most 64 bytes, no control characters.
@@ -38,8 +42,9 @@ type Hello struct {
 	// Default 12500 (the golden harness threshold).
 	TRH int64 `json:"trh,omitempty"`
 
-	// K is Graphene's reset-window divisor. Default 2.
-	K int `json:"k,omitempty"`
+	// K is Graphene's reset-window divisor. Absent means 2; an explicit 0
+	// is a validation error, not a silent default.
+	K *int `json:"k,omitempty"`
 
 	// Distance is the neighborhood refresh distance. Default 1.
 	Distance int `json:"distance,omitempty"`
@@ -48,18 +53,47 @@ type Hello struct {
 	// 65536. The bank count comes from the trace stream's own header.
 	Rows int `json:"rows,omitempty"`
 
-	// Seed drives the probabilistic schemes (para, prohit, mrloc).
-	// Default 1.
-	Seed int64 `json:"seed,omitempty"`
+	// Seed drives the probabilistic schemes (para, prohit, mrloc). Absent
+	// means 1; an explicit 0 is a legal seed and is used as-is.
+	Seed *int64 `json:"seed,omitempty"`
 
 	// Oracle arms the ground-truth disturbance oracle at TRH, so the
 	// Report carries bit-flip verdicts and residual-pressure victims.
 	// Off by default: a production mitigation daemon has no ground
 	// truth, and the oracle costs per-ACT accounting.
 	Oracle bool `json:"oracle,omitempty"`
+
+	// ReportEvery asks for a streaming partial Report (an R frame with
+	// Partial set) every ReportEvery fully decoded trace segments, in
+	// addition to the final Report at FIN. When the daemon also runs a
+	// checkpoint journal, the same cadence journals the replayed raw
+	// segments, which is what makes the session resumable. 0 (default)
+	// means no partials and no resume journal.
+	ReportEvery int `json:"report_every,omitempty"`
+
+	// Resume, when set, asks to continue an interrupted session instead
+	// of starting a new one: the client presents the Session from its
+	// last partial Report, the server restores the journaled prefix and
+	// acknowledges how many segments it already holds, and the client
+	// streams only the remainder. The journaled session's own Hello is
+	// authoritative for scheme and parameters — this hello's other
+	// fields (beyond Tenant) are ignored on resume.
+	Resume *Resume `json:"resume,omitempty"`
 }
 
-// withDefaults fills the golden defaults into zero fields.
+// Resume identifies the interrupted session to continue; the tenant comes
+// from the enclosing Hello, and the pair must match a journaled session.
+type Resume struct {
+	Session int64 `json:"session"`
+}
+
+// Ptr returns a pointer to v — the ergonomic way to fill Hello's
+// explicit-zero-capable fields (K, Seed) from literals.
+func Ptr[T any](v T) *T { return &v }
+
+// withDefaults fills the golden defaults into absent fields. Explicit
+// values — including explicit zeros in the pointer fields — are kept
+// verbatim for validate to judge.
 func (h Hello) withDefaults() Hello {
 	if h.Scheme == "" {
 		h.Scheme = "graphene"
@@ -67,8 +101,8 @@ func (h Hello) withDefaults() Hello {
 	if h.TRH == 0 {
 		h.TRH = 12500
 	}
-	if h.K == 0 {
-		h.K = 2
+	if h.K == nil {
+		h.K = Ptr(2)
 	}
 	if h.Distance == 0 {
 		h.Distance = 1
@@ -76,8 +110,8 @@ func (h Hello) withDefaults() Hello {
 	if h.Rows == 0 {
 		h.Rows = 64 * 1024
 	}
-	if h.Seed == 0 {
-		h.Seed = 1
+	if h.Seed == nil {
+		h.Seed = Ptr(int64(1))
 	}
 	return h
 }
@@ -95,8 +129,17 @@ func (h Hello) validate() error {
 			return fmt.Errorf("serve: hello: tenant name contains control byte 0x%02x", h.Tenant[i])
 		}
 	}
-	if h.TRH < 0 || h.K < 0 || h.Distance < 0 || h.Rows < 0 || h.Rows > trace.MaxRow+1 {
+	if h.K != nil && *h.K <= 0 {
+		return fmt.Errorf("serve: hello: k: %d is not a valid reset-window divisor", *h.K)
+	}
+	if h.TRH < 0 || h.Distance < 0 || h.Rows < 0 || h.Rows > trace.MaxRow+1 {
 		return fmt.Errorf("serve: hello: negative or out-of-range parameter")
+	}
+	if h.ReportEvery < 0 {
+		return fmt.Errorf("serve: hello: report_every: %d is negative", h.ReportEvery)
+	}
+	if h.Resume != nil && h.Resume.Session <= 0 {
+		return fmt.Errorf("serve: hello: resume: session %d is not a valid handle", h.Resume.Session)
 	}
 	return nil
 }
@@ -104,6 +147,12 @@ func (h Hello) validate() error {
 // Report is the server's verdict for one tenant session: the full replay
 // Result plus the headline numbers a tenant dashboard wants without
 // digging — flips, refresh overhead, and the serving wall time.
+//
+// With Hello.ReportEvery set, the session also streams partial Reports
+// (Partial true) mid-replay: those carry the running Segments and ACTs
+// counts and the Session handle to resume with, but no Result. A resumed
+// session's first frame is a partial with Resumed set — the
+// acknowledgment telling the client how many Segments to skip.
 type Report struct {
 	Tenant   string  `json:"tenant"`
 	Session  int64   `json:"session"`
@@ -111,6 +160,19 @@ type Report struct {
 	Flips    int     `json:"flips"`
 	Overhead float64 `json:"overhead"` // victim rows / auto-refreshed rows
 	WallUS   int64   `json:"wall_us"`  // serving wall time, microseconds
+
+	// Partial marks a mid-session streaming report; the final Report at
+	// FIN never sets it.
+	Partial bool `json:"partial,omitempty"`
+	// Resumed marks the resume acknowledgment (always also Partial):
+	// Segments tells the client how much prefix to skip.
+	Resumed bool `json:"resumed,omitempty"`
+	// Segments counts trace segments fully replayed so far (final
+	// Reports carry the total).
+	Segments int `json:"segments,omitempty"`
+	// ACTs counts accesses replayed so far; only partial reports set it
+	// (the final Report's Result carries the authoritative count).
+	ACTs int64 `json:"acts,omitempty"`
 
 	Result memctrl.Result `json:"result"`
 }
@@ -131,6 +193,18 @@ type Config struct {
 	// not the daemon. Default 1024.
 	MaxBanks int
 
+	// Shards is the number of session worker shards. Each accepted
+	// session is pinned to the shard its tenant name hashes to
+	// (sched.ShardOf), so one tenant's sessions serialize in arrival
+	// order while distinct tenants run on independent pipelines — N
+	// cores serve N pipelines with bounded queues. Default GOMAXPROCS.
+	Shards int
+
+	// ShardQueue bounds each shard's pending-session queue; past it the
+	// admitting goroutine blocks (backpressure behind the MaxTenants
+	// semaphore). Default 8.
+	ShardQueue int
+
 	// IdleTimeout is the per-frame read deadline: a client that sends
 	// nothing for this long fails its session. Default 2m.
 	IdleTimeout time.Duration
@@ -138,7 +212,8 @@ type Config struct {
 	// Obs, when non-nil, feeds the daemon's live metrics (/metrics via
 	// obs.ServeDebug) and session events: serve_sessions_total,
 	// serve_acts_total, serve_bytes_in_total, serve_session_errors_total,
-	// serve_tenants_active.
+	// serve_tenants_active, and per-shard shard_<i>_queued /
+	// shard_<i>_busy / shard_<i>_jobs_total.
 	Obs *obs.Recorder
 
 	// ReplayObs additionally attaches Obs to every tenant's replay
@@ -151,7 +226,10 @@ type Config struct {
 
 	// Checkpoint, when non-nil, journals every finished session's Report
 	// under "tenant/session" — the drain-then-report record a SIGTERM'd
-	// daemon leaves behind. Nil-safe by sched.Checkpoint's contract.
+	// daemon leaves behind — and, for sessions with ReportEvery set, the
+	// replayed raw segments under "resume/tenant/session/..." so a
+	// reconnecting client can continue where the interruption hit.
+	// Nil-safe by sched.Checkpoint's contract.
 	Checkpoint *sched.Checkpoint
 
 	// Logf, when non-nil, receives one line per session outcome and per
@@ -162,8 +240,9 @@ type Config struct {
 // Server is one listening daemon. Create with New, run with Serve, stop
 // with Shutdown.
 type Server struct {
-	cfg Config
-	ln  net.Listener
+	cfg  Config
+	ln   net.Listener
+	pool *sched.Shards
 
 	sessions  *obs.Counter
 	errors    *obs.Counter
@@ -172,6 +251,7 @@ type Server struct {
 	active    *obs.Gauge
 	seq       atomic.Int64
 	closing   atomic.Bool
+	closeCh   chan struct{}
 	wg        sync.WaitGroup
 	connsMu   sync.Mutex
 	conns     map[net.Conn]struct{}
@@ -197,11 +277,13 @@ func New(cfg Config) (*Server, error) {
 	return &Server{
 		cfg:       cfg,
 		ln:        ln,
+		pool:      sched.NewShards(cfg.Shards, cfg.ShardQueue, cfg.Obs),
 		sessions:  cfg.Obs.Counter("serve_sessions_total"),
 		errors:    cfg.Obs.Counter("serve_session_errors_total"),
 		acts:      cfg.Obs.Counter("serve_acts_total"),
 		bytesIn:   cfg.Obs.Counter("serve_bytes_in_total"),
 		active:    cfg.Obs.Gauge("serve_tenants_active"),
+		closeCh:   make(chan struct{}),
 		conns:     map[net.Conn]struct{}{},
 		semaphore: make(chan struct{}, cfg.MaxTenants),
 	}, nil
@@ -209,6 +291,9 @@ func New(cfg Config) (*Server, error) {
 
 // Addr returns the listener's actual address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shards returns the session shard count.
+func (s *Server) Shards() int { return s.pool.N() }
 
 // logf emits one daemon log line when a logger is configured.
 func (s *Server) logf(format string, args ...any) {
@@ -230,25 +315,33 @@ func (s *Server) Serve() error {
 		}
 		// Tenant-slot backpressure: past MaxTenants concurrent sessions
 		// the accept loop holds here, queueing connections in the kernel
-		// rather than spawning unbounded pipelines.
-		s.semaphore <- struct{}{}
+		// rather than spawning unbounded pipelines. A shutdown that
+		// arrives while we hold an accepted connection must not strand
+		// it — refuse it with an ERROR frame instead of hanging the
+		// client until some unrelated session frees a slot.
+		select {
+		case s.semaphore <- struct{}{}:
+		case <-s.closeCh:
+			s.refuse(conn)
+			return nil
+		}
 		if s.closing.Load() {
 			<-s.semaphore
-			conn.Close()
+			s.refuse(conn)
 			return nil
 		}
 		s.track(conn, true)
 		s.wg.Add(1)
-		go func() {
-			defer func() {
-				s.track(conn, false)
-				conn.Close()
-				<-s.semaphore
-				s.wg.Done()
-			}()
-			s.handle(conn)
-		}()
+		go s.admit(conn)
 	}
+}
+
+// refuse answers a connection the draining daemon will not serve, so the
+// client sees a deliberate refusal instead of a silent close or a hang.
+func (s *Server) refuse(conn net.Conn) {
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	writeFrame(conn, FrameError, []byte("daemon is draining, not accepting sessions"))
+	conn.Close()
 }
 
 // track registers a live connection so an expired drain can sever it.
@@ -263,20 +356,23 @@ func (s *Server) track(c net.Conn, add bool) {
 }
 
 // Shutdown drains the daemon: the listener closes immediately (no new
-// sessions), in-flight sessions run to completion and deliver their
-// reports, and only then does Shutdown return. If ctx expires first the
-// remaining connections are severed and ctx.Err() comes back — the
+// sessions), in-flight sessions run to completion — each shard finishing
+// its queue in submission order — and deliver their reports, and only
+// then does Shutdown return. If ctx expires first the remaining
+// connections are severed and ctx.Err() comes back — the
 // drain-then-report discipline rhsimd runs on SIGTERM.
 func (s *Server) Shutdown(ctx context.Context) error {
 	if s.closing.Swap(true) {
 		// Second call: just wait with the caller's deadline.
 	} else {
 		s.ln.Close()
+		close(s.closeCh)
 		s.logf("serve: draining %d active session(s)", s.active.Value())
 	}
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		s.pool.Close()
 		close(done)
 	}()
 	select {
@@ -293,11 +389,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// handle runs one tenant session on conn: handshake, per-(tenant, bank)
-// replay, verdict.
-func (s *Server) handle(conn net.Conn) {
+// admit runs the handshake for one accepted connection and pins the
+// session onto its tenant's shard. Only the cheap, blocking-on-the-client
+// part (reading and validating the hello) happens here; the replay itself
+// is the shard job, so a slow handshake never occupies a worker.
+func (s *Server) admit(conn net.Conn) {
 	id := s.seq.Add(1)
 	s.sessions.Inc()
+
+	var releaseOnce sync.Once
+	release := func() {
+		releaseOnce.Do(func() {
+			s.track(conn, false)
+			conn.Close()
+			<-s.semaphore
+			s.wg.Done()
+		})
+	}
+
 	br := bufio.NewReaderSize(conn, 64<<10)
 	fr := &frameReader{
 		r: br,
@@ -309,75 +418,152 @@ func (s *Server) handle(conn net.Conn) {
 		fr.count = c.Add
 	}
 
-	typ, payload, err := fr.next(nil, maxHelloPayload)
+	sn, err := s.handshake(conn, fr, id)
 	if err != nil {
-		s.fail(conn, id, "", fmt.Errorf("reading hello: %w", noEOF(err)))
+		tenant := ""
+		if sn != nil {
+			tenant = sn.h.Tenant
+		}
+		s.fail(conn, id, tenant, false, err)
+		release()
 		return
 	}
+	if _, err := s.pool.Submit(sn.h.Tenant, sn.h.Tenant, func() {
+		sn.run()
+		release()
+	}); err != nil {
+		s.fail(conn, id, sn.h.Tenant, false, fmt.Errorf("daemon is draining, not accepting sessions: %w", err))
+		release()
+	}
+}
+
+// handshake reads and validates the HELLO frame and resolves the session
+// parameters — from the hello itself, or from the journal on resume. The
+// returned session (when non-nil on error) carries at least the tenant
+// name for logging.
+func (s *Server) handshake(conn net.Conn, fr *frameReader, id int64) (*session, error) {
+	typ, payload, err := fr.next(nil, maxHelloPayload)
+	if err != nil {
+		return nil, fmt.Errorf("reading hello: %w", noEOF(err))
+	}
 	if typ != FrameHello {
-		s.fail(conn, id, "", fmt.Errorf("first frame is %c, want H", typ))
-		return
+		return nil, fmt.Errorf("first frame is %c, want H", typ)
 	}
 	var h Hello
 	if err := json.Unmarshal(payload, &h); err != nil {
-		s.fail(conn, id, "", fmt.Errorf("decoding hello: %w", err))
-		return
+		return nil, fmt.Errorf("decoding hello: %w", err)
 	}
 	h = h.withDefaults()
 	if err := h.validate(); err != nil {
-		s.fail(conn, id, h.Tenant, err)
-		return
+		return &session{h: h}, err
 	}
 
-	sc := sim.Scale{Timing: dram.DDR4(), Seed: h.Seed}
-	factory, schemeName, err := sim.BuildScheme(h.Scheme, h.TRH, h.K, h.Distance, h.Rows, sc)
+	sn := &session{srv: s, conn: conn, fr: fr, id: id, handle: id, h: h}
+	if h.Resume != nil {
+		jh, restored, err := s.prepareResume(h)
+		if err != nil {
+			return sn, err
+		}
+		sn.h, sn.restored, sn.handle = jh, restored, h.Resume.Session
+	}
+
+	sc := sim.Scale{Timing: dram.DDR4(), Seed: *sn.h.Seed}
+	factory, schemeName, err := sim.BuildScheme(sn.h.Scheme, sn.h.TRH, *sn.h.K, sn.h.Distance, sn.h.Rows, sc)
 	if err != nil {
-		s.fail(conn, id, h.Tenant, err)
-		return
+		return sn, err
 	}
+	sn.factory, sn.scheme = factory, schemeName
+	return sn, nil
+}
 
-	s.cfg.Obs.Emit(obs.Event{Kind: obs.KindSessionStart, Bank: -1, Label: h.Tenant, Value: id, Detail: schemeName})
+// session is one admitted tenant session: handshake done, parameters
+// resolved, waiting for (or running on) its tenant's shard.
+type session struct {
+	srv    *Server
+	conn   net.Conn
+	fr     *frameReader
+	id     int64 // this connection's own sequence number
+	handle int64 // the Report session handle: the original id on resume
+
+	h        Hello
+	factory  mitigation.Factory
+	scheme   string
+	restored *restoreState // non-nil when resuming
+}
+
+// run executes the session on its shard: per-(tenant, bank) replay,
+// verdict. The session-start event fires here — on the shard, when the
+// session actually begins executing — so starts and finishes always pair:
+// admission failures emit neither.
+func (sn *session) run() {
+	s := sn.srv
+	h := sn.h
+	s.cfg.Obs.Emit(obs.Event{Kind: obs.KindSessionStart, Bank: -1, Label: h.Tenant, Value: sn.handle, Detail: sn.scheme})
 	s.active.Add(1)
 	defer s.active.Add(-1)
 
+	if sn.restored != nil {
+		// Acknowledge the resume before touching the stream: the client
+		// is waiting to learn how many segments to skip.
+		ack := Report{Tenant: h.Tenant, Session: sn.handle, Scheme: sn.scheme,
+			Partial: true, Resumed: true, Segments: sn.restored.segments}
+		if err := sn.writeReport(ack); err != nil {
+			s.fail(sn.conn, sn.handle, h.Tenant, true, fmt.Errorf("writing resume ack: %w", err))
+			return
+		}
+	}
+
 	start := time.Now()
-	rep, err := s.replay(fr, h, factory, schemeName)
+	rep, err := sn.replay()
 	if err != nil {
-		s.fail(conn, id, h.Tenant, err)
+		s.fail(sn.conn, sn.handle, h.Tenant, true, err)
 		return
 	}
 	rep.Tenant = h.Tenant
-	rep.Session = id
+	rep.Session = sn.handle
 	rep.WallUS = time.Since(start).Microseconds()
 
 	s.acts.Add(rep.Result.ACTs)
-	if err := s.cfg.Checkpoint.Record(fmt.Sprintf("%s/%d", h.Tenant, id), rep); err != nil {
-		s.logf("serve: checkpoint: session %d (%s): %v", id, h.Tenant, err)
+	if err := s.cfg.Checkpoint.Record(fmt.Sprintf("%s/%d", h.Tenant, sn.handle), rep); err != nil {
+		s.logf("serve: checkpoint: session %d (%s): %v", sn.handle, h.Tenant, err)
 	}
-	s.cfg.Obs.Emit(obs.Event{Kind: obs.KindSessionFinish, Bank: -1, Label: h.Tenant, Value: id})
+	s.cfg.Obs.Emit(obs.Event{Kind: obs.KindSessionFinish, Bank: -1, Label: h.Tenant, Value: sn.handle})
 
-	out, err := json.Marshal(rep)
-	if err != nil {
-		s.fail(conn, id, h.Tenant, err)
-		return
-	}
-	conn.SetWriteDeadline(time.Now().Add(s.cfg.IdleTimeout))
-	if err := writeFrame(conn, FrameResult, out); err != nil {
+	if err := sn.writeReport(rep); err != nil {
 		s.errors.Inc()
-		s.logf("serve: session %d (%s): writing result: %v", id, h.Tenant, err)
+		s.logf("serve: session %d (%s): writing result: %v", sn.handle, h.Tenant, err)
 		return
 	}
 	s.logf("serve: session %d (%s): %s, %d ACTs, %d banks, %d flips, %.3f overhead, %dus",
-		id, h.Tenant, schemeName, rep.Result.ACTs, len(rep.Result.PerBank), rep.Flips, rep.Overhead, rep.WallUS)
+		sn.handle, h.Tenant, sn.scheme, rep.Result.ACTs, len(rep.Result.PerBank), rep.Flips, rep.Overhead, rep.WallUS)
+}
+
+// writeReport marshals rep into one RESULT frame under the write deadline.
+func (sn *session) writeReport(rep Report) error {
+	out, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	sn.conn.SetWriteDeadline(time.Now().Add(sn.srv.cfg.IdleTimeout))
+	return writeFrame(sn.conn, FrameResult, out)
 }
 
 // replay decodes the session's trace stream and drives it through the
 // per-bank pipelines. The dataReader→BlockReader→RunBlocks chain is the
-// same columnar zero-alloc path the local tools replay files through; the
-// only per-session allocations are the decoder, the bank engines, and the
-// Result.
-func (s *Server) replay(fr *frameReader, h Hello, factory mitigation.Factory, schemeName string) (Report, error) {
-	reader, err := trace.NewBlockReader(&dataReader{fr: fr})
+// same columnar zero-alloc path the local tools replay files through; on
+// resume the journaled prefix is spliced in front of the live stream, so
+// the decoder sees one contiguous trace and the Result is byte-identical
+// to an uninterrupted replay. The OnSegment hook — running on the replay
+// router, the only writer during a replay — journals raw segments and
+// paces the partial reports.
+func (sn *session) replay() (Report, error) {
+	s := sn.srv
+	h := sn.h
+	var src io.Reader = &dataReader{fr: sn.fr}
+	if sn.restored != nil {
+		src = io.MultiReader(bytes.NewReader(sn.restored.data), src)
+	}
+	reader, err := trace.NewBlockReader(src)
 	if err != nil {
 		return Report{}, fmt.Errorf("trace stream: %w", err)
 	}
@@ -388,10 +574,51 @@ func (s *Server) replay(fr *frameReader, h Hello, factory mitigation.Factory, sc
 	if banks > s.cfg.MaxBanks {
 		return Report{}, fmt.Errorf("trace stream claims %d banks, daemon limit %d", banks, s.cfg.MaxBanks)
 	}
+
+	resumable := s.cfg.Checkpoint != nil && h.ReportEvery > 0
+	if resumable && sn.restored == nil {
+		meta := resumeMeta{Hello: h, Name: reader.Name(), Banks: reader.Banks(), Total: reader.Total()}
+		meta.Hello.Resume = nil
+		if err := s.cfg.Checkpoint.Record(resumeMetaKey(h.Tenant, sn.handle), meta); err != nil {
+			return Report{}, fmt.Errorf("journaling session meta: %w", err)
+		}
+	}
+	if every := h.ReportEvery; every > 0 {
+		restoredSegs := 0
+		if sn.restored != nil {
+			restoredSegs = sn.restored.segments
+		}
+		var spool []byte
+		reader.OnSegment = func(p []byte) error {
+			n := reader.Segments()
+			if n <= restoredSegs {
+				return nil // replayed from the journal; already reported
+			}
+			if resumable {
+				spool = binary.AppendUvarint(spool, uint64(len(p)))
+				spool = append(spool, p...)
+			}
+			if n%every != 0 {
+				return nil
+			}
+			if resumable {
+				// Journal before reporting: a partial the client has seen
+				// is a resume point the journal is guaranteed to hold.
+				chunk := resumeChunk{Segments: every, Data: spool}
+				if err := s.cfg.Checkpoint.Record(resumeChunkKey(h.Tenant, sn.handle, n/every-1), chunk); err != nil {
+					return fmt.Errorf("journaling resume chunk: %w", err)
+				}
+				spool = spool[:0]
+			}
+			return sn.writeReport(Report{Tenant: h.Tenant, Session: sn.handle, Scheme: sn.scheme,
+				Partial: true, Segments: n, ACTs: reader.Decoded()})
+		}
+	}
+
 	cfg := memctrl.Config{
 		Geometry: dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: banks, RowsPerBank: h.Rows},
 		Timing:   dram.DDR4(),
-		Factory:  factory,
+		Factory:  sn.factory,
 	}
 	if s.cfg.ReplayObs {
 		cfg.Obs = s.cfg.Obs
@@ -404,21 +631,26 @@ func (s *Server) replay(fr *frameReader, h Hello, factory mitigation.Factory, sc
 		return Report{}, err
 	}
 	return Report{
-		Scheme:   schemeName,
+		Scheme:   sn.scheme,
 		Flips:    len(res.Flips),
 		Overhead: res.RefreshOverhead(),
+		Segments: reader.Segments(),
 		Result:   res,
 	}, nil
 }
 
 // fail answers a broken session with an ERROR frame, then drains the
-// client's remaining input briefly before the deferred close. Without the
-// drain, closing a socket with unread bytes can RST the connection and
-// destroy the very error frame the client needs to see.
-func (s *Server) fail(conn net.Conn, id int64, tenant string, err error) {
+// client's remaining input briefly before the close. Without the drain,
+// closing a socket with unread bytes can RST the connection and destroy
+// the very error frame the client needs to see. The finish event is
+// emitted only when the session-start event fired (started): admission
+// failures emit neither, so start/finish counts always pair.
+func (s *Server) fail(conn net.Conn, id int64, tenant string, started bool, err error) {
 	s.errors.Inc()
 	s.logf("serve: session %d (%s): %v", id, tenant, err)
-	s.cfg.Obs.Emit(obs.Event{Kind: obs.KindSessionFinish, Bank: -1, Label: tenant, Value: id, Detail: err.Error()})
+	if started {
+		s.cfg.Obs.Emit(obs.Event{Kind: obs.KindSessionFinish, Bank: -1, Label: tenant, Value: id, Detail: err.Error()})
+	}
 	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 	if werr := writeFrame(conn, FrameError, []byte(err.Error())); werr != nil {
 		return

@@ -12,6 +12,7 @@ import (
 	"graphene/internal/dram"
 	"graphene/internal/memctrl"
 	"graphene/internal/obs"
+	"graphene/internal/sched"
 	"graphene/internal/sim"
 	"graphene/internal/trace"
 )
@@ -153,6 +154,99 @@ func BenchmarkServePath(b *testing.B) {
 		runtime.ReadMemStats(&after)
 		reportActMetrics(b, &struct{ before, after uint64 }{before.TotalAlloc, after.TotalAlloc})
 	})
+}
+
+// BenchmarkServeShards isolates the tentpole scaling claim: N worker
+// shards serve N independent tenant pipelines. Each tenant streams a
+// single-bank trace — a single-bank session replays serially, so on one
+// shard the tenants queue behind each other and on four shards they run
+// four abreast; any speedup is shard scheduling, not per-session bank
+// parallelism. Tenant names are picked so sched.ShardOf balances them two
+// per shard. The Makefile gate compares shards-4 against shards-1 and
+// asserts >= 2x on 4-core runners (parity on smaller ones — a 1-core
+// runner cannot scale and must merely not regress).
+func BenchmarkServeShards(b *testing.B) {
+	const shardActs = 1 << 18 // per tenant; single-bank, so the session is serial
+	accs := make([]trace.Access, shardActs)
+	for i := range accs {
+		accs[i] = trace.Access{Bank: 0, Row: (i * 7919) & (benchRows - 1), Gap: 50 * dram.Nanosecond}
+	}
+	var buf bytes.Buffer
+	if _, err := trace.WriteBinary(&buf, trace.FromSlice("shardbench", accs)); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Two tenants per shard under 4 shards, found by hashing candidates.
+	const wantShards = 4
+	tenants := make([]string, 0, benchTenants)
+	fill := make([]int, wantShards)
+	for i := 0; len(tenants) < benchTenants; i++ {
+		name := fmt.Sprintf("shard-t%d", i)
+		if si := sched.ShardOf(name, wantShards); fill[si] < benchTenants/wantShards {
+			fill[si]++
+			tenants = append(tenants, name)
+		}
+	}
+
+	// The sub-bench names use "=" (not "-N"): rhbench strips a trailing
+	// "-<digits>" as the GOMAXPROCS suffix, which would fold both legs
+	// into one name.
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, err := New(Config{Addr: "127.0.0.1:0", MaxTenants: benchTenants, Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			go s.Serve()
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				s.Shutdown(ctx)
+			}()
+
+			b.SetBytes(int64(benchTenants) * int64(len(data)))
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				var wg sync.WaitGroup
+				errs := make([]error, benchTenants)
+				for tn, name := range tenants {
+					wg.Add(1)
+					go func(tn int, name string) {
+						defer wg.Done()
+						c, err := Dial(s.Addr())
+						if err != nil {
+							errs[tn] = err
+							return
+						}
+						defer c.Close()
+						rep, err := c.Run(Hello{
+							Tenant: name,
+							Scheme: "graphene", TRH: 12500, Rows: benchRows,
+						}, bytes.NewReader(data))
+						if err != nil {
+							errs[tn] = err
+							return
+						}
+						if rep.Result.ACTs != shardActs {
+							errs[tn] = fmt.Errorf("tenant %s replayed %d ACTs, want %d", name, rep.Result.ACTs, shardActs)
+						}
+					}(tn, name)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			totalActs := int64(b.N) * benchTenants * shardActs
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(totalActs)/sec, "acts/s")
+			}
+		})
+	}
 }
 
 // reportActMetrics normalizes the op-level numbers per ACT: acts/s for the

@@ -73,8 +73,8 @@ func goldenTraces(t testing.TB) map[string][]byte {
 func localRun(t testing.TB, data []byte, h Hello) memctrl.Result {
 	t.Helper()
 	h = h.withDefaults()
-	sc := sim.Scale{Timing: dram.DDR4(), Seed: h.Seed}
-	factory, _, err := sim.BuildScheme(h.Scheme, h.TRH, h.K, h.Distance, h.Rows, sc)
+	sc := sim.Scale{Timing: dram.DDR4(), Seed: *h.Seed}
+	factory, _, err := sim.BuildScheme(h.Scheme, h.TRH, *h.K, h.Distance, h.Rows, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,6 +150,35 @@ func startServer(t testing.TB, cfg Config) *Server {
 	return s
 }
 
+// clientVerdict reads frames off a hand-driven client connection until
+// the final verdict, discarding partial reports.
+func clientVerdict(c *Client) (Report, error) {
+	fr := &frameReader{r: c.conn, extend: func() {
+		c.conn.SetReadDeadline(time.Now().Add(c.Timeout))
+	}}
+	for {
+		typ, payload, err := fr.next(nil, MaxFramePayload)
+		if err != nil {
+			return Report{}, fmt.Errorf("reading verdict: %w", noEOF(err))
+		}
+		switch typ {
+		case FrameResult:
+			var rep Report
+			if err := json.Unmarshal(payload, &rep); err != nil {
+				return Report{}, err
+			}
+			if rep.Partial {
+				continue
+			}
+			return rep, nil
+		case FrameError:
+			return Report{}, &ServerError{Msg: string(payload)}
+		default:
+			return Report{}, fmt.Errorf("unexpected %c frame as verdict", typ)
+		}
+	}
+}
+
 // runSession executes one client session against the server.
 func runSession(t testing.TB, addr string, h Hello, data []byte) (Report, error) {
 	t.Helper()
@@ -173,8 +202,8 @@ func TestGoldenByteIdentity(t *testing.T) {
 		for wl, data := range traces {
 			h := Hello{
 				Tenant: fmt.Sprintf("%s-%s", scheme, wl),
-				Scheme: scheme, TRH: goldenTRH, K: 2, Distance: 1,
-				Rows: 64 * 1024, Seed: 1, Oracle: true,
+				Scheme: scheme, TRH: goldenTRH, K: Ptr(2), Distance: 1,
+				Rows: 64 * 1024, Seed: Ptr(int64(1)), Oracle: true,
 			}
 			rep, err := runSession(t, s.Addr(), h, data)
 			if err != nil {
@@ -381,7 +410,7 @@ func TestShutdownDrains(t *testing.T) {
 	if err := writeFrame(c2.conn, FrameFin, nil); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := c2.response()
+	rep, err := clientVerdict(c2)
 	if err != nil {
 		t.Fatalf("drained session verdict: %v", err)
 	}

@@ -21,8 +21,11 @@ import (
 )
 
 // Frame types. A session is HELLO, any number of DATA frames carrying one
-// binary trace stream, FIN; the server answers with exactly one RESULT or
-// ERROR frame and closes. One session per connection.
+// binary trace stream, FIN; the server answers with one final RESULT or
+// ERROR frame and closes. With Hello.ReportEvery set, partial RESULT
+// frames (Report.Partial) also stream server→client mid-session, and a
+// resume session (Hello.Resume) begins with a partial RESULT
+// acknowledgment before any DATA flows. One session per connection.
 const (
 	// FrameHello opens a session; the payload is the JSON-encoded Hello.
 	FrameHello = byte('H')
@@ -39,7 +42,9 @@ const (
 	// trace bytes themselves are torn.
 	FrameFin = byte('F')
 
-	// FrameResult is the server's success reply: the JSON-encoded Report.
+	// FrameResult carries a JSON-encoded Report: the final verdict, or —
+	// when the hello asked for them — a mid-session partial (Partial
+	// set) or the resume acknowledgment (Partial and Resumed set).
 	FrameResult = byte('R')
 
 	// FrameError is the server's failure reply: a UTF-8 message.

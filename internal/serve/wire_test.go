@@ -189,6 +189,8 @@ func FuzzWireSession(f *testing.F) {
 	f.Add(sessionBytes(f, Hello{Tenant: "seed"}, small, 64))
 	f.Add(sessionBytes(f, Hello{Tenant: "seed1"}, small, 1))
 	f.Add(sessionBytes(f, Hello{Tenant: "s", Scheme: "para", Oracle: true}, small, 4096))
+	f.Add(sessionBytes(f, Hello{Tenant: "res", ReportEvery: 2, Resume: &Resume{Session: 7}}, small, 64))
+	f.Add(sessionBytes(f, Hello{Tenant: "zero", K: Ptr(0), Seed: Ptr(int64(0)), ReportEvery: 1}, small, 128))
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 1, FrameHello})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, FrameData, 1, 2, 3})

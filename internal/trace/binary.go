@@ -198,15 +198,11 @@ func WriteBinary(w io.Writer, gen Generator) (int64, error) {
 	}
 	enc.flush()
 
-	head := append([]byte{}, binaryMagic...)
-	head = binary.AppendUvarint(head, uint64(len(name)))
-	head = append(head, name...)
 	banks := 0
 	if enc.total > 0 {
 		banks = enc.maxBank + 1
 	}
-	head = binary.AppendUvarint(head, uint64(banks))
-	head = binary.AppendUvarint(head, uint64(enc.total))
+	head := AppendBinaryHeader(nil, name, banks, enc.total)
 	if _, err := w.Write(head); err != nil {
 		return 0, err
 	}
@@ -217,6 +213,70 @@ func WriteBinary(w io.Writer, gen Generator) (int64, error) {
 		return 0, err
 	}
 	return enc.total, nil
+}
+
+// AppendBinaryHeader appends the binary trace header — magic,
+// length-prefixed name, bank count, access count, all canonical uvarints —
+// to dst and returns it. It is the exact byte sequence WriteBinary puts
+// before the first segment, exposed so a journaled session can reconstruct
+// the prefix of a half-streamed trace without re-encoding any accesses
+// (serve's resume path glues this header onto the journaled raw segments).
+func AppendBinaryHeader(dst []byte, name string, banks int, total int64) []byte {
+	dst = append(dst, binaryMagic...)
+	dst = binary.AppendUvarint(dst, uint64(len(name)))
+	dst = append(dst, name...)
+	dst = binary.AppendUvarint(dst, uint64(banks))
+	dst = binary.AppendUvarint(dst, uint64(total))
+	return dst
+}
+
+// SkipBinaryPrefix consumes the binary header and the first n segments
+// from r, validating magic and field limits but decoding nothing. It is
+// the client half of session resume: after the server acknowledges m
+// segments already replayed, the client skips header plus m segments and
+// streams the remainder — raw length-prefixed segments and the end marker
+// — from the same reader. A stream that ends (or hits the end marker)
+// before n segments is an error: the resume handle promises at least that
+// many.
+func SkipBinaryPrefix(r *bufio.Reader, n int) error {
+	head, err := r.Peek(len(binaryMagic))
+	if err != nil || !bytes.Equal(head, binaryMagic) {
+		return ErrNotBinary
+	}
+	if _, err := r.Discard(len(binaryMagic)); err != nil {
+		return binErrf("header: %w", err)
+	}
+	nameLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return binErrf("header: truncated name length: %w", noEOF(err))
+	}
+	if nameLen > MaxNameLen {
+		return binErrf("header: name length %d exceeds limit %d", nameLen, MaxNameLen)
+	}
+	if _, err := r.Discard(int(nameLen)); err != nil {
+		return binErrf("header: truncated name: %w", noEOF(err))
+	}
+	for _, what := range []string{"bank count", "access count"} {
+		if _, err := binary.ReadUvarint(r); err != nil {
+			return binErrf("header: truncated %s: %w", what, noEOF(err))
+		}
+	}
+	for i := 0; i < n; i++ {
+		segLen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return binErrf("skip: truncated stream at segment %d: %w", i, noEOF(err))
+		}
+		if segLen == 0 {
+			return binErrf("skip: stream carries %d segments, resume needs %d", i, n)
+		}
+		if segLen > maxSegmentBytes {
+			return binErrf("segment of %d bytes exceeds limit %d", segLen, maxSegmentBytes)
+		}
+		if _, err := r.Discard(int(segLen)); err != nil {
+			return binErrf("skip: truncated segment %d: %w", i, noEOF(err))
+		}
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------- reader
@@ -247,6 +307,17 @@ type BlockReader struct {
 	banks int
 	total int64
 
+	// OnSegment, when set, is called once per fully decoded and validated
+	// segment with the raw payload bytes exactly as they appeared on the
+	// wire (without the length prefix). The slice is only valid for the
+	// duration of the call — the reader reuses the buffer for the next
+	// segment. A non-nil error poisons the reader: the current decode call
+	// fails with it and no further segments are delivered. serve uses this
+	// to journal replayed segments for session resume and to pace partial
+	// reports; the hook fires at the single point where a segment is known
+	// complete, so a journaled segment is never a torn one.
+	OnSegment func(payload []byte) error
+
 	prevRow []int64
 	prevGap []int64
 
@@ -258,8 +329,9 @@ type BlockReader struct {
 	segBlocks  []segBlock
 	consumed   []int64 // runList's per-bank accounting, reused across segments
 
-	decoded int64
-	done    bool
+	decoded  int64
+	segments int
+	done     bool
 }
 
 // NewBlockReader checks the magic and reads the header. A stream that
@@ -324,6 +396,13 @@ func (br *BlockReader) Banks() int { return br.banks }
 
 // Total returns the header's access count.
 func (br *BlockReader) Total() int64 { return br.total }
+
+// Decoded returns the number of accesses decoded so far.
+func (br *BlockReader) Decoded() int64 { return br.decoded }
+
+// Segments returns the number of segments fully decoded and validated so
+// far (the count of OnSegment firings, whether or not the hook is set).
+func (br *BlockReader) Segments() int { return br.segments }
 
 // uvarint decodes an unsigned varint from the current payload.
 func (br *BlockReader) uvarint(what string) (uint64, error) {
@@ -732,6 +811,12 @@ func (br *BlockReader) runList(dst []run, collect bool) ([]run, error) {
 	// whole slice back for the next segment.
 	for _, sb := range br.segBlocks {
 		br.consumed[sb.bank] = 0
+	}
+	br.segments++
+	if br.OnSegment != nil {
+		if err := br.OnSegment(br.payload); err != nil {
+			return nil, binErrf("segment hook: %w", err)
+		}
 	}
 	br.segOpen = false
 	br.payload = br.payload[:0]

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench bench-sweep bench-obs bench-fault bench-hotpath bench-trace bench-replay bench-serve fuzz race tables security examples check
+.PHONY: all build vet test test-race test-short bench bench-sweep bench-obs bench-fault bench-hotpath bench-trace bench-replay bench-rowpress bench-serve fuzz race tables security examples check
 
 all: check
 
@@ -79,6 +79,19 @@ bench-replay:
 	$(GO) run ./cmd/rhbench -i BENCH_replay.txt -o /dev/null -assert-zero-allocs 'BenchmarkReplayEngine/batch'
 	rm -f BENCH_replay.txt
 
+# RowPress dwell-column gate (DESIGN.md §13): the dwell-carrying zero-alloc
+# legs pin the columnar dwell path at exactly 0 allocations, then the
+# BenchmarkReplayRowpress pair replays identical semantic work (an all-nRAS
+# dwell column means every increment is 1 and every ActCycle equals tRC)
+# with and without the column, so the ratio prices carrying and weighing
+# the column alone. rhbench asserts dwell ≥ 0.8x plain and 0 allocs/op.
+bench-rowpress:
+	$(GO) test -run 'TestReplayBatchZeroAlloc/.*dwell' ./internal/memctrl
+	$(GO) test -run xxx -bench 'BenchmarkReplayRowpress' -benchtime 500x -count 3 -benchmem ./internal/memctrl > BENCH_rowpress.txt
+	$(GO) run ./cmd/rhbench -i BENCH_rowpress.txt -o BENCH_rowpress.json -assert-speedup 'ReplayRowpress/dwell:ReplayRowpress/plain:0.8'
+	$(GO) run ./cmd/rhbench -i BENCH_rowpress.txt -o /dev/null -assert-zero-allocs 'BenchmarkReplayRowpress'
+	rm -f BENCH_rowpress.txt
+
 # Serving-path gate (DESIGN.md §12): one benchmark pair replays the same
 # 8-tenant x 8-bank x 1M-ACT aggregate directly through memctrl.RunBlocks
 # and through a live rhsimd-style TCP daemon (frame encode, wire decode,
@@ -120,6 +133,7 @@ fuzz:
 	$(GO) test ./internal/graphene -fuzz=FuzzBankNeverMissesTheorem -fuzztime=30s -run xxx
 	$(GO) test ./internal/graphene -fuzz=FuzzTableMatchesReference -fuzztime=30s -run xxx
 	$(GO) test ./internal/graphene -fuzz=FuzzBatchAppend -fuzztime=30s -run xxx
+	$(GO) test ./internal/trace -fuzz=FuzzBinaryReader -fuzztime=30s -run xxx
 	$(GO) test ./internal/memctrl -fuzz=FuzzStreamingMatchesBuffered -fuzztime=30s -run xxx
 	$(GO) test ./internal/mitigation -fuzz=FuzzStackAppend -fuzztime=30s -run xxx
 	$(GO) test ./internal/serve -fuzz=FuzzWireSession -fuzztime=30s -run xxx
@@ -138,4 +152,4 @@ examples:
 	$(GO) run ./examples/pagepolicy
 	$(GO) run ./examples/observability
 
-check: build vet test race bench-sweep bench-fault bench-hotpath bench-trace bench-replay bench-serve
+check: build vet test race bench-sweep bench-fault bench-hotpath bench-trace bench-replay bench-rowpress bench-serve

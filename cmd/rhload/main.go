@@ -40,6 +40,8 @@ type options struct {
 	banks       int
 	rows        int
 	scheme      string
+	profile     string
+	rowpress    bool
 	trh         int64
 	seed        int64
 	oracle      bool
@@ -57,6 +59,8 @@ func main() {
 	flag.IntVar(&o.banks, "banks", 8, "banks per tenant trace (round-robin)")
 	flag.IntVar(&o.rows, "rows", 64*1024, "rows per bank")
 	flag.StringVar(&o.scheme, "scheme", "graphene", "mitigation scheme each tenant requests")
+	flag.StringVar(&o.profile, "profile", "", "device profile each tenant requests: ddr4 (default) or ddr5")
+	flag.BoolVar(&o.rowpress, "rowpress", false, "request duration-aware tracking (dwell-weighted counter increments)")
 	flag.Int64Var(&o.trh, "trh", 12500, "Row Hammer threshold")
 	flag.Int64Var(&o.seed, "seed", 1, "seed for probabilistic schemes")
 	flag.BoolVar(&o.oracle, "oracle", false, "arm the ground-truth oracle (reports carry flip verdicts)")
@@ -149,6 +153,7 @@ func runTenant(o options, name string, data []byte, partials, resumes *atomic.In
 		h := serve.Hello{
 			Tenant: name,
 			Scheme: o.scheme, TRH: o.trh, Rows: o.rows,
+			Profile: o.profile, Rowpress: o.rowpress,
 			Seed: serve.Ptr(o.seed), Oracle: o.oracle,
 			ReportEvery: o.reportEvery,
 		}

@@ -33,9 +33,27 @@ func TestRunWithMonteCarlo(t *testing.T) {
 		"PRoHIT vs Fig.7(a)",
 		"MRLoc vs Fig.7(b)",
 		"Graphene vs Fig.7(a)",
+		"RowPress (DDR5-4800",
+		"Graphene (rowpress)",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in output", want)
+		}
+	}
+	// RowPress headline: the duration-blind rows flip, the dwell-weighted
+	// Graphene does not.
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.Contains(line, "none (unprotected)"),
+			strings.Contains(line, "Graphene (duration-blind)"):
+			if strings.Fields(line)[len(strings.Fields(line))-2] == "0" {
+				t.Errorf("duration-blind RowPress line shows no flips: %q", line)
+			}
+		case strings.Contains(line, "Graphene (rowpress)"):
+			f := strings.Fields(line)
+			if f[len(f)-2] != "0" {
+				t.Errorf("rowpress Graphene line shows flips: %q", line)
+			}
 		}
 	}
 	// The headline claims must hold even at 3 trials: Graphene rows report

@@ -33,19 +33,21 @@ import (
 
 // options carries one simulation request.
 type options struct {
-	workload string
-	trace    string
-	scheme   string
-	trh      int64
-	k        int
-	distance int
-	acts     int64
-	windows  float64
-	seed     int64
-	jobs     int
-	progress bool
-	timeout  time.Duration
-	faults   string
+	workload   string
+	trace      string
+	scheme     string
+	profile    string
+	rowpress   bool
+	trh        int64
+	k          int
+	distance   int
+	acts       int64
+	windows    float64
+	seed       int64
+	jobs       int
+	progress   bool
+	timeout    time.Duration
+	faults     string
 	metrics    string
 	events     string
 	pprof      string
@@ -58,6 +60,8 @@ func main() {
 	flag.StringVar(&o.workload, "workload", "mcf", "workload: a profile name (mcf, milc, …), S1-10, S1-20, S2, S3, S4, prohit-pattern, mrloc-pattern, or worst")
 	flag.StringVar(&o.trace, "trace", "", "replay a recorded trace file (text or binary) instead of -workload; geometry auto-sizes to the trace")
 	flag.StringVar(&o.scheme, "scheme", "graphene", "scheme: graphene, twice, cbt, para, prohit, mrloc, cra, perrow, none")
+	flag.StringVar(&o.profile, "profile", "ddr4", "device profile: ddr4 or ddr5 (DDR5-4800 timing with tRAS and Refresh Management)")
+	flag.BoolVar(&o.rowpress, "rowpress", false, "duration-aware tracking: schemes weigh counter increments by each ACT's open-row dwell")
 	flag.Int64Var(&o.trh, "trh", 50000, "Row Hammer threshold")
 	flag.IntVar(&o.k, "k", 2, "Graphene reset-window divisor")
 	flag.IntVar(&o.distance, "distance", 1, "protected Row Hammer distance (±n)")
@@ -126,7 +130,13 @@ func run(w io.Writer, rec *obs.Recorder, o options) (flipped bool, err error) {
 		return false, err
 	}
 	fault.SetRecorder(rec)
+	prof, err := dram.ProfileByName(o.profile)
+	if err != nil {
+		return false, err
+	}
 	sc := sim.Quick()
+	sc.Timing = prof.Timing
+	sc.Rowpress = o.rowpress
 	sc.Seed = o.seed
 	sc.WorkloadAccesses = o.acts
 	sc.AdversarialWindows = o.windows

@@ -66,6 +66,8 @@ type options struct {
 	windows  float64
 	seed     int64
 	full     bool
+	prof     dram.Profile
+	rowpress bool
 	progress bool
 	retries  int
 	rec      *obs.Recorder
@@ -75,12 +77,16 @@ type options struct {
 }
 
 // scale resolves the simulation sizing: the test-friendly Quick scale with
-// the trace-length knobs applied, or the paper-scale Full configuration.
+// the trace-length knobs applied, or the paper-scale Full configuration,
+// on the selected device profile's timing.
 func (o options) scale() sim.Scale {
 	sc := sim.Quick()
 	if o.full {
 		sc = sim.Full()
+		sc.Geometry = o.prof.Geometry
 	}
+	sc.Timing = o.prof.Timing
+	sc.Rowpress = o.rowpress
 	sc.WorkloadAccesses = o.acts
 	sc.AdversarialWindows = o.windows
 	sc.Seed = o.seed
@@ -118,6 +124,8 @@ func main() {
 		windows  = flag.Float64("windows", 0.25, "refresh windows sustained by attack patterns (simulation sweeps)")
 		seed     = flag.Int64("seed", 1, "generator seed (simulation sweeps)")
 		full     = flag.Bool("full", false, "paper-scale Table III geometry for the simulation sweeps")
+		profile  = flag.String("profile", "ddr4", "device profile for the simulation sweeps: ddr4 or ddr5")
+		rowpress = flag.Bool("rowpress", false, "duration-aware tracking: schemes weigh counter increments by each ACT's open-row dwell")
 		progress = flag.Bool("progress", true, "live cell progress on stderr (simulation sweeps)")
 		timeout  = flag.Duration("timeout", 0, "abort the sweep after this long, draining in-flight cells (0 = no deadline)")
 		ckfile   = flag.String("checkpoint", "", "journal completed cells to this file and skip them on restart (simulation sweeps)")
@@ -132,6 +140,11 @@ func main() {
 	flag.Parse()
 
 	trhs, err := parseTRHs(*trhsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhsweep:", err)
+		os.Exit(2)
+	}
+	devProf, err := dram.ProfileByName(*profile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rhsweep:", err)
 		os.Exit(2)
@@ -175,7 +188,7 @@ func main() {
 	}
 	o := options{
 		trh: *trh, trhs: trhs, traces: splitList(*traces), jobs: *jobs, acts: *acts,
-		windows: *windows, seed: *seed, full: *full, progress: *progress,
+		windows: *windows, seed: *seed, full: *full, prof: devProf, rowpress: *rowpress, progress: *progress,
 		retries: *retries, rec: rec, ctx: ctx, fault: inj, ckpt: ckpt,
 	}
 

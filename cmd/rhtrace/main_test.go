@@ -99,6 +99,50 @@ func TestConvertRoundTrip(t *testing.T) {
 	}
 }
 
+func TestConvertDwellRoundTrip(t *testing.T) {
+	// A trace carrying the optional dwell column must survive
+	// text -> binary -> text byte for byte: the binary side encodes the
+	// column as the RHTB2 per-segment dwell block, the text side re-emits
+	// the fourth column only on the accesses that carried it.
+	dir := t.TempDir()
+	text := filepath.Join(dir, "press.trace")
+	orig := "# trace press\n0 5 0 95100\n1 6 100\n0 5 50 31700\n"
+	if err := os.WriteFile(text, []byte(orig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "press.bin")
+	if err := doConvert(text, bin, "auto"); err != nil {
+		t.Fatalf("to binary: %v", err)
+	}
+	raw, err := os.ReadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trace.IsBinary(bufio.NewReader(bytes.NewReader(raw))) {
+		t.Fatal("auto-converted dwell trace is not binary")
+	}
+	back := filepath.Join(dir, "back.trace")
+	if err := doConvert(bin, back, "auto"); err != nil {
+		t.Fatalf("back to text: %v", err)
+	}
+	got, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != orig {
+		t.Errorf("dwell text->binary->text not identical:\norig %q\n got %q", orig, got)
+	}
+	// A binary dwell trace torn inside the dwell block must be rejected,
+	// not replayed with silently truncated dwells.
+	torn := filepath.Join(dir, "torn.bin")
+	if err := os.WriteFile(torn, raw[:len(raw)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := doReplay(torn, "graphene", 50000, 0, 1); err == nil {
+		t.Error("replayed a binary trace torn inside the dwell block")
+	}
+}
+
 func TestConvertExplicitFormats(t *testing.T) {
 	dir := t.TempDir()
 	text := filepath.Join(dir, "s3.trace")

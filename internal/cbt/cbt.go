@@ -37,6 +37,20 @@ type Config struct {
 	AssumeRemapped bool
 	// Distance is the victim reach used for the +2 boundary rows; default 1.
 	Distance int
+
+	// Rowpress makes the tree counters duration-aware: an ACT whose
+	// open-row dwell exceeds NRAS adds mitigation.RowpressIncrement(dwell,
+	// NRAS, RowpressIncrementTicks) instead of 1 to the covering counter.
+	// Off (the default), dwell columns are ignored.
+	Rowpress bool
+
+	// RowpressIncrementTicks is the open-row time per extra increment;
+	// zero defaults to NRAS.
+	RowpressIncrementTicks dram.Time
+
+	// NRAS is the device's minimum open-row time; zero defaults to
+	// Timing.NRAS().
+	NRAS dram.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -54,6 +68,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Distance == 0 {
 		c.Distance = 1
+	}
+	if c.NRAS == 0 {
+		c.NRAS = c.Timing.NRAS()
+	}
+	if c.RowpressIncrementTicks == 0 {
+		c.RowpressIncrementTicks = c.NRAS
 	}
 	return c
 }
@@ -103,6 +123,9 @@ func New(cfg Config) (*CBT, error) {
 	}
 	if err := cfg.Timing.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.NRAS < 0 || cfg.RowpressIncrementTicks < 0 {
+		return nil, fmt.Errorf("cbt: negative RowPress parameter (NRAS %v, increment ticks %v)", cfg.NRAS, cfg.RowpressIncrementTicks)
 	}
 	tLast := cfg.TRH / 4 // same double-sided + window-phase factor as §III-B
 	if tLast < int64(cfg.Levels) {
@@ -156,6 +179,15 @@ func (c *CBT) find(row int) int {
 
 // AppendOnActivate implements mitigation.Mitigator.
 func (c *CBT) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram.Time) []mitigation.VictimRefresh {
+	return c.observe(dst, row, now, 1)
+}
+
+// observe feeds one ACT with a counter weight inc (1 = the classic scheme;
+// >1 = the RowPress dwell increment) to the covering counter. A weighted
+// observation may cross several split thresholds at once — the split loop
+// already cascades — and triggers the same single region refresh whether
+// the count crossed the last-level threshold by one or by many.
+func (c *CBT) observe(dst []mitigation.VictimRefresh, row int, now dram.Time, inc int64) []mitigation.VictimRefresh {
 	if row < 0 || row >= c.cfg.Rows {
 		panic(fmt.Sprintf("cbt: row %d out of range [0,%d)", row, c.cfg.Rows))
 	}
@@ -166,7 +198,7 @@ func (c *CBT) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram
 
 	i := c.find(row)
 	n := &c.nodes[i]
-	n.count++
+	n.count += inc
 
 	// Split while allowed: below the last level, above this level's split
 	// threshold, pool not exhausted, and range still divisible.
@@ -232,9 +264,23 @@ func (c *CBT) appendVictimRefreshes(dst []mitigation.VictimRefresh, lo, hi int) 
 
 // AppendOnActivateBatch implements mitigation.Mitigator through the
 // shared scalar-loop adapter (the controller's batch replay still saves
-// the per-ACT dispatch and timing work around it).
-func (c *CBT) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
-	return mitigation.ScalarBatch(c, dst, rows, now)
+// the per-ACT dispatch and timing work around it). With Config.Rowpress
+// and a dwell column, each ACT instead feeds its duration-weighted
+// increment, stopping after the first appending ACT per the contract.
+func (c *CBT) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now, dwell []dram.Time) ([]mitigation.VictimRefresh, int) {
+	if c.cfg.Rowpress && dwell != nil {
+		nras, incTicks := c.cfg.NRAS, c.cfg.RowpressIncrementTicks
+		for i := range rows {
+			pre := len(dst)
+			inc := mitigation.RowpressIncrement(dwell[i], nras, incTicks)
+			dst = c.observe(dst, int(rows[i]), now[i], inc)
+			if len(dst) > pre {
+				return dst, i + 1
+			}
+		}
+		return dst, len(rows)
+	}
+	return mitigation.ScalarBatch(c, dst, rows, now, dwell)
 }
 
 // AppendTick implements mitigation.Mitigator; CBT takes no refresh-time

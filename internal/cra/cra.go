@@ -123,8 +123,8 @@ func (c *CRA) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram
 // AppendOnActivateBatch implements mitigation.Mitigator through the
 // shared scalar-loop adapter (the controller's batch replay still saves
 // the per-ACT dispatch and timing work around it).
-func (c *CRA) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
-	return mitigation.ScalarBatch(c, dst, rows, now)
+func (c *CRA) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now, dwell []dram.Time) ([]mitigation.VictimRefresh, int) {
+	return mitigation.ScalarBatch(c, dst, rows, now, dwell)
 }
 
 // AppendTick implements mitigation.Mitigator; CRA takes no refresh-time

@@ -24,6 +24,11 @@ type Bank struct {
 	// AutoRefresh/NearbyRowRefresh call; callers consume it immediately.
 	rowScratch []int
 
+	// raa is the DDR5 Rolling Accumulated ACT counter: incremented per
+	// activation, decremented by RAAIMT per RFM command. Only maintained
+	// when the timing enables RFM (RAAIMT > 0).
+	raa int
+
 	stats BankStats
 }
 
@@ -35,6 +40,7 @@ type BankStats struct {
 	RowsAutoRefresh int64 // rows refreshed by auto-refresh
 	NRRCommands     int64 // Nearby Row Refresh commands (victim refreshes)
 	RowsNRR         int64 // rows refreshed by NRR commands
+	RFMCommands     int64 // DDR5 Refresh Management commands issued
 	BusyTime        Time  // total time the bank was occupied
 }
 
@@ -92,12 +98,35 @@ func (b *Bank) occupy(from, dur Time) (start, end Time) {
 // returns when the row cycle completes. The bank is occupied for tRC (the
 // paper's per-ACT bank occupancy unit).
 func (b *Bank) Activate(row int, now Time) (done Time, err error) {
+	return b.ActivateOpen(row, now, 0)
+}
+
+// ActivateOpen is Activate with an explicit open-row dwell: the row stays
+// open for dwell before precharging, so the cycle occupies
+// max(tRC, dwell + tRP). Dwell 0 means the device minimum — exactly
+// Activate's tRC occupancy, which is what keeps dwell-unaware traces
+// byte-identical.
+func (b *Bank) ActivateOpen(row int, now, dwell Time) (done Time, err error) {
 	if row < 0 || row >= b.rows {
 		return 0, fmt.Errorf("dram: activate row %d out of range [0,%d)", row, b.rows)
 	}
-	_, end := b.occupy(now, b.timing.TRC)
+	if dwell < 0 {
+		return 0, fmt.Errorf("dram: negative open-row dwell %v", dwell)
+	}
+	_, end := b.occupy(now, b.timing.ActCycle(dwell))
 	b.stats.ACTs++
+	b.raa++
 	return end, nil
+}
+
+// ActCycle returns the bank occupancy of one activation holding its row
+// open for dwell: the row cycle floor tRC, stretched to dwell + tRP when
+// the open-row time exceeds tRAS.
+func (t Timing) ActCycle(dwell Time) Time {
+	if c := dwell + t.TRP; c > t.TRC {
+		return c
+	}
+	return t.TRC
 }
 
 // ActivateRun accounts a run of count activations in one step — the batched
@@ -108,9 +137,42 @@ func (b *Bank) Activate(row int, now Time) (done Time, err error) {
 // must have been range-checked upstream. Equivalent to count Activate
 // calls: same ACT count, same tRC-per-ACT busy time, same final busyUntil.
 func (b *Bank) ActivateRun(count int, end Time) {
+	b.ActivateRunOpen(count, Time(count)*b.timing.TRC, end)
+}
+
+// ActivateRunOpen is ActivateRun for a run whose activations carried
+// explicit dwells: busy is the summed per-ACT occupancy (Σ ActCycle(dwell))
+// the caller accumulated while walking the recurrence. Equivalent to count
+// ActivateOpen calls ending at end.
+func (b *Bank) ActivateRunOpen(count int, busy, end Time) {
 	b.stats.ACTs += int64(count)
-	b.stats.BusyTime += Time(count) * b.timing.TRC
+	b.stats.BusyTime += busy
 	b.busyUntil = end
+	b.raa += count
+}
+
+// RFMDue reports whether the RAA counter has reached the RAAIMT threshold
+// and the controller owes the bank a Refresh Management command. Always
+// false when the timing does not enable RFM.
+func (b *Bank) RFMDue() bool {
+	return b.timing.RAAIMT > 0 && b.raa >= b.timing.RAAIMT
+}
+
+// RefreshManagement issues one RFM command at or after now: the bank is
+// occupied for tRFM while the device internally refreshes suspected
+// victims, and the RAA counter drops by RAAIMT. The in-DRAM tracker the
+// command feeds is the device vendor's secret; this model charges the
+// command's full timing cost without guessing which rows it covered.
+func (b *Bank) RefreshManagement(now Time) (done Time, err error) {
+	if b.timing.RAAIMT <= 0 {
+		return 0, fmt.Errorf("dram: RFM command on a device without RFM (RAAIMT 0)")
+	}
+	_, end := b.occupy(now, b.timing.TRFM)
+	if b.raa -= b.timing.RAAIMT; b.raa < 0 {
+		b.raa = 0
+	}
+	b.stats.RFMCommands++
+	return end, nil
 }
 
 // AutoRefresh performs one REF command at or after now, refreshing the next

@@ -53,6 +53,36 @@ type Timing struct {
 	TRP   Time // precharge time
 	TCL   Time // CAS latency
 	TREFW Time // refresh window: every row refreshed at least once per tREFW
+
+	// TRAS is the minimum row-open time (ACT to PRE) — the nRAS the
+	// RowPress disturbance model normalizes open-row dwell against. Zero
+	// means "unspecified": NRAS falls back to tRC − tRP, so Timing
+	// literals written before the field existed keep working unchanged.
+	TRAS Time
+
+	// RFM (Refresh Management, JEDEC DDR5) models the in-DRAM mitigation
+	// hook: the controller counts activations per bank in a Rolling
+	// Accumulated ACT (RAA) counter and must issue an RFM command —
+	// occupying the bank for tRFM — every RAAIMT activations, giving the
+	// device guaranteed time to refresh suspected victims. RAAIMT == 0
+	// (the DDR4 default) disables the protocol entirely.
+	TRFM   Time // bank busy time per RFM command
+	RAAIMT int  // activations between mandatory RFM commands (0 = no RFM)
+}
+
+// NRAS returns the minimum open-row duration used to normalize dwell:
+// TRAS when set, else the tRC − tRP the row cycle implies. The default
+// dwell of every legacy trace access is exactly this value, which is what
+// keeps dwell-unaware inputs byte-identical through the weighted model
+// (weight dwell/nRAS == 1).
+func (t Timing) NRAS() Time {
+	if t.TRAS > 0 {
+		return t.TRAS
+	}
+	if n := t.TRC - t.TRP; n > 0 {
+		return n
+	}
+	return t.TRC
 }
 
 // DDR4 returns the DDR4-2400 timing used throughout the paper
@@ -67,6 +97,7 @@ func DDR4() Timing {
 		TRP:   13300,
 		TCL:   13300,
 		TREFW: 64 * Millisecond,
+		TRAS:  31700, // 31.7 ns, tRC − tRP
 	}
 }
 
@@ -80,6 +111,12 @@ func (t Timing) Validate() error {
 		return fmt.Errorf("dram: tRFC %v >= tREFI %v leaves no time for activations", t.TRFC, t.TREFI)
 	case t.TREFW < t.TREFI:
 		return fmt.Errorf("dram: tREFW %v < tREFI %v", t.TREFW, t.TREFI)
+	case t.TRAS < 0 || t.TRAS >= t.TRC:
+		return fmt.Errorf("dram: tRAS %v outside [0, tRC %v)", t.TRAS, t.TRC)
+	case t.TRFM < 0 || t.RAAIMT < 0:
+		return fmt.Errorf("dram: negative RFM parameter (tRFM %v, RAAIMT %d)", t.TRFM, t.RAAIMT)
+	case t.RAAIMT > 0 && t.TRFM == 0:
+		return fmt.Errorf("dram: RAAIMT %d without a tRFM command time", t.RAAIMT)
 	}
 	return nil
 }
@@ -133,14 +170,21 @@ func (t Timing) ScaleRefreshRate(m int) (Timing, error) {
 // per-command refresh (tRFC 295 ns), a similar row cycle (tRC 48 ns), and
 // a 32 ms retention window. Exact values are vendor-specific; these are
 // documented projections, not standard constants like DDR4's.
+//
+// DDR5 also specifies Refresh Management: every RAAIMT activations the
+// controller owes the bank one RFM command of tRFM. The values here (32
+// ACTs, 195 ns) are the JEDEC baseline grade.
 func DDR5() Timing {
 	return Timing{
-		TREFI: 3900 * Nanosecond,
-		TRFC:  295 * Nanosecond,
-		TRC:   48 * Nanosecond,
-		TRCD:  13300,
-		TRP:   13300,
-		TCL:   13300,
-		TREFW: 32 * Millisecond,
+		TREFI:  3900 * Nanosecond,
+		TRFC:   295 * Nanosecond,
+		TRC:    48 * Nanosecond,
+		TRCD:   13300,
+		TRP:    13300,
+		TCL:    13300,
+		TREFW:  32 * Millisecond,
+		TRAS:   34700, // 34.7 ns, tRC − tRP
+		TRFM:   195 * Nanosecond,
+		RAAIMT: 32,
 	}
 }

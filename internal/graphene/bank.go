@@ -124,7 +124,10 @@ func (b *Bank) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dra
 // so the alert is emitted here at the edge ACT's timestamp and the run
 // resumes; every counter, event, and append is byte-identical to feeding
 // the same ACTs through AppendOnActivate.
-func (b *Bank) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
+func (b *Bank) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now, dwell []dram.Time) ([]mitigation.VictimRefresh, int) {
+	if b.cfg.Rowpress && dwell != nil {
+		return b.appendBatchRowpress(dst, rows, now, dwell)
+	}
 	i, n := 0, len(rows)
 	for i < n {
 		for now[i] >= b.windowEnd {
@@ -151,6 +154,64 @@ func (b *Bank) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int3
 					Kind: obs.KindSpillAlert, Scheme: b.Name(), Bank: b.obsBank,
 					Time: int64(now[i-1]), Value: b.table.Spillover(),
 				})
+			}
+		}
+	}
+	return dst, n
+}
+
+// appendBatchRowpress is the duration-aware batch path: each ACT's dwell
+// converts to a counter increment (mitigation.RowpressIncrement with the
+// configured NRAS and RowpressIncrementTicks). Minimum-dwell spans — the
+// common case, where every increment is 1 — stream through the same
+// hoisted Table.ObserveRun loop as the legacy batch path; only ACTs whose
+// dwell exceeds nRAS pay the weighted ObserveW call. One victim refresh
+// per triggering ACT regardless of how many multiples of T the weighted
+// increment crossed — a single NRR already restores every neighbor's full
+// charge. The batch contract (stop after the first appending ACT) is
+// unchanged.
+func (b *Bank) appendBatchRowpress(dst []mitigation.VictimRefresh, rows []int32, now, dwell []dram.Time) ([]mitigation.VictimRefresh, int) {
+	nras, incTicks := b.cfg.NRAS, b.cfg.RowpressIncrementTicks
+	i, n := 0, len(rows)
+	for i < n {
+		for now[i] >= b.windowEnd {
+			b.snapshotWindow()
+			b.table.Reset()
+			b.windowEnd += b.params.Window
+			b.resets++
+		}
+		j := i + 1
+		for j < n && now[j] < b.windowEnd {
+			j++
+		}
+		for i < j {
+			var trigger, alertEdge bool
+			if dwell[i] <= nras {
+				k := i + 1
+				for k < j && dwell[k] <= nras {
+					k++
+				}
+				var consumed int
+				consumed, trigger, alertEdge = b.table.ObserveRun(rows[i:k])
+				i += consumed
+			} else {
+				inc := mitigation.RowpressIncrement(dwell[i], nras, incTicks)
+				trigger, alertEdge = b.table.ObserveW(int(rows[i]), inc)
+				i++
+			}
+			if alertEdge {
+				b.alerts++
+				b.alertsC.Inc()
+				if b.rec != nil {
+					b.rec.Emit(obs.Event{
+						Kind: obs.KindSpillAlert, Scheme: b.Name(), Bank: b.obsBank,
+						Time: int64(now[i-1]), Value: b.table.Spillover(),
+					})
+				}
+			}
+			if trigger {
+				b.refreshes++
+				return append(dst, mitigation.VictimRefresh{Aggressor: int(rows[i-1]), Distance: b.cfg.Distance}), i
 			}
 		}
 	}

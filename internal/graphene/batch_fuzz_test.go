@@ -40,12 +40,16 @@ func FuzzBatchAppend(f *testing.F) {
 		}
 
 		var rows []int32
-		var times []dram.Time
+		var times, dwells []dram.Time
+		nras := smallTiming().NRAS()
 		now := dram.Time(0)
 		for i := 0; i+1 < len(data); i += 2 {
 			rows = append(rows, int32(data[i])%int32(cfg.Rows))
 			now += dram.Time(data[i+1]%96) * step
 			times = append(times, now)
+			// Dwell column spanning the interesting increments: 0 (device
+			// minimum), sub-nRAS, exactly nRAS, and several multiples.
+			dwells = append(dwells, dram.Time(data[i+1]%5)*nras/2)
 		}
 
 		var dstB, dstS []mitigation.VictimRefresh
@@ -61,8 +65,8 @@ func FuzzBatchAppend(f *testing.F) {
 				dstB = dstB[:0]
 				dstS = dstS[:0]
 				var nb, ns int
-				dstB, nb = batch.AppendOnActivateBatch(dstB, rows[i:j], times[i:j])
-				dstS, ns = mitigation.ScalarBatch(scalar, dstS, rows[i:j], times[i:j])
+				dstB, nb = batch.AppendOnActivateBatch(dstB, rows[i:j], times[i:j], dwellCol(dwells, i, j))
+				dstS, ns = mitigation.ScalarBatch(scalar, dstS, rows[i:j], times[i:j], dwellCol(dwells, i, j))
 				if nb != ns {
 					t.Fatalf("ACT %d: batch consumed %d, scalar reference %d", i, nb, ns)
 				}
@@ -91,5 +95,77 @@ func FuzzBatchAppend(f *testing.F) {
 					scalar.Table().Spillover(), scalar.Table().Observed())
 			}
 		}
+
+		// Second leg: RowPress-aware engines. The multi-ACT batch path must
+		// be indistinguishable from feeding the same dwell-weighted stream
+		// one ACT at a time through the same public entry point (batch size
+		// 1 is the contract's quantum), across fuzz-derived batch sizes.
+		rpCfg := cfg
+		rpCfg.Rowpress = true
+		batchRP, err := New(rpCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unitRP, err := New(rpCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i, k = 0, 0
+		for i < len(rows) {
+			size := int(data[k%len(data)]%7) + 1
+			k++
+			j := i + size
+			if j > len(rows) {
+				j = len(rows)
+			}
+			for i < j {
+				dstB = dstB[:0]
+				dstS = dstS[:0]
+				var nb int
+				dstB, nb = batchRP.AppendOnActivateBatch(dstB, rows[i:j], times[i:j], dwells[i:j])
+				ns := 0
+				for ns < nb {
+					pre := len(dstS)
+					dstS, _ = unitRP.AppendOnActivateBatch(dstS, rows[i+ns:i+ns+1], times[i+ns:i+ns+1], dwells[i+ns:i+ns+1])
+					ns++
+					if len(dstS) > pre {
+						break
+					}
+				}
+				if nb < 1 || nb > j-i {
+					t.Fatalf("rowpress ACT %d: batch consumed %d of %d, outside the contract", i, nb, j-i)
+				}
+				if ns != nb {
+					t.Fatalf("rowpress ACT %d: unit reference stopped at %d, batch consumed %d", i, ns, nb)
+				}
+				if !reflect.DeepEqual(dstB, dstS) {
+					t.Fatalf("rowpress ACT %d: batch appended %+v, unit reference %+v", i, dstB, dstS)
+				}
+				i += nb
+			}
+			if err := batchRP.Table().CheckInvariants(); err != nil {
+				t.Fatalf("rowpress ACT %d: %v", i, err)
+			}
+			if batchRP.VictimRefreshes() != unitRP.VictimRefreshes() ||
+				batchRP.Alerts() != unitRP.Alerts() ||
+				batchRP.Resets() != unitRP.Resets() ||
+				batchRP.Table().Spillover() != unitRP.Table().Spillover() ||
+				batchRP.Table().Observed() != unitRP.Table().Observed() {
+				t.Fatalf("rowpress ACT %d: batch refreshes/alerts/resets/spill/observed %d/%d/%d/%d/%d, unit reference %d/%d/%d/%d/%d",
+					i, batchRP.VictimRefreshes(), batchRP.Alerts(), batchRP.Resets(),
+					batchRP.Table().Spillover(), batchRP.Table().Observed(),
+					unitRP.VictimRefreshes(), unitRP.Alerts(), unitRP.Resets(),
+					unitRP.Table().Spillover(), unitRP.Table().Observed())
+			}
+		}
 	})
+}
+
+// dwellCol slices the dwell column to match rows[i:j], or stays nil for a
+// dwell-less stream.
+func dwellCol(dwells []dram.Time, i, j int) []dram.Time {
+	if dwells == nil {
+		return nil
+	}
+	return dwells[i:j]
 }

@@ -303,6 +303,26 @@ func (tb *Table) ObserveRun(rows []int32) (consumed int, trigger, alertEdge bool
 	return n, false, false
 }
 
+// ObserveW processes one activation whose duration-weighted disturbance
+// counts as w unit observations of row — the RowPress-aware increment
+// (mitigation.RowpressIncrement). It is semantically exactly w Observe
+// calls: the same Misra-Gries moves, the same count conservation (observed
+// advances by w), the same bucket-index state. trigger reports whether any
+// of the w units reached a multiple of T — the caller issues one victim
+// refresh for the whole ACT, since a single NRR already restores the full
+// charge of every neighbor — and alertEdge reports the spillover alert's
+// rising edge within the call.
+func (tb *Table) ObserveW(row int, w int64) (trigger, alertEdge bool) {
+	preSpill := tb.spill
+	for ; w > 0; w-- {
+		if tb.Observe(row) {
+			trigger = true
+		}
+	}
+	alertEdge = preSpill < tb.t && tb.spill >= tb.t
+	return trigger, alertEdge
+}
+
 // EstimatedCount returns the uncompressed tracked estimate for row since
 // the last reset; ok is false when the row is not (or no longer) in the
 // table. For entries whose overflow bit is set the stored count is folded

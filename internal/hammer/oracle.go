@@ -39,9 +39,11 @@ type Oracle struct {
 	trh      float64
 	distance int
 	mu       []float64 // mu[d-1] = μ_d for d in [1, distance]
+	nras     dram.Time // normalizes dwell; 0 until SetNRAS
 
 	disturb []float64
-	flipped []bool // latched per victim until its next refresh
+	flipped []bool      // latched per victim until its next refresh
+	flipAt  []dram.Time // tick the latch was set, for refresh-at-flip-tick disambiguation
 	flips   []Flip
 
 	acts int64
@@ -73,7 +75,19 @@ func NewOracle(rows int, trh int64, distance int, mu mitigation.MuModel) (*Oracl
 		mu:       mus,
 		disturb:  make([]float64, rows),
 		flipped:  make([]bool, rows),
+		flipAt:   make([]dram.Time, rows),
 	}, nil
+}
+
+// SetNRAS fixes the device's minimum open-row duration, against which
+// AppendActivateOpen normalizes dwell (weight = dwell/nRAS, RowPress
+// §4). Zero (the default) disables weighting: every ACT counts 1
+// regardless of dwell, the pre-RowPress model.
+func (o *Oracle) SetNRAS(nras dram.Time) {
+	if nras < 0 {
+		panic(fmt.Sprintf("hammer: negative nRAS %v", nras))
+	}
+	o.nras = nras
 }
 
 // Rows returns the bank's row count.
@@ -88,8 +102,26 @@ func (o *Oracle) ACTs() int64 { return o.acts }
 // across ACTs). Each victim is reported at most once per refresh interval
 // (the latch clears when the row is refreshed).
 func (o *Oracle) AppendActivate(dst []Flip, row int, now dram.Time) []Flip {
+	return o.AppendActivateOpen(dst, row, now, 0)
+}
+
+// AppendActivateOpen is AppendActivate for an activation that holds its
+// row open for dwell picoseconds. Under the duration-weighted disturbance
+// model (RowPress: disturbance grows with open-row time), the per-ACT
+// increment scales by dwell/nRAS. Dwell 0 means the device minimum and
+// always weighs exactly 1, as does every dwell when no nRAS has been
+// configured — so legacy streams are bit-identical through either entry
+// point.
+func (o *Oracle) AppendActivateOpen(dst []Flip, row int, now, dwell dram.Time) []Flip {
 	if row < 0 || row >= o.rows {
 		panic(fmt.Sprintf("hammer: activate row %d out of range [0,%d)", row, o.rows))
+	}
+	if dwell < 0 {
+		panic(fmt.Sprintf("hammer: negative dwell %v", dwell))
+	}
+	weight := 1.0
+	if dwell != 0 && o.nras > 0 {
+		weight = float64(dwell) / float64(o.nras)
 	}
 	o.acts++
 	for d := 1; d <= o.distance; d++ {
@@ -97,9 +129,10 @@ func (o *Oracle) AppendActivate(dst []Flip, row int, now dram.Time) []Flip {
 			if v < 0 || v >= o.rows {
 				continue
 			}
-			o.disturb[v] += o.mu[d-1]
+			o.disturb[v] += o.mu[d-1] * weight
 			if o.disturb[v] >= o.trh && !o.flipped[v] {
 				o.flipped[v] = true
+				o.flipAt[v] = now
 				f := Flip{Victim: v, At: now, Disturbance: o.disturb[v]}
 				o.flips = append(o.flips, f)
 				dst = append(dst, f)
@@ -117,6 +150,24 @@ func (o *Oracle) RefreshRow(row int) {
 		panic(fmt.Sprintf("hammer: refresh row %d out of range [0,%d)", row, o.rows))
 	}
 	o.disturb[row] = 0
+	o.flipped[row] = false
+}
+
+// RefreshRowAt is RefreshRow for a refresh issued at time now. The
+// disturbance accumulator always clears, but the flip latch survives a
+// refresh at the exact tick the flip was recorded: the flip already
+// happened in that instant's episode, and releasing the latch would let
+// the fractional-increment model re-report the same flip from residual
+// same-tick activity. A refresh strictly after the flip tick clears the
+// latch as usual.
+func (o *Oracle) RefreshRowAt(row int, now dram.Time) {
+	if row < 0 || row >= o.rows {
+		panic(fmt.Sprintf("hammer: refresh row %d out of range [0,%d)", row, o.rows))
+	}
+	o.disturb[row] = 0
+	if o.flipped[row] && now <= o.flipAt[row] {
+		return
+	}
 	o.flipped[row] = false
 }
 
@@ -146,6 +197,7 @@ func (o *Oracle) Reset() {
 	for i := range o.disturb {
 		o.disturb[i] = 0
 		o.flipped[i] = false
+		o.flipAt[i] = 0
 	}
 	o.flips = nil
 	o.acts = 0

@@ -223,3 +223,62 @@ func TestTopVictims(t *testing.T) {
 		t.Errorf("TopVictims(100) returned %d rows, want the 4 disturbed", len(got))
 	}
 }
+
+func TestAppendActivateOpenWeighting(t *testing.T) {
+	// With nRAS set, a dwell of k·nRAS adds weight k; dwell 0 and
+	// dwell == nRAS both add exactly 1.
+	o := mustOracle(t, 16, 10, 1, nil)
+	o.SetNRAS(100)
+	o.AppendActivateOpen(nil, 8, 0, 0)
+	if d := o.Disturbance(7); d != 1 {
+		t.Errorf("dwell 0 weight = %v, want 1", d)
+	}
+	o.AppendActivateOpen(nil, 8, 1, 100)
+	if d := o.Disturbance(7); d != 2 {
+		t.Errorf("dwell nRAS added %v, want 1", d-1)
+	}
+	o.AppendActivateOpen(nil, 8, 2, 350)
+	if d := o.Disturbance(7); d != 5.5 {
+		t.Errorf("dwell 3.5·nRAS brought disturbance to %v, want 5.5", d)
+	}
+	// Without SetNRAS, dwell is ignored entirely.
+	o2 := mustOracle(t, 16, 10, 1, nil)
+	o2.AppendActivateOpen(nil, 8, 0, 1<<40)
+	if d := o2.Disturbance(7); d != 1 {
+		t.Errorf("unconfigured nRAS weighted dwell: %v, want 1", d)
+	}
+}
+
+func TestRefreshAtFlipTickNoDoubleReport(t *testing.T) {
+	// Regression: under the fractional-increment model a victim can flip
+	// and be refreshed within the same tick's episode. The latch must
+	// survive a refresh at exactly the flip tick so residual same-tick
+	// ACTs cannot re-report the flip; a strictly later refresh clears it.
+	o := mustOracle(t, 16, 2, 1, nil)
+	o.SetNRAS(100)
+	const tick = 1000
+	flips := o.AppendActivateOpen(nil, 8, tick, 250) // weight 2.5 ≥ TRH on both neighbors
+	if len(flips) != 2 {
+		t.Fatalf("flips = %v, want victims 7 and 9", flips)
+	}
+	o.RefreshRowAt(7, tick) // refresh at the exact flip tick
+	if o.Disturbance(7) != 0 {
+		t.Errorf("refresh did not clear disturbance: %v", o.Disturbance(7))
+	}
+	// Residual same-tick activity must not re-report row 7 (and row 9 is
+	// still latched from the first episode): no new flips at all.
+	flips = o.AppendActivateOpen(nil, 8, tick, 250)
+	if len(flips) != 0 || o.FlipCount() != 2 {
+		t.Errorf("refresh at flip tick double-reported: new %v, FlipCount %d (want 0, 2)", flips, o.FlipCount())
+	}
+	// A refresh strictly after the flip tick releases the latch.
+	o.RefreshRowAt(7, tick+1)
+	flips = o.AppendActivateOpen(nil, 8, tick+2, 250)
+	found := false
+	for _, f := range flips {
+		found = found || f.Victim == 7
+	}
+	if !found {
+		t.Error("later refresh failed to release the latch: no new flip for row 7")
+	}
+}

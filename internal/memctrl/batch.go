@@ -42,8 +42,9 @@ const maxBatchRun = 4096
 // replaying the same ACTs through replayOne (the golden differential
 // suite and TestStreamingMatchesBuffered pin this), and the steady state
 // allocates nothing (TestReplayBatchZeroAlloc).
-func (s *bankState) replayRun(rows []int32, gaps []dram.Time, bi int, out *bankOut) error {
-	trc := s.bank.Timing().TRC
+func (s *bankState) replayRun(rows []int32, gaps, dwells []dram.Time, bi int, out *bankOut) error {
+	timing := s.bank.Timing()
+	trc := timing.TRC
 	i, n := 0, len(rows)
 	// With no mitigator, oracle, or remap, nothing consumes per-ACT start
 	// times, so the horizon walk collapses to the bare occupancy recurrence
@@ -51,7 +52,8 @@ func (s *bankState) replayRun(rows []int32, gaps []dram.Time, bi int, out *bankO
 	// asserts on. Rows were range-validated upstream (the streaming
 	// partitioner or the columnar block router), matching the protected
 	// path, which also defers the range check to its oracle/remap loop.
-	pureTiming := s.mit == nil && s.oracle == nil && s.remap == nil
+	// A dwell column disqualifies the collapse: per-ACT occupancy varies.
+	pureTiming := s.mit == nil && s.oracle == nil && s.remap == nil && dwells == nil
 	for i < n {
 		if pureTiming {
 			horizon := s.nextREF
@@ -107,26 +109,55 @@ func (s *bankState) replayRun(rows []int32, gaps []dram.Time, bi int, out *bankO
 		horizon := s.nextREF
 		times := s.runTimes[:0]
 		j := i
-		for j < n && j-i < maxBatchRun {
-			arr := now + gaps[j]
-			if arr >= horizon {
-				break
+		if dwells == nil {
+			for j < n && j-i < maxBatchRun {
+				arr := now + gaps[j]
+				if arr >= horizon {
+					break
+				}
+				start := arr
+				if busy > start {
+					start = busy
+				}
+				busy = start + trc
+				now = busy
+				times = append(times, start)
+				j++
 			}
-			start := arr
-			if busy > start {
-				start = busy
+		} else {
+			// The dwell leg is the same recurrence with ActCycle inlined
+			// (max(tRC, dwell+tRP)) and tRP hoisted, so carrying the column
+			// prices only the extra load and compare per ACT.
+			trp := timing.TRP
+			for j < n && j-i < maxBatchRun {
+				arr := now + gaps[j]
+				if arr >= horizon {
+					break
+				}
+				start := arr
+				if busy > start {
+					start = busy
+				}
+				cyc := dwells[j] + trp
+				if cyc < trc {
+					cyc = trc
+				}
+				busy = start + cyc
+				now = busy
+				times = append(times, start)
+				j++
 			}
-			busy = start + trc
-			now = busy
-			times = append(times, start)
-			j++
 		}
 		s.runTimes = times
 		if j == i {
 			// ACT i crosses the refresh boundary: replay it through the
 			// scalar path, which interleaves catchUpREF, the tick, and the
 			// activation in the canonical order. Rare — once per tREFI.
-			if err := s.replayOne(trace.Access{Bank: bi, Row: int(rows[i]), Gap: gaps[i]}, bi, out); err != nil {
+			a := trace.Access{Bank: bi, Row: int(rows[i]), Gap: gaps[i]}
+			if dwells != nil {
+				a.Dwell = dwells[i]
+			}
+			if err := s.replayOne(a, bi, out); err != nil {
 				return err
 			}
 			i++
@@ -137,7 +168,11 @@ func (s *bankState) replayRun(rows []int32, gaps []dram.Time, bi int, out *bankO
 		vrs := s.vrScratch[:0]
 		if s.mit != nil {
 			var nc int
-			vrs, nc = s.mit.AppendOnActivateBatch(vrs, rows[i:j], times)
+			var dcol []dram.Time
+			if dwells != nil {
+				dcol = dwells[i:j]
+			}
+			vrs, nc = s.mit.AppendOnActivateBatch(vrs, rows[i:j], times, dcol)
 			s.vrScratch = vrs
 			if nc <= 0 || nc > consumed {
 				// A scheme that consumes nothing would spin this loop
@@ -149,6 +184,11 @@ func (s *bankState) replayRun(rows []int32, gaps []dram.Time, bi int, out *bankO
 			consumed = nc
 		}
 		end := times[consumed-1] + trc
+		if dwells != nil {
+			if c := dwells[i+consumed-1] + timing.TRP; c > trc {
+				end = times[consumed-1] + c
+			}
+		}
 
 		if s.oracle != nil || s.remap != nil {
 			nrows := s.bank.Rows()
@@ -158,7 +198,11 @@ func (s *bankState) replayRun(rows []int32, gaps []dram.Time, bi int, out *bankO
 					return fmt.Errorf("memctrl: bank %d: activate row %d out of range [0,%d)", bi, physRow, nrows)
 				}
 				if s.oracle != nil {
-					s.flipStage = s.oracle.AppendActivate(s.flipStage[:0], physRow, times[k])
+					var dw dram.Time
+					if dwells != nil {
+						dw = dwells[i+k]
+					}
+					s.flipStage = s.oracle.AppendActivateOpen(s.flipStage[:0], physRow, times[k], dw)
 					for _, f := range s.flipStage {
 						out.flips = append(out.flips, BankFlip{Bank: bi, Flip: f})
 					}
@@ -166,7 +210,20 @@ func (s *bankState) replayRun(rows []int32, gaps []dram.Time, bi int, out *bankO
 			}
 		}
 
-		s.bank.ActivateRun(consumed, end)
+		if dwells == nil {
+			s.bank.ActivateRun(consumed, end)
+		} else {
+			trp := timing.TRP
+			var busySum dram.Time
+			for _, d := range dwells[i : i+consumed] {
+				cyc := d + trp
+				if cyc < trc {
+					cyc = trc
+				}
+				busySum += cyc
+			}
+			s.bank.ActivateRunOpen(consumed, busySum, end)
+		}
 		out.acts += int64(consumed)
 		if len(vrs) > 0 {
 			if err := s.apply(vrs, end); err != nil {
@@ -231,7 +288,7 @@ func replayColBlocks(cfg Config, src ColBlockSource, states []*bankState) ([]ban
 					// Recycle even after an error: the router may be blocked
 					// waiting for a free buffer. The free channel holds the
 					// whole budget, so this send never blocks.
-					free <- trace.ColBlock{Rows: blk.Rows[:0], Gaps: blk.Gaps[:0]}
+					free <- trace.ColBlock{Rows: blk.Rows[:0], Gaps: blk.Gaps[:0], Dwells: blk.Dwells[:0]}
 				}
 				return nil
 			},
@@ -296,13 +353,23 @@ func replayColBlock(cfg Config, nbanks int, s *bankState, bi int, out *bankOut, 
 	if err := cfg.Fault.Hit(faultinject.SiteReplay); err != nil {
 		return fmt.Errorf("memctrl: bank %d: %w", bi, err)
 	}
+	// A segment without the dwell column decodes to a length-zero Dwells
+	// slice; nil here routes the run down the fixed-tRC fast path.
+	var dwells []dram.Time
+	if len(blk.Dwells) != 0 {
+		dwells = blk.Dwells
+	}
 	if s.useScalar {
 		for k, r := range blk.Rows {
-			if err := s.replayOne(trace.Access{Bank: blk.Bank, Row: int(r), Gap: blk.Gaps[k]}, bi, out); err != nil {
+			a := trace.Access{Bank: blk.Bank, Row: int(r), Gap: blk.Gaps[k]}
+			if dwells != nil {
+				a.Dwell = dwells[k]
+			}
+			if err := s.replayOne(a, bi, out); err != nil {
 				return err
 			}
 		}
-	} else if err := s.replayRun(blk.Rows, blk.Gaps, bi, out); err != nil {
+	} else if err := s.replayRun(blk.Rows, blk.Gaps, dwells, bi, out); err != nil {
 		return err
 	}
 	if cfg.Obs != nil {

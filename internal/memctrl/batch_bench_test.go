@@ -58,7 +58,7 @@ func benchmarkReplayRun(b *testing.B, factory mitigation.Factory, withOracle, sc
 					b.Fatal(err)
 				}
 			}
-		} else if err := s.replayRun(rows, gaps, 0, &out); err != nil {
+		} else if err := s.replayRun(rows, gaps, nil, 0, &out); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -107,6 +107,65 @@ func BenchmarkReplayEngine(b *testing.B) {
 		})
 		b.Run(side.name+"-trigger-heavy", func(b *testing.B) {
 			benchmarkReplayRun(b, heavy, false, side.scalar, true)
+		})
+	}
+}
+
+// BenchmarkReplayRowpress prices the dwell column on the batched replay
+// core: the plain leg replays a run with no dwell column (the fixed-tRC
+// fast path), the dwell leg replays the same rows with an explicit
+// all-nRAS dwell column through a rowpress-configured Graphene — identical
+// semantic work (every increment is 1, every ActCycle equals tRC), so the
+// ns/op ratio is the pure cost of carrying and weighing the column.
+// `make bench-rowpress` gates dwell ≥ 0.8x plain and 0 allocs/op on both.
+func BenchmarkReplayRowpress(b *testing.B) {
+	timing := dram.DDR4()
+	factory := graphene.Factory(graphene.Config{TRH: 50000, K: 2, Rows: hotRows, Timing: timing, Rowpress: true})
+	for _, leg := range []struct {
+		name  string
+		dwell bool
+	}{{"plain", false}, {"dwell", true}} {
+		leg := leg
+		b.Run(leg.name, func(b *testing.B) {
+			bank, err := dram.NewBank(timing, hotRows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := &bankState{bank: bank, nextREF: timing.TREFI}
+			m, err := factory()
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.mit = m
+			rows := make([]int32, streamChunk)
+			gaps := make([]dram.Time, streamChunk)
+			var dwells []dram.Time
+			if leg.dwell {
+				dwells = make([]dram.Time, streamChunk)
+			}
+			for i := range rows {
+				rows[i] = int32(hotRow(i, false))
+				gaps[i] = 50 * dram.Nanosecond
+				if leg.dwell {
+					dwells[i] = timing.NRAS()
+				}
+			}
+			var out bankOut
+			run := func() {
+				if err := s.replayRun(rows, gaps, dwells, 0, &out); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for w := 0; w < 4; w++ {
+				run()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				run()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(len(rows))), "ns/act")
 		})
 	}
 }

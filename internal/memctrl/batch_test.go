@@ -55,14 +55,22 @@ func TestReplayBatchZeroAlloc(t *testing.T) {
 		name       string
 		factory    mitigation.Factory
 		hammerPair bool
+		dwell      dram.Time
 	}{
-		{"unprotected", nil, false},
-		{"graphene-quiet", graphene.Factory(graphene.Config{TRH: 50000, K: 2, Rows: hotRows, Timing: timing}), false},
-		{"graphene-trigger-heavy", graphene.Factory(graphene.Config{TRH: 200, K: 1, Rows: hotRows, Timing: timing}), true},
+		{"unprotected", nil, false, 0},
+		{"graphene-quiet", graphene.Factory(graphene.Config{TRH: 50000, K: 2, Rows: hotRows, Timing: timing}), false, 0},
+		{"graphene-trigger-heavy", graphene.Factory(graphene.Config{TRH: 200, K: 1, Rows: hotRows, Timing: timing}), true, 0},
 		{"stack-quiet", mitigation.StackFactory(
 			trr.Factory(trr.Config{Rows: hotRows, Seed: 7}),
 			graphene.Factory(graphene.Config{TRH: 50000, K: 2, Rows: hotRows, Timing: timing}),
-		), false},
+		), false, 0},
+		// Dwell-column legs: the transposed column, the per-ACT ActCycle
+		// horizon walk, and the rowpress weighted-observe path must all
+		// stay allocation-free too.
+		{"unprotected-dwell", nil, false, timing.NRAS()},
+		{"graphene-rowpress-dwell",
+			graphene.Factory(graphene.Config{TRH: 50000, K: 2, Rows: hotRows, Timing: timing, Rowpress: true}),
+			false, 3 * timing.NRAS()},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -73,7 +81,7 @@ func TestReplayBatchZeroAlloc(t *testing.T) {
 			chunk := make([]trace.Access, chunkLen)
 			fill := func(base int) {
 				for j := range chunk {
-					chunk[j] = trace.Access{Row: hotRow(base+j, tc.hammerPair), Gap: 50 * dram.Nanosecond}
+					chunk[j] = trace.Access{Row: hotRow(base+j, tc.hammerPair), Gap: 50 * dram.Nanosecond, Dwell: tc.dwell}
 				}
 			}
 			// Warm every recycled buffer: the columnar transpose, the run
@@ -108,7 +116,7 @@ func (c *contractBreaker) Name() string { return "contract-breaker" }
 func (c *contractBreaker) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram.Time) []mitigation.VictimRefresh {
 	return dst
 }
-func (c *contractBreaker) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
+func (c *contractBreaker) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now, dwell []dram.Time) ([]mitigation.VictimRefresh, int) {
 	return dst, c.consumed
 }
 func (c *contractBreaker) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mitigation.VictimRefresh {

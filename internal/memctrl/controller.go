@@ -182,12 +182,21 @@ type bankState struct {
 	// batch path's int32 columns.
 	useScalar bool
 
-	// Columnar batch scratch (DESIGN.md §11): colRows/colGaps hold a
-	// struct chunk transposed for the batch core; runTimes holds the
+	// Columnar batch scratch (DESIGN.md §11): colRows/colGaps/colDwells
+	// hold a struct chunk transposed for the batch core (colDwells only
+	// fills for chunks that carry an open-row dwell); runTimes holds the
 	// precomputed ACT start times of the current event-horizon run.
-	colRows  []int32
-	colGaps  []dram.Time
-	runTimes []dram.Time
+	colRows   []int32
+	colGaps   []dram.Time
+	colDwells []dram.Time
+	runTimes  []dram.Time
+
+	// Batch-of-one scratch: the scalar replayOne routes a dwell-carrying
+	// ACT through the mitigator's batch entry point (the only one that
+	// accepts a dwell column) without allocating.
+	oneRow   [1]int32
+	oneNow   [1]dram.Time
+	oneDwell [1]dram.Time
 }
 
 // phys translates a logical row to the physical word line.
@@ -296,8 +305,16 @@ func run(cfg Config, workload string, replay replayFunc) (Result, error) {
 			if s.oracle, err = hammer.NewOracle(cfg.Geometry.RowsPerBank, cfg.TRH, cfg.OracleDistance, cfg.Mu); err != nil {
 				return Result{}, err
 			}
+			// Duration-weighted disturbance (RowPress): dwell normalizes
+			// against the device's minimum open-row time. Dwell-less
+			// accesses weigh exactly 1, so legacy streams are unchanged.
+			s.oracle.SetNRAS(cfg.Timing.NRAS())
 		}
-		s.useScalar = s.extraFn != nil || cfg.Geometry.RowsPerBank > math.MaxInt32
+		// RFM (DDR5) banks also replay scalar: the RAA threshold check
+		// interleaves with every ACT, which the batched event-horizon walk
+		// cannot express without forking its timing recurrence.
+		s.useScalar = s.extraFn != nil || cfg.Geometry.RowsPerBank > math.MaxInt32 ||
+			cfg.Timing.RAAIMT > 0
 		states[i] = s
 	}
 
@@ -392,24 +409,42 @@ func (s *bankState) replayOne(a trace.Access, bi int, out *bankOut) error {
 		start = bu
 	}
 	physRow := s.phys(a.Row)
-	done, err := s.bank.Activate(physRow, s.now)
+	done, err := s.bank.ActivateOpen(physRow, s.now, a.Dwell)
 	if err != nil {
 		return err
 	}
 	out.acts++
+	if s.bank.RFMDue() {
+		// DDR5 Refresh Management: the RAA counter hit RAAIMT, so the
+		// controller owes the device an RFM command before the stream
+		// continues. Pure occupancy — the in-DRAM tracker it feeds is
+		// opaque, so no charge restoration is modeled.
+		if done, err = s.bank.RefreshManagement(done); err != nil {
+			return err
+		}
+	}
 
 	if s.oracle != nil {
 		// The oracle lives in physical space: disturbance follows
 		// word-line adjacency, not controller addressing. Flips stage
 		// through the recycled buffer; out.flips only grows when a scheme
 		// actually failed.
-		s.flipStage = s.oracle.AppendActivate(s.flipStage[:0], physRow, start)
+		s.flipStage = s.oracle.AppendActivateOpen(s.flipStage[:0], physRow, start, a.Dwell)
 		for _, f := range s.flipStage {
 			out.flips = append(out.flips, BankFlip{Bank: bi, Flip: f})
 		}
 	}
 	if s.mit != nil {
-		s.vrScratch = s.mit.AppendOnActivate(s.vrScratch[:0], a.Row, start)
+		if a.Dwell != 0 {
+			// Only the batch entry point carries a dwell column; a
+			// dwell-holding ACT goes through it as a batch of one.
+			s.oneRow[0] = int32(a.Row)
+			s.oneNow[0] = start
+			s.oneDwell[0] = a.Dwell
+			s.vrScratch, _ = s.mit.AppendOnActivateBatch(s.vrScratch[:0], s.oneRow[:], s.oneNow[:], s.oneDwell[:])
+		} else {
+			s.vrScratch = s.mit.AppendOnActivate(s.vrScratch[:0], a.Row, start)
+		}
 		if err := s.apply(s.vrScratch, done); err != nil {
 			return err
 		}
@@ -438,7 +473,7 @@ func (s *bankState) catchUpREF() error {
 		done, rows := s.bank.AutoRefresh(s.nextREF)
 		if s.oracle != nil {
 			for _, r := range rows {
-				s.oracle.RefreshRow(r)
+				s.oracle.RefreshRowAt(r, s.nextREF)
 			}
 		}
 		if s.mit != nil {
@@ -480,7 +515,7 @@ func (s *bankState) apply(vrs []mitigation.VictimRefresh, at dram.Time) error {
 		}
 		if s.oracle != nil {
 			for _, r := range rows {
-				s.oracle.RefreshRow(r)
+				s.oracle.RefreshRowAt(r, at)
 			}
 		}
 	}

@@ -371,8 +371,8 @@ func (e *evilMit) AppendTick(dst []mitigation.VictimRefresh, now dram.Time) []mi
 	}
 	return append(dst, mitigation.VictimRefresh{Rows: []int{-1}})
 }
-func (e *evilMit) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
-	return mitigation.ScalarBatch(e, dst, rows, now)
+func (e *evilMit) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now, dwell []dram.Time) ([]mitigation.VictimRefresh, int) {
+	return mitigation.ScalarBatch(e, dst, rows, now, dwell)
 }
 func (e *evilMit) Reset()                        {}
 func (e *evilMit) Cost() mitigation.HardwareCost { return mitigation.HardwareCost{} }

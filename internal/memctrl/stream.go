@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"graphene/internal/dram"
 	"graphene/internal/faultinject"
 	"graphene/internal/obs"
 	"graphene/internal/trace"
@@ -146,12 +147,24 @@ func replayChunk(cfg Config, s *bankState, bi int, out *bankOut, chunk []trace.A
 		}
 	} else {
 		rows, gaps := s.colRows[:0], s.colGaps[:0]
+		hasDwell := false
 		for _, a := range chunk {
 			rows = append(rows, int32(a.Row))
 			gaps = append(gaps, a.Gap)
+			hasDwell = hasDwell || a.Dwell != 0
 		}
 		s.colRows, s.colGaps = rows, gaps
-		if err := s.replayRun(rows, gaps, bi, out); err != nil {
+		// The dwell column transposes only for chunks that carry one, so
+		// the dwell-less hot path keeps its two-column writes.
+		var dwells []dram.Time
+		if hasDwell {
+			dwells = s.colDwells[:0]
+			for _, a := range chunk {
+				dwells = append(dwells, a.Dwell)
+			}
+			s.colDwells = dwells
+		}
+		if err := s.replayRun(rows, gaps, dwells, bi, out); err != nil {
 			return err
 		}
 	}

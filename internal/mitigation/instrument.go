@@ -85,9 +85,9 @@ func (w *Instrumented) AppendOnActivate(dst []VictimRefresh, row int, now dram.T
 // the batch path). Reported events and histogram observations are
 // identical to the scalar path: appends only ever come from the last
 // consumed ACT, whose time is now[n-1].
-func (w *Instrumented) AppendOnActivateBatch(dst []VictimRefresh, rows []int32, now []dram.Time) ([]VictimRefresh, int) {
+func (w *Instrumented) AppendOnActivateBatch(dst []VictimRefresh, rows []int32, now, dwell []dram.Time) ([]VictimRefresh, int) {
 	pre := len(dst)
-	dst, n := w.inner.AppendOnActivateBatch(dst, rows, now)
+	dst, n := w.inner.AppendOnActivateBatch(dst, rows, now, dwell)
 	w.actsC.Add(int64(n))
 	w.acts += int64(n)
 	if len(dst) > pre {

@@ -68,11 +68,15 @@ type Mitigator interface {
 	AppendOnActivate(dst []VictimRefresh, row int, now dram.Time) []VictimRefresh
 
 	// AppendOnActivateBatch observes a run of ACTs — rows[i] at now[i],
-	// in stream order — and appends victim refreshes to dst, returning
-	// the extended slice and the number of ACTs consumed. The caller
-	// guarantees len(now) == len(rows) > 0 and that every row fits the
-	// int32 address space (trace.MaxRow); the callee must not retain
-	// either slice past the call.
+	// held open for dwell[i] — and appends victim refreshes to dst,
+	// returning the extended slice and the number of ACTs consumed. The
+	// caller guarantees len(now) == len(rows) > 0 and that every row fits
+	// the int32 address space (trace.MaxRow); dwell is either nil (every
+	// ACT holds its row open for the device minimum nRAS — the only case
+	// on the pre-RowPress replay path, so dwell-unaware schemes ignore
+	// the column entirely) or a slice of len(rows) open-row durations in
+	// picoseconds where 0 again means nRAS. The callee must not retain
+	// any of the slices past the call.
 	//
 	// The batch contract (DESIGN.md §11): ACTs are consumed in order and
 	// the callee STOPS immediately after the first ACT that appended
@@ -82,7 +86,7 @@ type Mitigator interface {
 	// timeline, so every now[i] beyond the stop index is stale. A scheme
 	// with no fused path delegates to ScalarBatch, which implements the
 	// contract over AppendOnActivate.
-	AppendOnActivateBatch(dst []VictimRefresh, rows []int32, now []dram.Time) ([]VictimRefresh, int)
+	AppendOnActivateBatch(dst []VictimRefresh, rows []int32, now, dwell []dram.Time) ([]VictimRefresh, int)
 
 	// AppendTick is called once per tREFI, when the controller schedules
 	// the REF command. Schemes that act at refresh granularity (TWiCe
@@ -105,8 +109,11 @@ type Mitigator interface {
 // batch path delegate to it in one line, so the whole registry satisfies
 // the batch interface; the fused implementations (Graphene's hoisted
 // Misra-Gries loop, PARA, TWiCe) replace it where the per-call overhead
-// matters.
-func ScalarBatch(m Mitigator, dst []VictimRefresh, rows []int32, now []dram.Time) ([]VictimRefresh, int) {
+// matters. The dwell column is dropped: a dwell-unaware scheme treats
+// every ACT as a minimum-duration activation, exactly like its scalar
+// path.
+func ScalarBatch(m Mitigator, dst []VictimRefresh, rows []int32, now, dwell []dram.Time) ([]VictimRefresh, int) {
+	_ = dwell
 	for i, r := range rows {
 		pre := len(dst)
 		dst = m.AppendOnActivate(dst, int(r), now[i])
@@ -115,6 +122,27 @@ func ScalarBatch(m Mitigator, dst []VictimRefresh, rows []int32, now []dram.Time
 		}
 	}
 	return dst, len(rows)
+}
+
+// RowpressIncrement converts one ACT's open-row dwell into a counter
+// increment under the RowPress-aware tracking model: 1 for a
+// minimum-duration activation (dwell 0 or <= nRAS), plus one for every
+// started incTicks of open-row time beyond nRAS —
+//
+//	inc = 1 + ceil(max(0, dwell−nRAS) / incTicks)
+//
+// mirroring the rowpress_increment_nticks knob of the RowPress Ramulator
+// patch. With incTicks <= nRAS the increment dominates the oracle's
+// duration weight dwell/nRAS, which is what preserves a sound tracker's
+// zero-false-negative guarantee under long-open-row attacks; dwell == nRAS
+// yields exactly 1, so RowPress-aware tracking of a minimum-dwell stream
+// is bit-identical to legacy tracking.
+func RowpressIncrement(dwell, nras, incTicks dram.Time) int64 {
+	if dwell <= nras || incTicks <= 0 {
+		return 1
+	}
+	extra := dwell - nras
+	return 1 + int64((extra+incTicks-1)/incTicks)
 }
 
 // HardwareCost describes per-bank tracking-structure cost in the units the

@@ -61,12 +61,21 @@ func (s *Stack) AppendOnActivate(dst []VictimRefresh, row int, now dram.Time) []
 // one ACT at a time, fanning each ACT to every layer exactly as the scalar
 // path does — the surrounding controller batch (event-horizon slicing,
 // columnar feed, batched bank accounting) still applies.
-func (s *Stack) AppendOnActivateBatch(dst []VictimRefresh, rows []int32, now []dram.Time) ([]VictimRefresh, int) {
+// A dwell column is preserved: each single-ACT fan-out goes through the
+// layer's own batch entry point with a one-element dwell slice, so
+// dwell-aware layers see the duration and dwell-unaware ones drop it.
+func (s *Stack) AppendOnActivateBatch(dst []VictimRefresh, rows []int32, now, dwell []dram.Time) ([]VictimRefresh, int) {
 	layers := s.layers
 	for i, r := range rows {
 		pre := len(dst)
-		for _, l := range layers {
-			dst = l.AppendOnActivate(dst, int(r), now[i])
+		if dwell == nil {
+			for _, l := range layers {
+				dst = l.AppendOnActivate(dst, int(r), now[i])
+			}
+		} else {
+			for _, l := range layers {
+				dst, _ = l.AppendOnActivateBatch(dst, rows[i:i+1], now[i:i+1], dwell[i:i+1])
+			}
 		}
 		if len(dst) > pre {
 			return dst, i + 1

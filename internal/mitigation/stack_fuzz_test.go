@@ -34,8 +34,8 @@ func (m *scriptedMit) AppendOnActivate(dst []VictimRefresh, row int, now dram.Ti
 func (m *scriptedMit) AppendTick(dst []VictimRefresh, now dram.Time) []VictimRefresh {
 	return append(dst, m.take()...)
 }
-func (m *scriptedMit) AppendOnActivateBatch(dst []VictimRefresh, rows []int32, now []dram.Time) ([]VictimRefresh, int) {
-	return ScalarBatch(m, dst, rows, now)
+func (m *scriptedMit) AppendOnActivateBatch(dst []VictimRefresh, rows []int32, now, dwell []dram.Time) ([]VictimRefresh, int) {
+	return ScalarBatch(m, dst, rows, now, dwell)
 }
 func (m *scriptedMit) Reset()             { m.call = 0 }
 func (m *scriptedMit) Cost() HardwareCost { return HardwareCost{} }

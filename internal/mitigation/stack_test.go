@@ -26,8 +26,8 @@ func (f *fakeMit) AppendTick(dst []VictimRefresh, now dram.Time) []VictimRefresh
 	f.ticksSeen++
 	return append(dst, f.onTick...)
 }
-func (f *fakeMit) AppendOnActivateBatch(dst []VictimRefresh, rows []int32, now []dram.Time) ([]VictimRefresh, int) {
-	return ScalarBatch(f, dst, rows, now)
+func (f *fakeMit) AppendOnActivateBatch(dst []VictimRefresh, rows []int32, now, dwell []dram.Time) ([]VictimRefresh, int) {
+	return ScalarBatch(f, dst, rows, now, dwell)
 }
 func (f *fakeMit) Reset()             { f.resets++ }
 func (f *fakeMit) Cost() HardwareCost { return f.cost }

@@ -156,8 +156,8 @@ func (m *MRLoc) enqueue(victim int) {
 // AppendOnActivateBatch implements mitigation.Mitigator through the
 // shared scalar-loop adapter (the controller's batch replay still saves
 // the per-ACT dispatch and timing work around it).
-func (m *MRLoc) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
-	return mitigation.ScalarBatch(m, dst, rows, now)
+func (m *MRLoc) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now, dwell []dram.Time) ([]mitigation.VictimRefresh, int) {
+	return mitigation.ScalarBatch(m, dst, rows, now, dwell)
 }
 
 // AppendTick implements mitigation.Mitigator; MRLoc takes no refresh-time

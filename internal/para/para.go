@@ -31,6 +31,23 @@ type Config struct {
 
 	// Seed makes the scheme deterministic for reproducible experiments.
 	Seed int64
+
+	// Rowpress makes the probabilistic draw duration-aware: an ACT whose
+	// open-row dwell exceeds NRAS repeats the per-distance Bernoulli
+	// draws mitigation.RowpressIncrement(dwell, NRAS,
+	// RowpressIncrementTicks) times, so the per-ACT refresh probability
+	// scales with open-row time the way the oracle's disturbance does.
+	// Off (the default), dwell columns are ignored and the RNG draw order
+	// is exactly the legacy scheme's.
+	Rowpress bool
+
+	// RowpressIncrementTicks is the open-row time per extra draw round;
+	// zero defaults to NRAS.
+	RowpressIncrementTicks dram.Time
+
+	// NRAS is the device's minimum open-row time; zero defaults to the
+	// DDR4 tRAS.
+	NRAS dram.Time
 }
 
 // Classic returns the configuration for original ±1 PARA with refresh
@@ -49,6 +66,10 @@ type Para struct {
 	// one cell per protected distance, recycled every AppendOnActivate
 	// (API v2 scratch-ownership contract, DESIGN.md §9).
 	victimCells []int
+
+	// fired marks distances that already refreshed during the current
+	// ACT's RowPress draw rounds (batch path scratch).
+	fired []bool
 
 	refreshes int64
 }
@@ -71,10 +92,20 @@ func New(cfg Config) (*Para, error) {
 	if cfg.Rows < 0 {
 		return nil, fmt.Errorf("para: rows must be positive, got %d", cfg.Rows)
 	}
+	if cfg.NRAS < 0 || cfg.RowpressIncrementTicks < 0 {
+		return nil, fmt.Errorf("para: negative RowPress parameter (NRAS %v, increment ticks %v)", cfg.NRAS, cfg.RowpressIncrementTicks)
+	}
+	if cfg.NRAS == 0 {
+		cfg.NRAS = dram.DDR4().NRAS()
+	}
+	if cfg.RowpressIncrementTicks == 0 {
+		cfg.RowpressIncrementTicks = cfg.NRAS
+	}
 	return &Para{
 		cfg:         cfg,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		victimCells: make([]int, len(cfg.Probabilities)),
+		fired:       make([]bool, len(cfg.Probabilities)),
 	}, nil
 }
 
@@ -123,25 +154,64 @@ func (p *Para) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dra
 // the probability table, RNG, and bank bound load once per run instead of
 // once per ACT, and the RNG draw order is exactly the scalar path's, so a
 // seeded batch replay stays byte-identical to a seeded scalar one.
-func (p *Para) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
+// A dwell column under Config.Rowpress repeats the draw rounds per ACT
+// (mitigation.RowpressIncrement); each round draws in the scalar order, so
+// an all-minimum-dwell stream consumes the RNG exactly like the legacy
+// path. A repeated draw for a distance that already fired this ACT
+// re-picks the same cell — at most one refresh per distance per ACT, the
+// cells being recycled scratch.
+func (p *Para) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now, dwell []dram.Time) ([]mitigation.VictimRefresh, int) {
 	probs, rng, nrows := p.cfg.Probabilities, p.rng, p.cfg.Rows
+	rowpress := p.cfg.Rowpress && dwell != nil
 	for i, r := range rows {
 		pre := len(dst)
 		row := int(r)
-		for d, prob := range probs {
-			if prob == 0 || rng.Float64() >= prob {
-				continue
+		draws := int64(1)
+		if rowpress {
+			draws = mitigation.RowpressIncrement(dwell[i], p.cfg.NRAS, p.cfg.RowpressIncrementTicks)
+		}
+		if draws == 1 {
+			for d, prob := range probs {
+				if prob == 0 || rng.Float64() >= prob {
+					continue
+				}
+				victim := row + (d + 1)
+				if rng.Intn(2) == 0 {
+					victim = row - (d + 1)
+				}
+				if victim < 0 || victim >= nrows {
+					continue
+				}
+				p.refreshes++
+				p.victimCells[d] = victim
+				dst = append(dst, mitigation.VictimRefresh{Rows: p.victimCells[d : d+1 : d+1]})
 			}
-			victim := row + (d + 1)
-			if rng.Intn(2) == 0 {
-				victim = row - (d + 1)
+		} else {
+			for d := range p.fired {
+				p.fired[d] = false
 			}
-			if victim < 0 || victim >= nrows {
-				continue
+			for ; draws > 0; draws-- {
+				for d, prob := range probs {
+					if prob == 0 || rng.Float64() >= prob {
+						continue
+					}
+					victim := row + (d + 1)
+					if rng.Intn(2) == 0 {
+						victim = row - (d + 1)
+					}
+					// A distance fires at most once per ACT: its appended
+					// refresh aliases the recycled victim cell, so a second
+					// hit must not rewrite it (and a double refresh of the
+					// same neighborhood buys nothing).
+					if victim < 0 || victim >= nrows || p.fired[d] {
+						continue
+					}
+					p.fired[d] = true
+					p.refreshes++
+					p.victimCells[d] = victim
+					dst = append(dst, mitigation.VictimRefresh{Rows: p.victimCells[d : d+1 : d+1]})
+				}
 			}
-			p.refreshes++
-			p.victimCells[d] = victim
-			dst = append(dst, mitigation.VictimRefresh{Rows: p.victimCells[d : d+1 : d+1]})
 		}
 		if len(dst) > pre {
 			return dst, i + 1

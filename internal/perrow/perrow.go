@@ -114,8 +114,8 @@ func (p *PerRow) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now d
 // AppendOnActivateBatch implements mitigation.Mitigator through the
 // shared scalar-loop adapter (the controller's batch replay still saves
 // the per-ACT dispatch and timing work around it).
-func (p *PerRow) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
-	return mitigation.ScalarBatch(p, dst, rows, now)
+func (p *PerRow) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now, dwell []dram.Time) ([]mitigation.VictimRefresh, int) {
+	return mitigation.ScalarBatch(p, dst, rows, now, dwell)
 }
 
 // AppendTick implements mitigation.Mitigator: clear the counters of the

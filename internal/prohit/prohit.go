@@ -152,8 +152,8 @@ func (p *PRoHIT) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now d
 // AppendOnActivateBatch implements mitigation.Mitigator through the
 // shared scalar-loop adapter (the controller's batch replay still saves
 // the per-ACT dispatch and timing work around it).
-func (p *PRoHIT) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
-	return mitigation.ScalarBatch(p, dst, rows, now)
+func (p *PRoHIT) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now, dwell []dram.Time) ([]mitigation.VictimRefresh, int) {
+	return mitigation.ScalarBatch(p, dst, rows, now, dwell)
 }
 
 // AppendTick implements mitigation.Mitigator: at each REF command, with

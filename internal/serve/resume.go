@@ -31,6 +31,12 @@ type resumeMeta struct {
 	Name  string `json:"name"`
 	Banks int    `json:"banks"`
 	Total int64  `json:"total"`
+
+	// Version is the stream's binary codec version (1 = RHTB1, 2 = RHTB2
+	// with dwell columns). Absent in journals written before dwell
+	// support — the JSON zero maps to version 1, the only format those
+	// journals could hold — so old journals restore unchanged.
+	Version int `json:"version,omitempty"`
 }
 
 // resumeChunk is one journaled run of ReportEvery segments: the verbatim
@@ -74,7 +80,11 @@ func (s *Server) prepareResume(h Hello) (Hello, *restoreState, error) {
 		return h, nil, fmt.Errorf("resume: journaled hello: %w", err)
 	}
 	jh.Resume = h.Resume
-	st := &restoreState{data: trace.AppendBinaryHeader(nil, meta.Name, meta.Banks, meta.Total)}
+	version := meta.Version
+	if version == 0 {
+		version = 1
+	}
+	st := &restoreState{data: trace.AppendBinaryHeaderVersion(nil, meta.Name, meta.Banks, meta.Total, version)}
 	for i := 0; ; i++ {
 		var c resumeChunk
 		if !s.cfg.Checkpoint.Lookup(resumeChunkKey(h.Tenant, h.Resume.Session, i), &c) {

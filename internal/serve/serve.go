@@ -53,6 +53,18 @@ type Hello struct {
 	// 65536. The bank count comes from the trace stream's own header.
 	Rows int `json:"rows,omitempty"`
 
+	// Profile selects the device generation the session replays on:
+	// "ddr4" (default) or "ddr5" (DDR5-4800 timing with tRAS and Refresh
+	// Management). The profile sets the replay timing only; geometry
+	// still comes from Rows and the trace's own bank count.
+	Profile string `json:"profile,omitempty"`
+
+	// Rowpress makes the session's trackers duration-aware: trace dwell
+	// columns weigh counter increments (each scheme's Rowpress knob).
+	// Off by default — dwell columns still replay, but trackers count
+	// plain activations.
+	Rowpress bool `json:"rowpress,omitempty"`
+
 	// Seed drives the probabilistic schemes (para, prohit, mrloc). Absent
 	// means 1; an explicit 0 is a legal seed and is used as-is.
 	Seed *int64 `json:"seed,omitempty"`
@@ -137,6 +149,9 @@ func (h Hello) validate() error {
 	}
 	if h.ReportEvery < 0 {
 		return fmt.Errorf("serve: hello: report_every: %d is negative", h.ReportEvery)
+	}
+	if _, err := dram.ProfileByName(h.Profile); err != nil {
+		return fmt.Errorf("serve: hello: %w", err)
 	}
 	if h.Resume != nil && h.Resume.Session <= 0 {
 		return fmt.Errorf("serve: hello: resume: session %d is not a valid handle", h.Resume.Session)
@@ -467,7 +482,14 @@ func (s *Server) handshake(conn net.Conn, fr *frameReader, id int64) (*session, 
 		sn.h, sn.restored, sn.handle = jh, restored, h.Resume.Session
 	}
 
-	sc := sim.Scale{Timing: dram.DDR4(), Seed: *sn.h.Seed}
+	// The journaled hello is authoritative on resume, so the profile —
+	// like every other parameter — resolves from sn.h, not h.
+	prof, err := dram.ProfileByName(sn.h.Profile)
+	if err != nil {
+		return sn, fmt.Errorf("serve: hello: %w", err)
+	}
+	sn.timing = prof.Timing
+	sc := sim.Scale{Timing: prof.Timing, Seed: *sn.h.Seed, Rowpress: sn.h.Rowpress}
 	factory, schemeName, err := sim.BuildScheme(sn.h.Scheme, sn.h.TRH, *sn.h.K, sn.h.Distance, sn.h.Rows, sc)
 	if err != nil {
 		return sn, err
@@ -488,6 +510,7 @@ type session struct {
 	h        Hello
 	factory  mitigation.Factory
 	scheme   string
+	timing   dram.Timing   // the resolved device profile's timing
 	restored *restoreState // non-nil when resuming
 }
 
@@ -577,7 +600,7 @@ func (sn *session) replay() (Report, error) {
 
 	resumable := s.cfg.Checkpoint != nil && h.ReportEvery > 0
 	if resumable && sn.restored == nil {
-		meta := resumeMeta{Hello: h, Name: reader.Name(), Banks: reader.Banks(), Total: reader.Total()}
+		meta := resumeMeta{Hello: h, Name: reader.Name(), Banks: reader.Banks(), Total: reader.Total(), Version: reader.Version()}
 		meta.Hello.Resume = nil
 		if err := s.cfg.Checkpoint.Record(resumeMetaKey(h.Tenant, sn.handle), meta); err != nil {
 			return Report{}, fmt.Errorf("journaling session meta: %w", err)
@@ -617,7 +640,7 @@ func (sn *session) replay() (Report, error) {
 
 	cfg := memctrl.Config{
 		Geometry: dram.Geometry{Channels: 1, RanksPerChan: 1, BanksPerRank: banks, RowsPerBank: h.Rows},
-		Timing:   dram.DDR4(),
+		Timing:   sn.timing,
 		Factory:  sn.factory,
 	}
 	if s.cfg.ReplayObs {

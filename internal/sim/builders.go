@@ -6,6 +6,7 @@ import (
 
 	"graphene/internal/cbt"
 	"graphene/internal/cra"
+	"graphene/internal/dram"
 	"graphene/internal/graphene"
 	"graphene/internal/mitigation"
 	"graphene/internal/mrloc"
@@ -40,6 +41,12 @@ func BuildWorkload(name string, sc Scale, trh int64) (gen trace.Generator, attac
 		return workload.ProHITPattern(0, rows/2, total), true, nil
 	case "mrloc-pattern":
 		return workload.MRLocPattern(0, rows/2, 5, total), true, nil
+	case "rowpress":
+		dwell, n := rowPressPlan(sc)
+		return workload.RowPressSingle(0, rows/2, dwell, n), true, nil
+	case "rowpress-double":
+		dwell, n := rowPressPlan(sc)
+		return workload.RowPressDouble(0, rows/2, dwell, n), true, nil
 	case "worst":
 		p, err := graphene.Config{TRH: trh, K: 2, Rows: rows, Timing: sc.Timing}.Derive()
 		if err != nil {
@@ -59,9 +66,24 @@ func BuildWorkload(name string, sc Scale, trh int64) (gen trace.Generator, attac
 // AttackNames lists the workload names BuildWorkload accepts beyond the
 // realistic profiles.
 func AttackNames() []string {
-	names := []string{"S1-10", "S1-20", "S2", "S3", "S4", "prohit-pattern", "mrloc-pattern", "worst"}
+	names := []string{"S1-10", "S1-20", "S2", "S3", "S4", "prohit-pattern", "mrloc-pattern", "worst", "rowpress", "rowpress-double"}
 	sort.Strings(names)
 	return names
+}
+
+// RowPressDwell is the open-row time of the built-in rowpress workloads,
+// as a multiple of the device's minimum (nRAS). Each ACT then carries ~8×
+// the unit disturbance, so a victim flips after ~TRH/8 activations —
+// far below the count any duration-blind tracker waits for.
+const RowPressDwell = 8
+
+// rowPressPlan sizes the built-in RowPress attacks: the dwell (8× nRAS)
+// and the number of ACTs that fit in sc.AdversarialWindows refresh windows
+// at that dwell (each ACT occupies ActCycle(dwell) instead of tRC).
+func rowPressPlan(sc Scale) (dram.Time, int64) {
+	dwell := RowPressDwell * sc.Timing.NRAS()
+	n := int64(sc.AdversarialWindows * float64(sc.Timing.TREFW) / float64(sc.Timing.ActCycle(dwell)))
+	return dwell, n
 }
 
 // BuildScheme resolves a scheme name into a per-bank factory plus a
@@ -71,20 +93,22 @@ func BuildScheme(name string, trh int64, k, distance, rows int, sc Scale) (mitig
 	case "none":
 		return nil, "none (unprotected)", nil
 	case "graphene":
-		return graphene.Factory(graphene.Config{TRH: trh, K: k, Distance: distance, Rows: rows, Timing: sc.Timing}),
+		return graphene.Factory(graphene.Config{TRH: trh, K: k, Distance: distance, Rows: rows, Timing: sc.Timing, Rowpress: sc.Rowpress}),
 			fmt.Sprintf("graphene-k%d", k), nil
 	case "twice":
-		return twice.Factory(twice.Config{TRH: trh, Distance: distance, Rows: rows, Timing: sc.Timing}), "twice", nil
+		return twice.Factory(twice.Config{TRH: trh, Distance: distance, Rows: rows, Timing: sc.Timing, Rowpress: sc.Rowpress}), "twice", nil
 	case "cbt":
 		counters, levels := CBTCountersFor(trh)
-		return cbt.Factory(cbt.Config{TRH: trh, Counters: counters, Levels: levels, Rows: rows, Timing: sc.Timing, Distance: distance}),
+		return cbt.Factory(cbt.Config{TRH: trh, Counters: counters, Levels: levels, Rows: rows, Timing: sc.Timing, Distance: distance, Rowpress: sc.Rowpress}),
 			fmt.Sprintf("cbt-%d", counters), nil
 	case "para":
 		p, err := ParaP(trh)
 		if err != nil {
 			return nil, "", err
 		}
-		return para.Factory(para.Classic(p, rows, sc.Seed)), fmt.Sprintf("para-%.5f", p), nil
+		pcfg := para.Classic(p, rows, sc.Seed)
+		pcfg.Rowpress = sc.Rowpress
+		return para.Factory(pcfg), fmt.Sprintf("para-%.5f", p), nil
 	case "prohit":
 		return prohit.Factory(prohit.Config{Rows: rows, Seed: sc.Seed}), "prohit", nil
 	case "mrloc":

@@ -36,6 +36,12 @@ type Scale struct {
 	AdversarialWindows float64
 
 	Seed int64
+
+	// Rowpress makes BuildScheme configure duration-aware tracking (each
+	// scheme's Rowpress knob): trace dwell columns then weigh counter
+	// increments and probabilistic draws. Off (the default), trackers
+	// count plain activations and dwell columns are ignored.
+	Rowpress bool
 }
 
 // Quick returns a test-friendly scale: two banks, short traces.

@@ -182,8 +182,8 @@ func (c *CMS) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram
 // AppendOnActivateBatch implements mitigation.Mitigator through the
 // shared scalar-loop adapter (the controller's batch replay still saves
 // the per-ACT dispatch and timing work around it).
-func (c *CMS) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
-	return mitigation.ScalarBatch(c, dst, rows, now)
+func (c *CMS) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now, dwell []dram.Time) ([]mitigation.VictimRefresh, int) {
+	return mitigation.ScalarBatch(c, dst, rows, now, dwell)
 }
 
 // AppendTick implements mitigation.Mitigator.

@@ -313,8 +313,8 @@ func (s *SpaceSaving) unlinkBucket(b *ssBucket) {
 // AppendOnActivateBatch implements mitigation.Mitigator through the
 // shared scalar-loop adapter (the controller's batch replay still saves
 // the per-ACT dispatch and timing work around it).
-func (s *SpaceSaving) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
-	return mitigation.ScalarBatch(s, dst, rows, now)
+func (s *SpaceSaving) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now, dwell []dram.Time) ([]mitigation.VictimRefresh, int) {
+	return mitigation.ScalarBatch(s, dst, rows, now, dwell)
 }
 
 // AppendTick implements mitigation.Mitigator.

@@ -14,9 +14,9 @@ import (
 	"graphene/internal/dram"
 )
 
-// Binary trace format (DESIGN.md §10). The stream is:
+// Binary trace format (DESIGN.md §10, §13). The stream is:
 //
-//	magic    "RHTB1\n" (6 bytes)
+//	magic    "RHTB1\n" or "RHTB2\n" (6 bytes; the digit is the version)
 //	header   uvarint nameLen (≤ MaxNameLen), nameLen name bytes
 //	         uvarint banks  (max bank index + 1; 0 for an empty trace)
 //	         uvarint total  (access count)
@@ -26,12 +26,18 @@ import (
 // Each segment covers up to segmentAccs consecutive accesses of the
 // stream and lays them out columnarly per bank:
 //
+//	uvarint flags             (version 2 only; bit 0 = dwell column,
+//	                           any other bit set is an error)
 //	uvarint nblocks (≥ 1)
 //	nblocks × block, in strictly ascending bank order:
 //	    uvarint bank, uvarint count (≥ 1)
 //	    count × varint rowDelta   (zigzag; vs the bank's previous row,
 //	                               starting at 0 at the stream head)
 //	    count × varint gapDelta   (zigzag; vs the bank's previous gap)
+//	    count × varint dwellDelta (only when the segment's dwell flag is
+//	                               set; zigzag vs the bank's previous
+//	                               dwell, which advances only across
+//	                               dwell-carrying segments)
 //	uvarint nruns (≥ 1)
 //	nruns × (uvarint bank, uvarint runLen ≥ 1)
 //
@@ -43,13 +49,28 @@ import (
 // round trip is lossless. Delta state (previous row/gap per bank) runs
 // across segment boundaries.
 //
+// Version 2 exists only to carry the open-row dwell column: the writer
+// emits version 1 — byte-identical to the pre-dwell codec — whenever no
+// access in the whole trace carries a dwell, so every existing trace
+// file, golden, and resume journal stays valid byte-for-byte, and a v1
+// reader can never silently misparse a v2 stream (the magic differs).
+//
 // Every field a hostile stream controls is bounded before allocation
 // (name length, segment payload size, bank index), decoded values are
 // checked against the shared limits in io.go, and the header's total must
 // match the decoded count — so a torn or truncated tail is always an
 // error, never a silently short trace.
 
-var binaryMagic = []byte("RHTB1\n")
+var (
+	binaryMagic   = []byte("RHTB1\n")
+	binaryMagicV2 = []byte("RHTB2\n")
+)
+
+// segment flag bits (version 2).
+const (
+	segFlagDwell  = 1 << 0
+	segFlagsKnown = segFlagDwell
+)
 
 const (
 	// MaxNameLen bounds the stored trace name.
@@ -70,11 +91,26 @@ const (
 // magic; ReadAuto uses it to fall back to the text parser.
 var ErrNotBinary = errors.New("trace: not a binary trace (magic mismatch)")
 
-// IsBinary reports whether r's next bytes are the binary trace magic,
-// without consuming them. A stream shorter than the magic is not binary.
+// IsBinary reports whether r's next bytes are a binary trace magic
+// (either version), without consuming them. A stream shorter than the
+// magic is not binary.
 func IsBinary(r *bufio.Reader) bool {
+	return binaryVersion(r) != 0
+}
+
+// binaryVersion peeks r's magic and returns the format version it names,
+// or 0 when the stream is not a binary trace.
+func binaryVersion(r *bufio.Reader) int {
 	head, err := r.Peek(len(binaryMagic))
-	return err == nil && bytes.Equal(head, binaryMagic)
+	switch {
+	case err != nil:
+		return 0
+	case bytes.Equal(head, binaryMagic):
+		return 1
+	case bytes.Equal(head, binaryMagicV2):
+		return 2
+	}
+	return 0
 }
 
 // binErrf wraps binary-codec errors with a uniform prefix.
@@ -85,20 +121,31 @@ func binErrf(format string, args ...any) error {
 // ---------------------------------------------------------------- writer
 
 // binEncoder accumulates the stream segment by segment. Header fields
-// (banks, total) are only known once the generator is drained, so encoded
-// segment bytes buffer in memory — a few bytes per access — and flush to
-// the writer after the header.
+// (banks, total) — and the format version, which depends on whether any
+// access anywhere carries a dwell — are only known once the generator is
+// drained, so encoded segment payloads buffer in memory (a few bytes per
+// access, unframed) and flush to the writer after the header with the
+// version-appropriate framing.
 type binEncoder struct {
 	scratch []Access // current segment, arrival order
-	body    []byte   // encoded segments so far
+	body    []byte   // concatenated raw segment payloads so far
+	segs    []encSeg // framing for each payload in body
 	payload []byte   // reused per-segment encode buffer
 	runsEnc []byte   // reused run-list encode buffer
 
-	prevRow []int64 // per-bank delta state, grown on demand
-	prevGap []int64
+	prevRow   []int64 // per-bank delta state, grown on demand
+	prevGap   []int64
+	prevDwell []int64 // advances only across dwell-carrying segments
 
 	maxBank int
 	total   int64
+}
+
+// encSeg frames one buffered segment payload: its byte length within body
+// and its version-2 flags (0 in a trace that ends up version 1).
+type encSeg struct {
+	n     int
+	flags uint64
 }
 
 // grow extends the per-bank delta-state arrays to cover bank.
@@ -106,6 +153,7 @@ func (e *binEncoder) grow(bank int) {
 	for len(e.prevRow) <= bank {
 		e.prevRow = append(e.prevRow, 0)
 		e.prevGap = append(e.prevGap, 0)
+		e.prevDwell = append(e.prevDwell, 0)
 	}
 }
 
@@ -124,6 +172,16 @@ func (e *binEncoder) add(a Access) {
 func (e *binEncoder) flush() {
 	if len(e.scratch) == 0 {
 		return
+	}
+	// A segment carries the dwell column iff any of its accesses has one;
+	// a dwell-free segment of a dwell-carrying trace stays column-free
+	// (and leaves the per-bank dwell delta state untouched).
+	var flags uint64
+	for _, a := range e.scratch {
+		if a.Dwell != 0 {
+			flags |= segFlagDwell
+			break
+		}
 	}
 	// Group per bank, preserving per-bank order.
 	banks := map[int][]Access{}
@@ -151,6 +209,12 @@ func (e *binEncoder) flush() {
 			p = binary.AppendVarint(p, int64(a.Gap)-e.prevGap[bank])
 			e.prevGap[bank] = int64(a.Gap)
 		}
+		if flags&segFlagDwell != 0 {
+			for _, a := range col {
+				p = binary.AppendVarint(p, int64(a.Dwell)-e.prevDwell[bank])
+				e.prevDwell[bank] = int64(a.Dwell)
+			}
+		}
 	}
 	// Run-length encode the original interleaving into a side buffer (the
 	// run count precedes the runs, and is only known afterwards).
@@ -170,10 +234,48 @@ func (e *binEncoder) flush() {
 	p = binary.AppendUvarint(p, uint64(runs))
 	p = append(p, rb...)
 
-	e.body = binary.AppendUvarint(e.body, uint64(len(p)))
 	e.body = append(e.body, p...)
+	e.segs = append(e.segs, encSeg{n: len(p), flags: flags})
 	e.payload = p[:0]
 	e.scratch = e.scratch[:0]
+}
+
+// version returns the lowest format version that can carry the buffered
+// segments: 2 iff any segment needs a flags word, else 1.
+func (e *binEncoder) version() int {
+	for _, s := range e.segs {
+		if s.flags != 0 {
+			return 2
+		}
+	}
+	return 1
+}
+
+// writeSegments frames the buffered payloads for the given version and
+// writes them to w. Version 1 framing is uvarint(len) + payload — the
+// pre-dwell codec byte-for-byte; version 2 prefixes each payload with its
+// flags word inside the frame.
+func (e *binEncoder) writeSegments(w io.Writer, version int) error {
+	var flagsBuf, headBuf [binary.MaxVarintLen64]byte
+	off := 0
+	for _, s := range e.segs {
+		var head []byte
+		if version >= 2 {
+			flagsEnc := binary.AppendUvarint(flagsBuf[:0], s.flags)
+			head = binary.AppendUvarint(headBuf[:0], uint64(s.n)+uint64(len(flagsEnc)))
+			head = append(head, flagsEnc...)
+		} else {
+			head = binary.AppendUvarint(headBuf[:0], uint64(s.n))
+		}
+		if _, err := w.Write(head); err != nil {
+			return err
+		}
+		if _, err := w.Write(e.body[off : off+s.n]); err != nil {
+			return err
+		}
+		off += s.n
+	}
+	return nil
 }
 
 // WriteBinary drains gen into w in the binary trace format and returns
@@ -194,6 +296,9 @@ func WriteBinary(w io.Writer, gen Generator) (int64, error) {
 		if err := checkLimits(int64(a.Bank), int64(a.Row), int64(a.Gap)); err != nil {
 			return 0, binErrf("access %d: %w", enc.total, err)
 		}
+		if err := checkDwell(int64(a.Dwell)); err != nil {
+			return 0, binErrf("access %d: %w", enc.total, err)
+		}
 		enc.add(a)
 	}
 	enc.flush()
@@ -202,11 +307,12 @@ func WriteBinary(w io.Writer, gen Generator) (int64, error) {
 	if enc.total > 0 {
 		banks = enc.maxBank + 1
 	}
-	head := AppendBinaryHeader(nil, name, banks, enc.total)
+	version := enc.version()
+	head := AppendBinaryHeaderVersion(nil, name, banks, enc.total, version)
 	if _, err := w.Write(head); err != nil {
 		return 0, err
 	}
-	if _, err := w.Write(enc.body); err != nil {
+	if err := enc.writeSegments(w, version); err != nil {
 		return 0, err
 	}
 	if _, err := w.Write([]byte{0}); err != nil { // end marker
@@ -215,14 +321,30 @@ func WriteBinary(w io.Writer, gen Generator) (int64, error) {
 	return enc.total, nil
 }
 
-// AppendBinaryHeader appends the binary trace header — magic,
+// AppendBinaryHeader appends the version-1 binary trace header — magic,
 // length-prefixed name, bank count, access count, all canonical uvarints —
 // to dst and returns it. It is the exact byte sequence WriteBinary puts
 // before the first segment, exposed so a journaled session can reconstruct
 // the prefix of a half-streamed trace without re-encoding any accesses
 // (serve's resume path glues this header onto the journaled raw segments).
 func AppendBinaryHeader(dst []byte, name string, banks int, total int64) []byte {
-	dst = append(dst, binaryMagic...)
+	return AppendBinaryHeaderVersion(dst, name, banks, total, 1)
+}
+
+// AppendBinaryHeaderVersion is AppendBinaryHeader for an explicit format
+// version (1 or 2; anything else panics — the version comes from this
+// package's own reader/writer, never from the wire). Resume journals
+// record the version of the stream they journaled so the reconstructed
+// header matches the spliced segment bytes.
+func AppendBinaryHeaderVersion(dst []byte, name string, banks int, total int64, version int) []byte {
+	switch version {
+	case 1:
+		dst = append(dst, binaryMagic...)
+	case 2:
+		dst = append(dst, binaryMagicV2...)
+	default:
+		panic(fmt.Sprintf("trace: binary header version %d (want 1 or 2)", version))
+	}
 	dst = binary.AppendUvarint(dst, uint64(len(name)))
 	dst = append(dst, name...)
 	dst = binary.AppendUvarint(dst, uint64(banks))
@@ -239,8 +361,7 @@ func AppendBinaryHeader(dst []byte, name string, banks int, total int64) []byte 
 // before n segments is an error: the resume handle promises at least that
 // many.
 func SkipBinaryPrefix(r *bufio.Reader, n int) error {
-	head, err := r.Peek(len(binaryMagic))
-	if err != nil || !bytes.Equal(head, binaryMagic) {
+	if binaryVersion(r) == 0 {
 		return ErrNotBinary
 	}
 	if _, err := r.Discard(len(binaryMagic)); err != nil {
@@ -302,10 +423,11 @@ type segBlock struct {
 // Total are available before any block decodes; Banks in particular makes
 // geometry auto-detection free, where the text format needs a full pass.
 type BlockReader struct {
-	src   *bufio.Reader
-	name  string
-	banks int
-	total int64
+	src     *bufio.Reader
+	name    string
+	banks   int
+	total   int64
+	version int
 
 	// OnSegment, when set, is called once per fully decoded and validated
 	// segment with the raw payload bytes exactly as they appeared on the
@@ -318,16 +440,18 @@ type BlockReader struct {
 	// complete, so a journaled segment is never a torn one.
 	OnSegment func(payload []byte) error
 
-	prevRow []int64
-	prevGap []int64
+	prevRow   []int64
+	prevGap   []int64
+	prevDwell []int64 // advances only across dwell-carrying segments
 
-	payload    []byte // current segment bytes, reused
-	off        int    // decode cursor within payload
-	segOpen    bool   // a segment's run list is still pending
-	blocksLeft int    // blocks not yet returned from the current segment
-	segAccs    int64  // accesses decoded from the current segment
-	segBlocks  []segBlock
-	consumed   []int64 // runList's per-bank accounting, reused across segments
+	payload     []byte // current segment bytes, reused
+	off         int    // decode cursor within payload
+	segOpen     bool   // a segment's run list is still pending
+	segHasDwell bool   // current segment carries the dwell column
+	blocksLeft  int    // blocks not yet returned from the current segment
+	segAccs     int64  // accesses decoded from the current segment
+	segBlocks   []segBlock
+	consumed    []int64 // runList's per-bank accounting, reused across segments
 
 	decoded  int64
 	segments int
@@ -343,8 +467,8 @@ func NewBlockReader(r io.Reader) (*BlockReader, error) {
 	if !ok {
 		src = bufio.NewReader(r)
 	}
-	head, err := src.Peek(len(binaryMagic))
-	if err != nil || !bytes.Equal(head, binaryMagic) {
+	version := binaryVersion(src)
+	if version == 0 {
 		return nil, ErrNotBinary
 	}
 	if _, err := src.Discard(len(binaryMagic)); err != nil {
@@ -375,7 +499,7 @@ func NewBlockReader(r io.Reader) (*BlockReader, error) {
 	if total > 1<<62 {
 		return nil, binErrf("header: absurd access count %d", total)
 	}
-	return &BlockReader{src: src, name: string(name), banks: int(banks), total: int64(total)}, nil
+	return &BlockReader{src: src, name: string(name), banks: int(banks), total: int64(total), version: version}, nil
 }
 
 // noEOF upgrades a bare io.EOF to io.ErrUnexpectedEOF: every mid-stream
@@ -390,6 +514,10 @@ func noEOF(err error) error {
 
 // Name returns the trace name stored in the header.
 func (br *BlockReader) Name() string { return br.name }
+
+// Version returns the stream's format version (1 = pre-dwell codec, 2 =
+// segments may carry the open-row dwell column).
+func (br *BlockReader) Version() int { return br.version }
 
 // Banks returns the header's bank count (max bank index + 1).
 func (br *BlockReader) Banks() int { return br.banks }
@@ -465,6 +593,17 @@ func (br *BlockReader) nextSegment() error {
 		return binErrf("truncated segment: %w", noEOF(err))
 	}
 	br.off = 0
+	br.segHasDwell = false
+	if br.version >= 2 {
+		flags, err := br.uvarint("flags")
+		if err != nil {
+			return err
+		}
+		if flags&^uint64(segFlagsKnown) != 0 {
+			return binErrf("segment: unknown flags %#x (decoder knows %#x)", flags, segFlagsKnown)
+		}
+		br.segHasDwell = flags&segFlagDwell != 0
+	}
 	nblocks, err := br.uvarint("block count")
 	if err != nil {
 		return err
@@ -511,6 +650,7 @@ func (br *BlockReader) blockHead() (bank, count int, err error) {
 	for len(br.prevRow) <= bank {
 		br.prevRow = append(br.prevRow, 0)
 		br.prevGap = append(br.prevGap, 0)
+		br.prevDwell = append(br.prevDwell, 0)
 	}
 	return bank, int(count64), nil
 }
@@ -600,6 +740,38 @@ func (br *BlockReader) decodeBlock(buf []Access) (Block, error) {
 		accs[i].Gap = dram.Time(gap)
 	}
 	br.prevGap[bank] = prev
+	if br.segHasDwell {
+		prev = br.prevDwell[bank]
+		for i := range accs {
+			if off >= len(p) {
+				return Block{}, binErrf("segment: truncated dwell delta")
+			}
+			c := p[off]
+			off++
+			u := uint64(c)
+			if c >= 0x80 {
+				u &= 0x7f
+				for shift := uint(7); ; shift += 7 {
+					if off >= len(p) || shift > 63 {
+						return Block{}, binErrf("segment: truncated dwell delta")
+					}
+					c = p[off]
+					off++
+					u |= uint64(c&0x7f) << shift
+					if c < 0x80 {
+						break
+					}
+				}
+			}
+			dwell := prev + (int64(u>>1) ^ -int64(u&1))
+			if dwell < 0 {
+				return Block{}, binErrf("segment: %w", checkDwell(dwell))
+			}
+			prev = dwell
+			accs[i].Dwell = dram.Time(dwell)
+		}
+		br.prevDwell[bank] = prev
+	}
 	br.off = off
 	br.blockDone(bank, count)
 	return Block{Bank: bank, Accs: accs}, nil
@@ -610,12 +782,19 @@ func (br *BlockReader) decodeBlock(buf []Access) (Block, error) {
 // int32 because the shared limits cap row addresses at MaxRow = 2³¹−1 —
 // this is the layout the batched replay core consumes directly
 // (memctrl's event-horizon loop and Mitigator.AppendOnActivateBatch), so
-// block ingest never materializes per-access structs. Both columns alias
+// block ingest never materializes per-access structs. All columns alias
 // the buffer passed to NextCols.
+//
+// Dwells is the open-row duration column. It is present (len == count)
+// only when the block's segment carries the dwell column; otherwise it is
+// left empty — length zero, capacity preserved for recycling — and every
+// access's dwell is the device default. Consumers branch on
+// len(Dwells) != 0, never on nil.
 type ColBlock struct {
-	Bank int
-	Rows []int32
-	Gaps []dram.Time
+	Bank   int
+	Rows   []int32
+	Gaps   []dram.Time
+	Dwells []dram.Time
 }
 
 // NextCols decodes the next block columnarly, appending into buf's columns
@@ -726,9 +905,47 @@ func (br *BlockReader) decodeBlockCols(buf ColBlock) (ColBlock, error) {
 		gaps[i] = dram.Time(gap)
 	}
 	br.prevGap[bank] = prev
+	dwells := buf.Dwells[:0]
+	if br.segHasDwell {
+		if cap(dwells) < count {
+			dwells = make([]dram.Time, count)
+		} else {
+			dwells = dwells[:count]
+		}
+		prev = br.prevDwell[bank]
+		for i := range dwells {
+			if off >= len(p) {
+				return ColBlock{}, binErrf("segment: truncated dwell delta")
+			}
+			c := p[off]
+			off++
+			u := uint64(c)
+			if c >= 0x80 {
+				u &= 0x7f
+				for shift := uint(7); ; shift += 7 {
+					if off >= len(p) || shift > 63 {
+						return ColBlock{}, binErrf("segment: truncated dwell delta")
+					}
+					c = p[off]
+					off++
+					u |= uint64(c&0x7f) << shift
+					if c < 0x80 {
+						break
+					}
+				}
+			}
+			dwell := prev + (int64(u>>1) ^ -int64(u&1))
+			if dwell < 0 {
+				return ColBlock{}, binErrf("segment: %w", checkDwell(dwell))
+			}
+			prev = dwell
+			dwells[i] = dram.Time(dwell)
+		}
+		br.prevDwell[bank] = prev
+	}
 	br.off = off
 	br.blockDone(bank, count)
-	return ColBlock{Bank: bank, Rows: rows, Gaps: gaps}, nil
+	return ColBlock{Bank: bank, Rows: rows, Gaps: gaps, Dwells: dwells}, nil
 }
 
 // runList parses the segment's run list, validating it against segBlocks:

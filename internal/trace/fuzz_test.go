@@ -128,8 +128,12 @@ func FuzzBinaryReader(f *testing.F) {
 	f.Add(seed(nil))
 	f.Add(seed([]Access{{Bank: 0, Row: 1, Gap: 2}}))
 	f.Add(seed([]Access{{Bank: 1, Row: 9, Gap: 0}, {Bank: 0, Row: 3, Gap: 5}, {Bank: 1, Row: 9, Gap: 5}}))
+	f.Add(seed([]Access{{Bank: 0, Row: 1, Gap: 2, Dwell: 31700}}))
+	f.Add(seed([]Access{{Bank: 0, Row: 1, Gap: 2, Dwell: 63400}, {Bank: 1, Row: 2, Gap: 3}, {Bank: 0, Row: 1, Gap: 0, Dwell: 1}}))
 	f.Add([]byte("RHTB1\n"))
 	f.Add([]byte("RHTB1\n\x00\x00\x00"))
+	f.Add([]byte("RHTB2\n"))
+	f.Add([]byte("RHTB2\n\x00\x00\x00"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadBinary(bytes.NewReader(data))
 		if err != nil {

@@ -14,11 +14,14 @@ import (
 
 // The on-disk trace format is line-oriented text, one access per line:
 //
-//	bank row gap_ps
+//	bank row gap_ps [dwell_ps]
 //
-// with '#' comment lines and blank lines ignored. The first comment line
-// written by WriteTo records the trace name. A compact binary alternative
-// lives in binary.go; ReadAuto distinguishes the two by the binary magic.
+// with '#' comment lines and blank lines ignored. The fourth field is the
+// open-row dwell; absent means the device minimum (nRAS), so every
+// pre-dwell trace parses unchanged, and WriteTo only emits it on accesses
+// that carry one. The first comment line written by WriteTo records the
+// trace name. A compact binary alternative lives in binary.go; ReadAuto
+// distinguishes the two by the binary magic.
 
 // Shared field limits. Both codecs enforce the same ranges, so a trace
 // that one reader accepts is never rejected by the other, and parse
@@ -39,6 +42,10 @@ const (
 	// MaxGap bounds the think-time gap (any non-negative int64).
 	MaxGap = math.MaxInt64
 
+	// MaxDwell bounds the open-row dwell (any non-negative int64; 0 means
+	// the device minimum, nRAS).
+	MaxDwell = math.MaxInt64
+
 	// MaxLineBytes bounds one text line (access or comment). The previous
 	// silent 1 MB scanner cap failed over-long lines with a bare
 	// "token too long" carrying no position; the limit is now explicit and
@@ -57,6 +64,15 @@ func checkLimits(bank, row, gap int64) error {
 		return fmt.Errorf("row %d out of range [0, %d]", row, int64(MaxRow))
 	case gap < 0:
 		return fmt.Errorf("gap %d out of range [0, %d]", gap, int64(MaxGap))
+	}
+	return nil
+}
+
+// checkDwell validates an open-row dwell against the shared limits; like
+// checkLimits, callers wrap the error with position context.
+func checkDwell(dwell int64) error {
+	if dwell < 0 {
+		return fmt.Errorf("dwell %d out of range [0, %d]", dwell, int64(MaxDwell))
 	}
 	return nil
 }
@@ -93,7 +109,15 @@ func WriteTo(w io.Writer, gen Generator) (n int64, err error) {
 		if err := checkLimits(int64(a.Bank), int64(a.Row), int64(a.Gap)); err != nil {
 			return n, fmt.Errorf("trace: access %d: %w", n, err)
 		}
-		if _, err := fmt.Fprintf(bw, "%d %d %d\n", a.Bank, a.Row, int64(a.Gap)); err != nil {
+		if err := checkDwell(int64(a.Dwell)); err != nil {
+			return n, fmt.Errorf("trace: access %d: %w", n, err)
+		}
+		if a.Dwell != 0 {
+			_, err = fmt.Fprintf(bw, "%d %d %d %d\n", a.Bank, a.Row, int64(a.Gap), int64(a.Dwell))
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d %d\n", a.Bank, a.Row, int64(a.Gap))
+		}
+		if err != nil {
 			return n, err
 		}
 		n++
@@ -131,8 +155,9 @@ func (t *Trace) Dims() (banks, rows int) {
 // the first "# trace <name>" comment appearing before any access line —
 // blank lines and other comments may precede it — else fallbackName. A
 // header after the first access is plain commentary and does not rename
-// the trace. Access lines must be exactly three integer fields; extra
-// fields are an error, not silently dropped.
+// the trace. Access lines must be exactly three or four integer fields
+// (the fourth is the open-row dwell); anything else is an error, not
+// silently dropped.
 func ReadFrom(r io.Reader, fallbackName string) (Generator, error) {
 	t, err := ReadAll(r, fallbackName)
 	if err != nil {
@@ -193,8 +218,8 @@ func ReadAll(r io.Reader, fallbackName string) (*Trace, error) {
 			continue
 		}
 		fields := strings.Fields(text)
-		if len(fields) != 3 {
-			return nil, fail(fmt.Errorf("trace: line %d: %q: want 3 fields (bank row gap_ps), got %d", line, text, len(fields)))
+		if len(fields) != 3 && len(fields) != 4 {
+			return nil, fail(fmt.Errorf("trace: line %d: %q: want 3 or 4 fields (bank row gap_ps [dwell_ps]), got %d", line, text, len(fields)))
 		}
 		bank, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil {
@@ -211,7 +236,17 @@ func ReadAll(r io.Reader, fallbackName string) (*Trace, error) {
 		if err := checkLimits(bank, row, gap); err != nil {
 			return nil, fail(fmt.Errorf("trace: line %d: %q: %w", line, text, err))
 		}
-		accs = append(accs, Access{Bank: int(bank), Row: int(row), Gap: dram.Time(gap)})
+		var dwell int64
+		if len(fields) == 4 {
+			dwell, err = strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, fail(fmt.Errorf("trace: line %d: %q: bad dwell: %w", line, text, err))
+			}
+			if err := checkDwell(dwell); err != nil {
+				return nil, fail(fmt.Errorf("trace: line %d: %q: %w", line, text, err))
+			}
+		}
+		accs = append(accs, Access{Bank: int(bank), Row: int(row), Gap: dram.Time(gap), Dwell: dram.Time(dwell)})
 	}
 	if err := scanErr(); err != nil {
 		return nil, err

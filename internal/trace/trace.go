@@ -11,6 +11,13 @@ type Access struct {
 	Bank int       // flat bank index (dram.BankID.Flat)
 	Row  int       // row within the bank
 	Gap  dram.Time // idle time the workload inserts before this access
+
+	// Dwell is how long the activation holds its row open (the RowPress
+	// tAggOn). Zero means the device minimum (nRAS): the value every
+	// pre-dwell trace implicitly carries, and the value under which the
+	// duration-weighted disturbance model reduces exactly to the legacy
+	// per-ACT model.
+	Dwell dram.Time
 }
 
 // Generator produces a finite access stream. Generators are single-use;

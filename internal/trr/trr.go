@@ -144,8 +144,8 @@ func (t *TRR) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dram
 // AppendOnActivateBatch implements mitigation.Mitigator through the
 // shared scalar-loop adapter (the controller's batch replay still saves
 // the per-ACT dispatch and timing work around it).
-func (t *TRR) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
-	return mitigation.ScalarBatch(t, dst, rows, now)
+func (t *TRR) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now, dwell []dram.Time) ([]mitigation.VictimRefresh, int) {
+	return mitigation.ScalarBatch(t, dst, rows, now, dwell)
 }
 
 // AppendTick implements mitigation.Mitigator: on every RefreshEvery-th

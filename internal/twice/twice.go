@@ -36,6 +36,20 @@ type Config struct {
 	// Params.MaxEntries). On overflow TWiCe refreshes the evicted row's
 	// victims so the guarantee survives.
 	MaxEntries int
+
+	// Rowpress makes the per-row counter duration-aware: an ACT whose
+	// open-row dwell exceeds NRAS adds mitigation.RowpressIncrement(dwell,
+	// NRAS, RowpressIncrementTicks) instead of 1. Off (the default),
+	// dwell columns are ignored.
+	Rowpress bool
+
+	// RowpressIncrementTicks is the open-row time per extra increment;
+	// zero defaults to NRAS.
+	RowpressIncrementTicks dram.Time
+
+	// NRAS is the device's minimum open-row time; zero defaults to
+	// Timing.NRAS().
+	NRAS dram.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -47,6 +61,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Distance == 0 {
 		c.Distance = 1
+	}
+	if c.NRAS == 0 {
+		c.NRAS = c.Timing.NRAS()
+	}
+	if c.RowpressIncrementTicks == 0 {
+		c.RowpressIncrementTicks = c.NRAS
 	}
 	return c
 }
@@ -76,6 +96,9 @@ func (c Config) Derive() (Params, error) {
 	}
 	if err := c.Timing.Validate(); err != nil {
 		return Params{}, err
+	}
+	if c.NRAS < 0 || c.RowpressIncrementTicks < 0 {
+		return Params{}, fmt.Errorf("twice: negative RowPress parameter (NRAS %v, increment ticks %v)", c.NRAS, c.RowpressIncrementTicks)
 	}
 	thRH := c.TRH / 4
 	if thRH < 1 {
@@ -181,7 +204,10 @@ func (t *TWiCe) AppendOnActivate(dst []mitigation.VictimRefresh, row int, now dr
 // the table map, thresholds, and capacity load once per run, and the loop
 // stops after the first ACT that issues a refresh (threshold hit or
 // overflow), per the batch contract.
-func (t *TWiCe) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now []dram.Time) ([]mitigation.VictimRefresh, int) {
+func (t *TWiCe) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int32, now, dwell []dram.Time) ([]mitigation.VictimRefresh, int) {
+	if t.cfg.Rowpress && dwell != nil {
+		return t.appendBatchRowpress(dst, rows, now, dwell)
+	}
 	table, thRH, maxEntries := t.table, t.params.ThRH, t.params.MaxEntries
 	for i, r := range rows {
 		row := int(r)
@@ -202,6 +228,47 @@ func (t *TWiCe) AppendOnActivateBatch(dst []mitigation.VictimRefresh, rows []int
 			t.refreshes++
 			return append(dst, mitigation.VictimRefresh{Aggressor: row, Distance: t.cfg.Distance}), i + 1
 		}
+	}
+	return dst, len(rows)
+}
+
+// appendBatchRowpress is the duration-aware batch path: each ACT's dwell
+// converts to a counter increment (mitigation.RowpressIncrement with the
+// configured NRAS and RowpressIncrementTicks), so a long-open aggressor
+// reaches th_RH in proportionally fewer ACTs — matching how its RowPress
+// disturbance grows. An all-minimum-dwell stream (every increment 1) is
+// byte-identical to the legacy loop, including the quirk that a freshly
+// allocated entry never triggers on its first unit observation; a weighted
+// first observation that already reaches th_RH does trigger, because those
+// skipped increments would otherwise be charge the guarantee never sees.
+func (t *TWiCe) appendBatchRowpress(dst []mitigation.VictimRefresh, rows []int32, now, dwell []dram.Time) ([]mitigation.VictimRefresh, int) {
+	table, thRH, maxEntries := t.table, t.params.ThRH, t.params.MaxEntries
+	nras, incTicks := t.cfg.NRAS, t.cfg.RowpressIncrementTicks
+	for i, r := range rows {
+		row := int(r)
+		inc := mitigation.RowpressIncrement(dwell[i], nras, incTicks)
+		e, ok := table[row]
+		if !ok {
+			if len(table) >= maxEntries {
+				t.overflows++
+				t.refreshes++
+				return append(dst, mitigation.VictimRefresh{Aggressor: row, Distance: t.cfg.Distance}), i + 1
+			}
+			e = &entry{count: inc}
+			table[row] = e
+			if inc == 1 || e.count < thRH {
+				continue
+			}
+		} else {
+			e.count += inc
+			if e.count < thRH {
+				continue
+			}
+		}
+		e.count = 0
+		e.life = 0
+		t.refreshes++
+		return append(dst, mitigation.VictimRefresh{Aggressor: row, Distance: t.cfg.Distance}), i + 1
 	}
 	return dst, len(rows)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"graphene/internal/dram"
 	"graphene/internal/trace"
 )
 
@@ -172,6 +173,43 @@ func ManySided(bank, base, n int, total int64) trace.Generator {
 		row := base + int(i%int64(n))*2
 		i++
 		return trace.Access{Bank: bank, Row: row}, true
+	})
+}
+
+// RowPressSingle is the RowPress access pattern (Luo et al., ISCA 2023)
+// against one aggressor: few activations, each holding the row open for
+// dwell (the tAggOn of the attack) instead of the device-minimum tRAS.
+// Keeping the aggressor open multiplies the per-ACT disturbance on its
+// neighbors, so the victim flips after far fewer ACTs than TRH — under any
+// tracker that counts activations without weighing duration, those ACTs
+// never reach the refresh threshold.
+func RowPressSingle(bank, row int, dwell dram.Time, total int64) trace.Generator {
+	var i int64
+	return trace.FromFunc("rowpress", func() (trace.Access, bool) {
+		if i >= total {
+			return trace.Access{}, false
+		}
+		i++
+		return trace.Access{Bank: bank, Row: row, Dwell: dwell}, true
+	})
+}
+
+// RowPressDouble combines RowPress with the double-sided pattern: the two
+// aggressors sandwiching victim alternate, each ACT holding its row open
+// for dwell. The victim accumulates duration-weighted disturbance from both
+// sides — the strongest pattern in the RowPress paper's characterization.
+func RowPressDouble(bank, victim int, dwell dram.Time, total int64) trace.Generator {
+	var i int64
+	return trace.FromFunc("rowpress-double", func() (trace.Access, bool) {
+		if i >= total {
+			return trace.Access{}, false
+		}
+		row := victim - 1
+		if i%2 == 1 {
+			row = victim + 1
+		}
+		i++
+		return trace.Access{Bank: bank, Row: row, Dwell: dwell}, true
 	})
 }
 
